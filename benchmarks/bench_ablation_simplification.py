@@ -1,0 +1,62 @@
+"""B8 — ablations on the derivative engine's design choices.
+
+DESIGN.md calls out three engineering choices the paper's implementation
+hints at; this benchmark measures each of them on the B1/B2 workloads:
+
+* the Section 4 **simplification rules** (smart constructors) on/off,
+* **memoisation** of per-neighbourhood derivative computations on/off,
+* **predicate-ordered** vs. arbitrary triple consumption order.
+
+Regenerate with::
+
+    pytest benchmarks/bench_ablation_simplification.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import run_case
+from repro.shex import DerivativeEngine
+from repro.workloads import (
+    balanced_alternation_case,
+    mixed_portal_case,
+    paper_interleave_case,
+)
+
+CONFIGURATIONS = {
+    "full": dict(simplify=True, memoize=True, order_by_predicate=True),
+    "no-simplification": dict(simplify=False, memoize=True, order_by_predicate=True),
+    "no-memoization": dict(simplify=True, memoize=False, order_by_predicate=True),
+    "unordered": dict(simplify=True, memoize=True, order_by_predicate=False),
+}
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+@pytest.mark.parametrize("extra_arcs", [4, 6])
+def test_paper_shape(benchmark, configuration, extra_arcs):
+    engine = DerivativeEngine(**CONFIGURATIONS[configuration])
+    case = paper_interleave_case(extra_arcs)
+    result = benchmark(run_case, engine, case)
+    benchmark.extra_info["configuration"] = configuration
+    benchmark.extra_info["max_expression_size"] = result.stats.max_expression_size
+
+
+@pytest.mark.parametrize("configuration", ["full", "no-simplification"])
+@pytest.mark.parametrize("pairs", [2, 4])
+def test_balanced_alternation(benchmark, configuration, pairs):
+    engine = DerivativeEngine(**CONFIGURATIONS[configuration])
+    case = balanced_alternation_case(pairs)
+    result = benchmark(run_case, engine, case)
+    benchmark.extra_info["configuration"] = configuration
+    benchmark.extra_info["max_expression_size"] = result.stats.max_expression_size
+
+
+# the no-simplification configuration is excluded here: on the portal record
+# (8 triples, several + branches) the raw derivative exceeds 10⁷ AST nodes and
+# takes minutes — the effect is already demonstrated by the two sweeps above.
+@pytest.mark.parametrize("configuration", ["full", "no-memoization", "unordered"])
+def test_portal_record(benchmark, configuration):
+    engine = DerivativeEngine(**CONFIGURATIONS[configuration])
+    case = mixed_portal_case(properties=6)
+    result = benchmark(run_case, engine, case)
+    benchmark.extra_info["configuration"] = configuration
+    benchmark.extra_info["max_expression_size"] = result.stats.max_expression_size

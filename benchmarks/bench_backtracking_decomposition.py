@@ -1,0 +1,50 @@
+"""F1/F2/E3 — the cost anatomy of the backtracking matcher.
+
+Figure 2 of the paper traces the backtracking matcher on the running example
+and Example 3 shows the 2ⁿ decomposition it relies on.  This benchmark
+isolates the two ingredients:
+
+* enumerating all decompositions of an n-triple neighbourhood (Example 3),
+* running the full backtracking matcher on the Figure 2 problem and on its
+  rejecting variants, recording the number of decompositions explored.
+
+Regenerate with::
+
+    pytest benchmarks/bench_backtracking_decomposition.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import run_case
+from repro.rdf import EX, Literal, Triple, decompositions
+from repro.workloads import paper_interleave_case
+
+NODE = EX.n
+
+
+@pytest.mark.parametrize("size", [4, 8, 12, 16])
+def test_enumerate_decompositions(benchmark, size):
+    triples = frozenset(Triple(NODE, EX.p, Literal(index)) for index in range(size))
+
+    def enumerate_all():
+        return sum(1 for _ in decompositions(triples))
+
+    count = benchmark(enumerate_all)
+    assert count == 2 ** size
+    benchmark.extra_info["pairs"] = count
+
+
+def test_figure_2_matching_problem(benchmark, backtracking_engine):
+    """The exact problem of Example 8 / Figure 2 (3 triples, accepting)."""
+    case = paper_interleave_case(extra_b_arcs=2)
+    result = benchmark(run_case, backtracking_engine, case)
+    benchmark.extra_info["decompositions"] = result.stats.decompositions
+    benchmark.extra_info["rule_applications"] = result.stats.rule_applications
+
+
+@pytest.mark.parametrize("extra_arcs", [2, 4, 6])
+def test_rejecting_variant(benchmark, backtracking_engine, extra_arcs):
+    case = paper_interleave_case(extra_b_arcs=extra_arcs, matching=False)
+    result = benchmark(run_case, backtracking_engine, case)
+    benchmark.extra_info["triples"] = case.size
+    benchmark.extra_info["decompositions"] = result.stats.decompositions

@@ -1,0 +1,62 @@
+"""B4 — cardinality ranges ``E{m,n}``: expansion cost of the derived operator.
+
+Section 4 defines ``E{m,n}`` by expansion into interleaves of copies and
+optionals, so large ranges produce large expressions.  This benchmark sweeps
+the range width and the neighbourhood size on both engines and records the
+expression sizes the derivative engine has to manipulate.
+
+Regenerate with::
+
+    pytest benchmarks/bench_cardinality.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import run_case
+from repro.shex import expression_size
+from repro.workloads import cardinality_case
+
+#: (minimum, maximum, arcs) triples to sweep; all verdicts are "accept".
+ACCEPTING = [
+    (1, 2, 2),
+    (2, 4, 3),
+    (4, 8, 6),
+    (5, 10, 7),
+]
+#: rejecting cases: one arc above the maximum.
+REJECTING = [
+    (1, 2, 3),
+    (2, 4, 5),
+    (4, 8, 9),
+]
+
+
+@pytest.mark.parametrize("minimum, maximum, arcs", ACCEPTING)
+def test_derivatives_within_range(benchmark, derivative_engine, minimum, maximum, arcs):
+    case = cardinality_case(minimum, maximum, arcs)
+    result = benchmark(run_case, derivative_engine, case)
+    benchmark.extra_info["expression_size"] = expression_size(case.expression)
+    benchmark.extra_info["max_expression_size"] = result.stats.max_expression_size
+
+
+@pytest.mark.parametrize("minimum, maximum, arcs", ACCEPTING[:3])
+def test_backtracking_within_range(benchmark, backtracking_engine, minimum, maximum, arcs):
+    case = cardinality_case(minimum, maximum, arcs)
+    result = benchmark(run_case, backtracking_engine, case)
+    benchmark.extra_info["expression_size"] = expression_size(case.expression)
+    benchmark.extra_info["decompositions"] = result.stats.decompositions
+
+
+@pytest.mark.parametrize("minimum, maximum, arcs", REJECTING)
+def test_derivatives_above_range(benchmark, derivative_engine, minimum, maximum, arcs):
+    case = cardinality_case(minimum, maximum, arcs)
+    result = benchmark(run_case, derivative_engine, case)
+    benchmark.extra_info["expression_size"] = expression_size(case.expression)
+    benchmark.extra_info["max_expression_size"] = result.stats.max_expression_size
+
+
+@pytest.mark.parametrize("minimum, maximum, arcs", REJECTING[:2])
+def test_backtracking_above_range(benchmark, backtracking_engine, minimum, maximum, arcs):
+    case = cardinality_case(minimum, maximum, arcs)
+    result = benchmark(run_case, backtracking_engine, case)
+    benchmark.extra_info["decompositions"] = result.stats.decompositions

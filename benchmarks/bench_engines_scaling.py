@@ -1,0 +1,76 @@
+"""B1 — the headline claim: derivatives vs. backtracking as neighbourhoods grow.
+
+Reproduces the paper's qualitative result (Sections 5–8): the derivative
+matcher scales with the number of triples in the neighbourhood, while the
+naïve backtracking matcher degrades exponentially because it enumerates graph
+decompositions.  Two workload families are measured:
+
+* ``star``: ``(b→{1..k})*`` — the friendly case, both engines are fast;
+* ``paper``: ``a→1 ‖ (b→{1..k})*`` on **rejecting** neighbourhoods (an extra
+  ``a`` arc, as in Example 12) — the backtracking matcher must exhaust every
+  decomposition before giving up, which is where the exponential blow-up
+  appears.
+
+Regenerate with::
+
+    pytest benchmarks/bench_engines_scaling.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import run_case
+from repro.workloads import paper_interleave_case, star_case
+
+#: neighbourhood sizes for the friendly star workload.
+STAR_SIZES = [4, 16, 64, 256]
+#: extra-arc counts for the adversarial (rejecting) workload; kept small
+#: because the backtracking engine is exponential here.
+REJECTING_SIZES = [2, 4, 6, 8]
+
+
+@pytest.mark.parametrize("arcs", STAR_SIZES)
+def test_derivatives_star_accepting(benchmark, derivative_engine, arcs):
+    case = star_case(arcs)
+    result = benchmark(run_case, derivative_engine, case)
+    benchmark.extra_info["triples"] = case.size
+    benchmark.extra_info["derivative_steps"] = result.stats.derivative_steps
+
+
+@pytest.mark.parametrize("arcs", STAR_SIZES)
+def test_backtracking_star_accepting(benchmark, backtracking_engine, arcs):
+    case = star_case(arcs)
+    result = benchmark(run_case, backtracking_engine, case)
+    benchmark.extra_info["triples"] = case.size
+    benchmark.extra_info["decompositions"] = result.stats.decompositions
+
+
+@pytest.mark.parametrize("extra_arcs", REJECTING_SIZES)
+def test_derivatives_paper_shape_rejecting(benchmark, derivative_engine, extra_arcs):
+    case = paper_interleave_case(extra_arcs, matching=False)
+    result = benchmark(run_case, derivative_engine, case)
+    benchmark.extra_info["triples"] = case.size
+    benchmark.extra_info["derivative_steps"] = result.stats.derivative_steps
+
+
+@pytest.mark.parametrize("extra_arcs", REJECTING_SIZES)
+def test_backtracking_paper_shape_rejecting(benchmark, backtracking_engine, extra_arcs):
+    case = paper_interleave_case(extra_arcs, matching=False)
+    result = benchmark(run_case, backtracking_engine, case)
+    benchmark.extra_info["triples"] = case.size
+    benchmark.extra_info["decompositions"] = result.stats.decompositions
+
+
+@pytest.mark.parametrize("extra_arcs", REJECTING_SIZES)
+def test_derivatives_paper_shape_accepting(benchmark, derivative_engine, extra_arcs):
+    case = paper_interleave_case(extra_arcs, matching=True)
+    result = benchmark(run_case, derivative_engine, case)
+    benchmark.extra_info["triples"] = case.size
+    benchmark.extra_info["derivative_steps"] = result.stats.derivative_steps
+
+
+@pytest.mark.parametrize("extra_arcs", REJECTING_SIZES)
+def test_backtracking_paper_shape_accepting(benchmark, backtracking_engine, extra_arcs):
+    case = paper_interleave_case(extra_arcs, matching=True)
+    result = benchmark(run_case, backtracking_engine, case)
+    benchmark.extra_info["triples"] = case.size
+    benchmark.extra_info["decompositions"] = result.stats.decompositions

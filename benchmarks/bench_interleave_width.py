@@ -1,0 +1,60 @@
+"""B3 — interleave width sweep: every ``‖`` multiplies the backtracking search.
+
+The expression ``p1→v ‖ p2→v ‖ … ‖ pk→v`` forces the backtracking matcher to
+split the neighbourhood at every operator, while the derivative matcher keeps
+consuming one triple at a time.  The rejecting variant (an extra undeclared
+arc) is the worst case because the search cannot stop early.
+
+Regenerate with::
+
+    pytest benchmarks/bench_interleave_width.py --benchmark-only
+"""
+
+import pytest
+
+from conftest import run_case
+from repro.workloads import interleave_width_case
+
+WIDTHS = [2, 4, 6, 8]
+#: the rejecting backtracking sweep is capped: it is the exponential case.
+REJECTING_WIDTHS = [2, 4, 6]
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_derivatives_accepting(benchmark, derivative_engine, width):
+    case = interleave_width_case(width)
+    result = benchmark(run_case, derivative_engine, case)
+    benchmark.extra_info["width"] = width
+    benchmark.extra_info["derivative_steps"] = result.stats.derivative_steps
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_backtracking_accepting(benchmark, backtracking_engine, width):
+    case = interleave_width_case(width)
+    result = benchmark(run_case, backtracking_engine, case)
+    benchmark.extra_info["width"] = width
+    benchmark.extra_info["decompositions"] = result.stats.decompositions
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_derivatives_rejecting(benchmark, derivative_engine, width):
+    case = interleave_width_case(width, matching=False)
+    result = benchmark(run_case, derivative_engine, case)
+    benchmark.extra_info["width"] = width
+    benchmark.extra_info["derivative_steps"] = result.stats.derivative_steps
+
+
+@pytest.mark.parametrize("width", REJECTING_WIDTHS)
+def test_backtracking_rejecting(benchmark, backtracking_engine, width):
+    case = interleave_width_case(width, matching=False)
+    result = benchmark(run_case, backtracking_engine, case)
+    benchmark.extra_info["width"] = width
+    benchmark.extra_info["decompositions"] = result.stats.decompositions
+
+
+@pytest.mark.parametrize("width", [2, 3, 4])
+def test_derivatives_two_arcs_per_branch(benchmark, derivative_engine, width):
+    case = interleave_width_case(width, arcs_per_branch=2)
+    result = benchmark(run_case, derivative_engine, case)
+    benchmark.extra_info["width"] = width
+    benchmark.extra_info["max_expression_size"] = result.stats.max_expression_size

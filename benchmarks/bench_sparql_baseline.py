@@ -1,0 +1,95 @@
+"""B6 — the SPARQL baseline of Section 3 vs. the derivative engine.
+
+The paper argues that compiling shapes to SPARQL is possible for the
+non-recursive fragment but impractical; this benchmark quantifies the
+comparison on graphs of growing size using a non-recursive Person shape
+(the ``foaf:knows`` reference replaced by the node-kind approximation, so
+that all three engines decide exactly the same property):
+
+* per-node validation through the derivative engine,
+* per-node validation through generated ASK queries,
+* whole-graph validation through one generated SELECT query.
+
+Regenerate with::
+
+    pytest benchmarks/bench_sparql_baseline.py --benchmark-only
+"""
+
+import pytest
+
+from repro.rdf import FOAF, XSD
+from repro.shex import (
+    NodeKind,
+    NodeKindConstraint,
+    Schema,
+    Validator,
+    arc,
+    datatype,
+    interleave_all,
+    plus,
+    star,
+)
+from repro.shex.sparql_gen import SparqlEngine
+from repro.workloads import generate_person_workload
+
+GRAPH_SIZES = [20, 60, 180]
+
+
+def non_recursive_person_schema() -> Schema:
+    """The Person shape with ``@<Person>`` approximated by NONLITERAL."""
+    return Schema.single("Person", interleave_all(
+        arc(FOAF.age, datatype(XSD.integer)),
+        plus(arc(FOAF.name, datatype(XSD.string))),
+        star(arc(FOAF.knows, NodeKindConstraint(NodeKind.NONLITERAL))),
+    ))
+
+
+def conforming_via_validator(workload, schema, engine) -> list:
+    validator = Validator(workload.graph, schema, engine=engine)
+    nodes = validator.conforming_nodes("Person")
+    assert set(nodes) == set(workload.valid_nodes)
+    return nodes
+
+
+def conforming_via_select(workload, schema) -> list:
+    engine = SparqlEngine()
+    nodes = engine.conforming_nodes(workload.graph, schema.expression("Person"))
+    assert set(nodes) == set(workload.valid_nodes)
+    return nodes
+
+
+@pytest.mark.parametrize("people", GRAPH_SIZES)
+def test_derivative_engine(benchmark, people):
+    workload = generate_person_workload(num_people=people, invalid_fraction=0.3,
+                                        knows_probability=0.1, seed=2)
+    schema = non_recursive_person_schema()
+    benchmark(conforming_via_validator, workload, schema, "derivatives")
+    benchmark.extra_info["people"] = people
+    benchmark.extra_info["triples"] = len(workload.graph)
+
+
+@pytest.mark.parametrize("people", GRAPH_SIZES)
+def test_sparql_ask_per_node(benchmark, people):
+    workload = generate_person_workload(num_people=people, invalid_fraction=0.3,
+                                        knows_probability=0.1, seed=2)
+    schema = non_recursive_person_schema()
+    benchmark(conforming_via_validator, workload, schema, SparqlEngine())
+    benchmark.extra_info["people"] = people
+
+
+@pytest.mark.parametrize("people", GRAPH_SIZES[:2])
+def test_sparql_select_whole_graph(benchmark, people):
+    workload = generate_person_workload(num_people=people, invalid_fraction=0.3,
+                                        knows_probability=0.1, seed=2)
+    schema = non_recursive_person_schema()
+    benchmark(conforming_via_select, workload, schema)
+    benchmark.extra_info["people"] = people
+
+
+@pytest.mark.parametrize("people", GRAPH_SIZES[:2])
+def test_backtracking_engine(benchmark, people):
+    workload = generate_person_workload(num_people=people, invalid_fraction=0.3,
+                                        knows_probability=0.1, seed=2)
+    schema = non_recursive_person_schema()
+    benchmark(conforming_via_validator, workload, schema, "backtracking")
+    benchmark.extra_info["people"] = people

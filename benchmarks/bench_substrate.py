@@ -1,0 +1,98 @@
+"""B7 — substrate costs: parsing, indexing, neighbourhood extraction, SPARQL.
+
+The matching engines sit on top of the RDF substrate; this benchmark keeps an
+eye on the substrate so that engine comparisons are not confounded by parser
+or index regressions.  It measures Turtle and N-Triples parsing and
+serialisation, graph indexing, neighbourhood extraction and a representative
+SPARQL aggregation query on generated portal data.
+
+Regenerate with::
+
+    pytest benchmarks/bench_substrate.py --benchmark-only
+"""
+
+import pytest
+
+from repro.rdf import Graph
+from repro.sparql import select
+from repro.workloads import generate_person_workload, generate_portal_workload
+
+DATASET_SIZES = [50, 200]
+
+
+@pytest.fixture(scope="module")
+def portal_turtle() -> dict:
+    """Pre-serialised portal graphs keyed by dataset count."""
+    rendered = {}
+    for size in DATASET_SIZES:
+        workload = generate_portal_workload(num_datasets=size, seed=13)
+        rendered[size] = (workload.graph.serialize("turtle"), workload.graph)
+    return rendered
+
+
+@pytest.mark.parametrize("size", DATASET_SIZES)
+def test_turtle_parse(benchmark, portal_turtle, size):
+    text, graph = portal_turtle[size]
+    parsed = benchmark(Graph.parse, text, "turtle")
+    assert parsed == graph
+    benchmark.extra_info["triples"] = len(graph)
+
+
+@pytest.mark.parametrize("size", DATASET_SIZES)
+def test_turtle_serialize(benchmark, portal_turtle, size):
+    _, graph = portal_turtle[size]
+    text = benchmark(graph.serialize, "turtle")
+    assert text
+    benchmark.extra_info["triples"] = len(graph)
+
+
+@pytest.mark.parametrize("size", DATASET_SIZES)
+def test_ntriples_round_trip(benchmark, portal_turtle, size):
+    _, graph = portal_turtle[size]
+
+    def round_trip():
+        return Graph.parse(graph.serialize("ntriples"), format="ntriples")
+
+    parsed = benchmark(round_trip)
+    assert parsed == graph
+
+
+@pytest.mark.parametrize("size", DATASET_SIZES)
+def test_graph_indexing(benchmark, portal_turtle, size):
+    _, graph = portal_turtle[size]
+    triples = list(graph)
+
+    def rebuild():
+        return Graph(triples)
+
+    rebuilt = benchmark(rebuild)
+    assert len(rebuilt) == len(graph)
+
+
+@pytest.mark.parametrize("people", [100, 400])
+def test_neighbourhood_extraction(benchmark, people):
+    workload = generate_person_workload(num_people=people, invalid_fraction=0.2,
+                                        knows_probability=0.05, seed=3)
+    graph = workload.graph
+    nodes = list(graph.nodes())
+
+    def extract_all():
+        return sum(len(graph.neighbourhood(node)) for node in nodes)
+
+    total = benchmark(extract_all)
+    assert total == len(graph)
+    benchmark.extra_info["nodes"] = len(nodes)
+
+
+@pytest.mark.parametrize("size", DATASET_SIZES)
+def test_sparql_aggregation_query(benchmark, portal_turtle, size):
+    _, graph = portal_turtle[size]
+    query = """
+        PREFIX dcat: <http://www.w3.org/ns/dcat#>
+        SELECT ?dataset (COUNT(*) AS ?distributions)
+        { ?dataset dcat:distribution ?d }
+        GROUP BY ?dataset HAVING (COUNT(*) >= 1)
+    """
+    solutions = benchmark(select, graph, query)
+    assert solutions
+    benchmark.extra_info["datasets_with_distributions"] = len(solutions)

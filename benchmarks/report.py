@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Summarise a pytest-benchmark JSON file into the EXPERIMENTS.md tables.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench_results.json
+    python benchmarks/report.py bench_results.json
+
+The script groups benchmark entries by module (one module per experiment id
+in DESIGN.md) and prints, for every entry, the median time and the work
+counters recorded in ``extra_info`` (derivative steps, decompositions
+explored, peak expression size, …).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def format_time(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:8.1f} µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:8.2f} ms"
+    return f"{seconds:8.2f} s "
+
+
+def main(argv: list[str]) -> int:
+    path = argv[1] if len(argv) > 1 else "bench_results.json"
+    if not Path(path).exists():
+        print(f"error: {path} not found — run the benchmark suite first", file=sys.stderr)
+        return 2
+    data = load(path)
+    by_module = defaultdict(list)
+    for entry in data.get("benchmarks", []):
+        module = entry["fullname"].split("::")[0].split("/")[-1]
+        by_module[module].append(entry)
+
+    for module in sorted(by_module):
+        print(f"\n== {module}")
+        entries = sorted(by_module[module], key=lambda item: item["name"])
+        for entry in entries:
+            median = entry["stats"]["median"]
+            extra = entry.get("extra_info", {})
+            extra_text = ", ".join(f"{key}={value}" for key, value in sorted(extra.items()))
+            print(f"  {entry['name']:<60} {format_time(median)}   {extra_text}")
+    machine = data.get("machine_info", {})
+    print(f"\n(python {machine.get('python_version', '?')} on "
+          f"{machine.get('system', '?')} {machine.get('machine', '?')}; "
+          f"{len(data.get('benchmarks', []))} benchmark entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

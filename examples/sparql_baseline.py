@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Why not SPARQL? — reproducing Section 3 of the paper.
+
+The script compiles the Person shape into the counting SPARQL ASK query the
+paper shows in Example 4, runs it with the bundled SPARQL engine, compares
+the verdicts with the derivative engine, and demonstrates the limitation the
+paper points out: the recursive part of the shape (``foaf:knows @<Person>*``)
+can only be approximated in SPARQL.
+
+Run with::
+
+    python examples/sparql_baseline.py
+"""
+
+from repro import Graph, Schema, Validator
+from repro.rdf import EX, FOAF, Literal, Triple
+from repro.shex.sparql_gen import (
+    SparqlCompilationError,
+    SparqlEngine,
+    shape_to_sparql_ask,
+    shape_to_sparql_select,
+)
+from repro.sparql import ask, select
+from repro.workloads import paper_example_graph, person_schema
+
+
+def show_generated_query(schema: Schema, graph: Graph) -> None:
+    expr = schema.expression("Person")
+    john = EX.john
+    query = shape_to_sparql_ask(expr, john, approximate_references=True)
+    print("Generated ASK query for :john (compare with Example 4 of the paper):")
+    print(query)
+    print(f"ASK result for :john : {ask(graph, query)}")
+    mary_query = shape_to_sparql_ask(expr, EX.mary, approximate_references=True)
+    print(f"ASK result for :mary : {ask(graph, mary_query)}")
+    print()
+
+
+def show_select_form(schema: Schema, graph: Graph) -> None:
+    expr = schema.expression("Person")
+    query = shape_to_sparql_select(expr, approximate_references=True)
+    solutions = select(graph, query)
+    nodes = sorted(solution["node"].n3() for solution in solutions)
+    print("SELECT form — all conforming nodes in one query:")
+    print(f"  {nodes}")
+    print()
+
+
+def compare_engines(schema: Schema, graph: Graph) -> None:
+    derivative_nodes = Validator(graph, schema).conforming_nodes("Person")
+    sparql_nodes = Validator(graph, schema, engine=SparqlEngine()).conforming_nodes("Person")
+    print("Engine agreement on the paper's example graph:")
+    print(f"  derivatives : {[n.n3() for n in derivative_nodes]}")
+    print(f"  sparql      : {[n.n3() for n in sparql_nodes]}")
+    print()
+
+
+def show_recursion_limit(schema: Schema) -> None:
+    expr = schema.expression("Person")
+    try:
+        shape_to_sparql_ask(expr, EX.john, approximate_references=False)
+    except SparqlCompilationError as error:
+        print("Recursion limitation (Section 3):")
+        print(f"  {error}")
+        print()
+
+
+def show_where_approximation_differs() -> None:
+    """A graph where the SPARQL approximation and the real semantics disagree.
+
+    ``:a`` knows ``:ghost``, an IRI with no Person arcs at all.  The real
+    (recursive) semantics rejects ``:a`` because ``:ghost`` is not a Person;
+    the SPARQL approximation only checks that the object is an IRI and
+    accepts it — exactly the gap the paper describes.
+    """
+    graph = Graph()
+    graph.add(Triple(EX.a, FOAF.age, Literal(40)))
+    graph.add(Triple(EX.a, FOAF.name, Literal("Ada")))
+    graph.add(Triple(EX.a, FOAF.knows, EX.ghost))
+    schema = person_schema()
+
+    derivative_entry = Validator(graph, schema).validate_node(EX.a, "Person")
+    sparql_entry = Validator(graph, schema, engine=SparqlEngine()).validate_node(EX.a, "Person")
+    print("Where the SPARQL approximation differs (node :a knows a non-Person):")
+    print(f"  derivative engine (real semantics): conforms = {derivative_entry.conforms}")
+    print(f"  SPARQL approximation              : conforms = {sparql_entry.conforms}")
+
+
+def main() -> None:
+    graph = paper_example_graph()
+    schema = person_schema()
+    show_generated_query(schema, graph)
+    show_select_form(schema, graph)
+    compare_engines(schema, graph)
+    show_recursion_limit(schema)
+    show_where_approximation_differs()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,220 @@
+"""Command line interface: validate RDF data against ShEx schemas.
+
+The CLI makes the library usable without writing Python::
+
+    python -m repro validate --data people.ttl --schema person.shex \
+        --shape-map '<http://example.org/john>@<Person>' --format text
+
+    python -m repro validate --data people.ttl --schema person.shex --all-nodes
+
+    python -m repro check-schema person.shex
+    python -m repro check-data people.ttl
+    python -m repro sparql --data people.ttl --query query.rq
+    python -m repro generate-workload --kind person --size 50 --output people.ttl
+
+Exit status: 0 when everything conforms (or the syntax check passes),
+1 when at least one node fails validation, 2 on usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .rdf import Graph, ParseError
+from .shex import Schema, SchemaError, Validator
+from .shex.reporting import format_csv, format_text, report_to_json, summarize
+from .shex.shape_map import parse_shape_map
+from .shex.validator import ValidationReport
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RDF validation with Shape Expressions and regular expression derivatives",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    validate = subparsers.add_parser(
+        "validate", help="validate RDF data against a ShEx schema")
+    validate.add_argument("--data", required=True, help="path to a Turtle or N-Triples file")
+    validate.add_argument("--data-format", choices=["turtle", "ntriples"], default="turtle")
+    validate.add_argument("--schema", required=True, help="path to a ShExC schema file")
+    validate.add_argument("--shape-map", help="shape map text (e.g. '<node>@<Shape>')")
+    validate.add_argument("--shape-map-file", help="path to a shape map file")
+    validate.add_argument("--all-nodes", action="store_true",
+                          help="validate every subject node against every shape")
+    validate.add_argument("--shape", help="validate all nodes against this single shape label")
+    validate.add_argument("--engine", choices=["derivatives", "backtracking", "sparql"],
+                          default="derivatives")
+    validate.add_argument("--format", choices=["text", "json", "csv", "summary"],
+                          default="text", dest="output_format")
+    validate.add_argument("--include-stats", action="store_true",
+                          help="include work counters in JSON output")
+
+    check_schema = subparsers.add_parser("check-schema", help="parse a ShExC schema and report errors")
+    check_schema.add_argument("schema", help="path to a ShExC schema file")
+
+    check_data = subparsers.add_parser("check-data", help="parse an RDF file and report errors")
+    check_data.add_argument("data", help="path to a Turtle or N-Triples file")
+    check_data.add_argument("--data-format", choices=["turtle", "ntriples"], default="turtle")
+
+    sparql = subparsers.add_parser("sparql", help="run a SPARQL query over an RDF file")
+    sparql.add_argument("--data", required=True)
+    sparql.add_argument("--data-format", choices=["turtle", "ntriples"], default="turtle")
+    sparql.add_argument("--query", required=True, help="path to a .rq file or an inline query")
+
+    generate = subparsers.add_parser("generate-workload",
+                                     help="generate a synthetic workload graph")
+    generate.add_argument("--kind", choices=["person", "portal"], default="person")
+    generate.add_argument("--size", type=int, default=50)
+    generate.add_argument("--invalid-fraction", type=float, default=0.2)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", help="write Turtle here (default: stdout)")
+    return parser
+
+
+def _read_file(path: str) -> str:
+    try:
+        return Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise SystemExit(f"error: cannot read {path}: {error}")
+
+
+def _load_graph(path: str, data_format: str) -> Graph:
+    return Graph.parse(_read_file(path), format=data_format)
+
+
+def _load_schema(path: str) -> Schema:
+    return Schema.from_shexc(_read_file(path))
+
+
+def _build_engine(name: str):
+    if name == "sparql":
+        from .shex.sparql_gen import SparqlEngine
+
+        return SparqlEngine()
+    return name
+
+
+def _render_report(report: ValidationReport, output_format: str,
+                   include_stats: bool) -> str:
+    if output_format == "json":
+        return report_to_json(report, include_stats=include_stats)
+    if output_format == "csv":
+        return format_csv(report)
+    if output_format == "summary":
+        return summarize(report) + "\n"
+    return format_text(report)
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.data, args.data_format)
+    schema = _load_schema(args.schema)
+    validator = Validator(graph, schema, engine=_build_engine(args.engine))
+
+    if args.shape_map or args.shape_map_file:
+        text = args.shape_map or _read_file(args.shape_map_file)
+        shape_map = parse_shape_map(text, graph.namespaces)
+        report = validator.validate_map(shape_map.resolve(graph))
+    elif args.shape:
+        report = validator.validate_graph(labels=[args.shape])
+    elif args.all_nodes:
+        report = validator.validate_graph()
+    else:
+        raise SystemExit(
+            "error: choose --shape-map/--shape-map-file, --shape or --all-nodes")
+
+    sys.stdout.write(_render_report(report, args.output_format, args.include_stats))
+    return 0 if report.conforms else 1
+
+
+def _command_check_schema(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    labels = ", ".join(str(label) for label in schema.labels())
+    recursive = "recursive" if schema.is_recursive() else "non-recursive"
+    print(f"OK: {len(schema)} shape(s) [{labels}] ({recursive})")
+    return 0
+
+
+def _command_check_data(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.data, args.data_format)
+    print(f"OK: {len(graph)} triples, {len(list(graph.nodes()))} subject nodes")
+    return 0
+
+
+def _command_sparql(args: argparse.Namespace) -> int:
+    from .sparql import evaluate_query
+
+    graph = _load_graph(args.data, args.data_format)
+    query_text = _read_file(args.query) if Path(args.query).exists() else args.query
+    result = evaluate_query(graph, query_text)
+    if result.kind == "ask":
+        print("true" if result.boolean else "false")
+        return 0 if result.boolean else 1
+    for solution in result.solutions:
+        rendered = ", ".join(
+            f"?{name}={term.n3()}" for name, term in sorted(solution.items())
+        )
+        print(rendered if rendered else "(empty row)")
+    print(f"{len(result.solutions)} solution(s)")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    from .workloads import generate_person_workload, generate_portal_workload
+
+    if args.kind == "person":
+        workload = generate_person_workload(
+            num_people=args.size, invalid_fraction=args.invalid_fraction, seed=args.seed)
+        graph = workload.graph
+        summary = (f"# person workload: {len(workload.valid_nodes)} valid, "
+                   f"{len(workload.invalid_nodes)} invalid nodes\n")
+    else:
+        workload = generate_portal_workload(
+            num_datasets=args.size, invalid_fraction=args.invalid_fraction, seed=args.seed)
+        graph = workload.graph
+        summary = (f"# portal workload: {len(workload.valid_datasets)} valid, "
+                   f"{len(workload.invalid_datasets)} invalid datasets\n")
+    text = summary + graph.serialize("turtle")
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {len(graph)} triples to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+_COMMANDS = {
+    "validate": _command_validate,
+    "check-schema": _command_check_schema,
+    "check-data": _command_check_data,
+    "sparql": _command_sparql,
+    "generate-workload": _command_generate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    try:
+        return handler(args)
+    except (ParseError, SchemaError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except SystemExit as error:
+        if isinstance(error.code, str):
+            print(error.code, file=sys.stderr)
+            return 2
+        raise
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

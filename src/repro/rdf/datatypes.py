@@ -1,0 +1,301 @@
+"""XSD datatype support: lexical validation and Python value mapping.
+
+Shape expressions constrain literal objects by datatype (``foaf:age
+xsd:integer`` in Example 1 of the paper).  Matching an arc therefore needs to
+answer two questions about a literal:
+
+1. does its declared datatype equal (or derive from) the requested datatype?
+2. is its lexical form valid for that datatype?
+
+This module implements both, plus conversion of literals to native Python
+values, for the XSD datatypes that appear in RDF validation practice
+(numeric types, booleans, strings, dates and times).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from datetime import date, datetime, time, timedelta, timezone
+from decimal import Decimal, InvalidOperation
+from typing import Callable, Dict, Optional
+
+from .errors import DatatypeError
+from .namespaces import RDF, XSD
+from .terms import IRI, Literal
+
+__all__ = [
+    "DatatypeInfo",
+    "registered_datatypes",
+    "is_valid_lexical",
+    "to_python_value",
+    "canonical_lexical",
+    "datatype_matches",
+    "derived_numeric_types",
+]
+
+
+@dataclass(frozen=True)
+class DatatypeInfo:
+    """Validation and conversion rules for one XSD datatype."""
+
+    iri: IRI
+    #: regular expression accepting the lexical space (anchored).
+    pattern: re.Pattern
+    #: converter from lexical form to a Python value.
+    converter: Callable[[str], object]
+    #: True for types counted as numeric by comparison facets.
+    numeric: bool = False
+
+
+def _parse_boolean(lexical: str) -> bool:
+    if lexical in ("true", "1"):
+        return True
+    if lexical in ("false", "0"):
+        return False
+    raise DatatypeError(f"invalid boolean lexical form: {lexical!r}")
+
+
+def _parse_decimal(lexical: str) -> Decimal:
+    try:
+        return Decimal(lexical)
+    except InvalidOperation as exc:
+        raise DatatypeError(f"invalid decimal lexical form: {lexical!r}") from exc
+
+
+def _parse_double(lexical: str) -> float:
+    lowered = lexical.strip()
+    if lowered == "INF":
+        return float("inf")
+    if lowered == "-INF":
+        return float("-inf")
+    if lowered == "NaN":
+        return float("nan")
+    try:
+        return float(lowered)
+    except ValueError as exc:
+        raise DatatypeError(f"invalid double lexical form: {lexical!r}") from exc
+
+
+_DATE_RE = re.compile(r"^(-?\d{4,})-(\d{2})-(\d{2})(Z|[+-]\d{2}:\d{2})?$")
+_TIME_RE = re.compile(r"^(\d{2}):(\d{2}):(\d{2})(\.\d+)?(Z|[+-]\d{2}:\d{2})?$")
+_DATETIME_RE = re.compile(
+    r"^(-?\d{4,})-(\d{2})-(\d{2})T(\d{2}):(\d{2}):(\d{2})(\.\d+)?(Z|[+-]\d{2}:\d{2})?$"
+)
+_DURATION_RE = re.compile(
+    r"^-?P(?=.)(\d+Y)?(\d+M)?(\d+D)?(T(?=.)(\d+H)?(\d+M)?(\d+(\.\d+)?S)?)?$"
+)
+
+
+def _tz_from_suffix(suffix: Optional[str]) -> Optional[timezone]:
+    if not suffix:
+        return None
+    if suffix == "Z":
+        return timezone.utc
+    sign = 1 if suffix[0] == "+" else -1
+    hours, minutes = suffix[1:].split(":")
+    return timezone(sign * timedelta(hours=int(hours), minutes=int(minutes)))
+
+
+def _parse_date(lexical: str) -> date:
+    match = _DATE_RE.match(lexical)
+    if not match:
+        raise DatatypeError(f"invalid date lexical form: {lexical!r}")
+    year, month, day = int(match.group(1)), int(match.group(2)), int(match.group(3))
+    try:
+        return date(year, month, day)
+    except ValueError as exc:
+        raise DatatypeError(f"invalid date: {lexical!r}") from exc
+
+
+def _parse_time(lexical: str) -> time:
+    match = _TIME_RE.match(lexical)
+    if not match:
+        raise DatatypeError(f"invalid time lexical form: {lexical!r}")
+    hour, minute, second = int(match.group(1)), int(match.group(2)), int(match.group(3))
+    micro = int(float(match.group(4) or "0") * 1_000_000)
+    try:
+        return time(hour, minute, second, micro, tzinfo=_tz_from_suffix(match.group(5)))
+    except ValueError as exc:
+        raise DatatypeError(f"invalid time: {lexical!r}") from exc
+
+
+def _parse_datetime(lexical: str) -> datetime:
+    match = _DATETIME_RE.match(lexical)
+    if not match:
+        raise DatatypeError(f"invalid dateTime lexical form: {lexical!r}")
+    year, month, day = int(match.group(1)), int(match.group(2)), int(match.group(3))
+    hour, minute, second = int(match.group(4)), int(match.group(5)), int(match.group(6))
+    micro = int(float(match.group(7) or "0") * 1_000_000)
+    try:
+        return datetime(
+            year, month, day, hour, minute, second, micro,
+            tzinfo=_tz_from_suffix(match.group(8)),
+        )
+    except ValueError as exc:
+        raise DatatypeError(f"invalid dateTime: {lexical!r}") from exc
+
+
+_INTEGER_PATTERN = re.compile(r"^[+-]?\d+$")
+_NON_NEGATIVE_PATTERN = re.compile(r"^\+?\d+$")
+_POSITIVE_PATTERN = re.compile(r"^\+?0*[1-9]\d*$")
+_DECIMAL_PATTERN = re.compile(r"^[+-]?(\d+(\.\d*)?|\.\d+)$")
+_DOUBLE_PATTERN = re.compile(
+    r"^([+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?|[+-]?INF|NaN)$"
+)
+_BOOLEAN_PATTERN = re.compile(r"^(true|false|0|1)$")
+_ANY_PATTERN = re.compile(r"^[\s\S]*$")
+_LANG_PATTERN = re.compile(r"^[a-zA-Z]{1,8}(-[a-zA-Z0-9]{1,8})*$")
+
+
+def _bounded_int(low: Optional[int], high: Optional[int]) -> Callable[[str], int]:
+    def convert(lexical: str) -> int:
+        value = int(lexical)
+        if low is not None and value < low:
+            raise DatatypeError(f"integer {value} below range minimum {low}")
+        if high is not None and value > high:
+            raise DatatypeError(f"integer {value} above range maximum {high}")
+        return value
+
+    return convert
+
+
+_REGISTRY: Dict[str, DatatypeInfo] = {}
+
+
+def _register(
+    iri: IRI,
+    pattern: re.Pattern,
+    converter: Callable[[str], object],
+    numeric: bool = False,
+) -> None:
+    _REGISTRY[iri.value] = DatatypeInfo(iri, pattern, converter, numeric)
+
+
+_register(XSD.string, _ANY_PATTERN, str)
+_register(XSD.boolean, _BOOLEAN_PATTERN, _parse_boolean)
+_register(XSD.integer, _INTEGER_PATTERN, int, numeric=True)
+_register(XSD.int, _INTEGER_PATTERN, _bounded_int(-(2**31), 2**31 - 1), numeric=True)
+_register(XSD.long, _INTEGER_PATTERN, _bounded_int(-(2**63), 2**63 - 1), numeric=True)
+_register(XSD.short, _INTEGER_PATTERN, _bounded_int(-(2**15), 2**15 - 1), numeric=True)
+_register(XSD.byte, _INTEGER_PATTERN, _bounded_int(-(2**7), 2**7 - 1), numeric=True)
+_register(XSD.nonNegativeInteger, _NON_NEGATIVE_PATTERN, _bounded_int(0, None), numeric=True)
+_register(XSD.positiveInteger, _POSITIVE_PATTERN, _bounded_int(1, None), numeric=True)
+_register(XSD.negativeInteger, _INTEGER_PATTERN, _bounded_int(None, -1), numeric=True)
+_register(XSD.nonPositiveInteger, _INTEGER_PATTERN, _bounded_int(None, 0), numeric=True)
+_register(XSD.unsignedInt, _NON_NEGATIVE_PATTERN, _bounded_int(0, 2**32 - 1), numeric=True)
+_register(XSD.unsignedLong, _NON_NEGATIVE_PATTERN, _bounded_int(0, 2**64 - 1), numeric=True)
+_register(XSD.decimal, _DECIMAL_PATTERN, _parse_decimal, numeric=True)
+_register(XSD.double, _DOUBLE_PATTERN, _parse_double, numeric=True)
+_register(XSD.float, _DOUBLE_PATTERN, _parse_double, numeric=True)
+_register(XSD.date, _DATE_RE, _parse_date)
+_register(XSD.time, _TIME_RE, _parse_time)
+_register(XSD.dateTime, _DATETIME_RE, _parse_datetime)
+_register(XSD.duration, _DURATION_RE, str)
+_register(XSD.anyURI, _ANY_PATTERN, str)
+_register(XSD.language, _LANG_PATTERN, str)
+_register(RDF.langString, _ANY_PATTERN, str)
+
+
+#: integer-like datatypes that satisfy an ``xsd:integer`` (or broader numeric)
+#: constraint when a shape asks for the base type.
+_INTEGER_DERIVED = frozenset(
+    iri.value
+    for iri in (
+        XSD.integer, XSD.int, XSD.long, XSD.short, XSD.byte,
+        XSD.nonNegativeInteger, XSD.positiveInteger, XSD.negativeInteger,
+        XSD.nonPositiveInteger, XSD.unsignedInt, XSD.unsignedLong,
+    )
+)
+
+_DECIMAL_DERIVED = _INTEGER_DERIVED | {XSD.decimal.value}
+
+
+def registered_datatypes() -> Dict[str, DatatypeInfo]:
+    """Return a copy of the datatype registry keyed by datatype IRI string."""
+    return dict(_REGISTRY)
+
+
+def is_valid_lexical(lexical: str, datatype: IRI) -> bool:
+    """True if ``lexical`` belongs to the lexical space of ``datatype``.
+
+    Unknown datatypes are treated permissively (every lexical form is valid),
+    mirroring RDF 1.1 where unrecognised datatype IRIs do not make a literal
+    ill-typed at the syntax level.
+    """
+    info = _REGISTRY.get(datatype.value)
+    if info is None:
+        return True
+    if not info.pattern.match(lexical):
+        return False
+    try:
+        info.converter(lexical)
+    except (DatatypeError, ValueError, OverflowError):
+        return False
+    return True
+
+
+def to_python_value(literal: Literal) -> object:
+    """Convert ``literal`` to a native Python value.
+
+    Falls back to the lexical string if the datatype is unknown or the
+    lexical form is invalid.
+    """
+    info = _REGISTRY.get(literal.datatype.value)
+    if info is None:
+        return literal.lexical
+    try:
+        return info.converter(literal.lexical)
+    except (DatatypeError, ValueError, OverflowError):
+        return literal.lexical
+
+
+def canonical_lexical(literal: Literal) -> str:
+    """Return a canonical lexical form for value-based comparison.
+
+    Numeric literals are canonicalised through their Python value so that
+    ``"01"^^xsd:integer`` and ``"1"^^xsd:integer`` compare equal in value
+    sets; other datatypes keep their lexical form.
+    """
+    info = _REGISTRY.get(literal.datatype.value)
+    if info is None or not info.numeric:
+        return literal.lexical
+    try:
+        value = info.converter(literal.lexical)
+    except (DatatypeError, ValueError, OverflowError):
+        return literal.lexical
+    if isinstance(value, Decimal):
+        value = value.normalize()
+    return str(value)
+
+
+def datatype_matches(literal: Literal, requested: IRI) -> bool:
+    """Decide whether ``literal`` satisfies a datatype constraint.
+
+    The check combines two conditions:
+
+    * the literal's declared datatype is ``requested`` or a type derived from
+      it (e.g. ``xsd:int`` satisfies ``xsd:integer``), and
+    * the lexical form is valid for the declared datatype.
+
+    This is the semantics used by the ``Arc`` constraint when a shape writes
+    ``foaf:age xsd:integer``.
+    """
+    declared = literal.datatype.value
+    target = requested.value
+    if not is_valid_lexical(literal.lexical, literal.datatype):
+        return False
+    if declared == target:
+        return True
+    if target == XSD.integer.value and declared in _INTEGER_DERIVED:
+        return True
+    if target == XSD.decimal.value and declared in _DECIMAL_DERIVED:
+        return True
+    if target == XSD.string.value and declared == RDF.langString.value:
+        return False
+    return False
+
+
+def derived_numeric_types() -> frozenset:
+    """Return the set of datatype IRI strings treated as integer-derived."""
+    return _INTEGER_DERIVED

@@ -1,0 +1,388 @@
+"""In-memory RDF graph with triple indexes and the graph algebra of the paper.
+
+Section 2 of the paper defines the operations the matchers rely on:
+
+* ``t ∘ ts`` — adding a triple to a graph,
+* ``g1 ⊕ g2`` — union of two graphs (preserving blank-node identity),
+* ``Σgₙ`` — the *shape of a node*: all triples whose subject is ``n``,
+* the *decomposition* of a graph — every pair ``(g1, g2)`` with
+  ``g1 ⊕ g2 = g`` (Example 3), which the backtracking matcher enumerates and
+  which is the source of its exponential behaviour.
+
+The :class:`Graph` class maintains three hash indexes (SPO, POS, OSP) so that
+triple-pattern lookups used by the SPARQL engine and by neighbourhood
+extraction stay close to O(result size).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .errors import GraphError
+from .namespaces import NamespaceManager
+from .terms import BNode, IRI, Literal, ObjectTerm, SubjectTerm, Triple
+
+__all__ = [
+    "Graph",
+    "NeighbourhoodView",
+    "decompositions",
+    "decomposition_count",
+]
+
+
+class Graph:
+    """A set of RDF triples with pattern-matching indexes.
+
+    The class behaves like a set of :class:`~repro.rdf.terms.Triple` (supports
+    ``in``, ``len``, iteration) and adds RDF-specific operations: triple
+    pattern queries, namespace management, node neighbourhoods and union.
+    """
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None,
+                 namespaces: Optional[NamespaceManager] = None):
+        self._triples: Set[Triple] = set()
+        self._spo: Dict[SubjectTerm, Dict[IRI, Set[ObjectTerm]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._pos: Dict[IRI, Dict[ObjectTerm, Set[SubjectTerm]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._osp: Dict[ObjectTerm, Dict[SubjectTerm, Set[IRI]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self.namespaces = namespaces if namespaces is not None else NamespaceManager(
+            bind_defaults=True
+        )
+        if triples is not None:
+            for triple in triples:
+                self.add(triple)
+
+    # ------------------------------------------------------------------ set API
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, triple: object) -> bool:
+        return triple in self._triples
+
+    def __bool__(self) -> bool:
+        return bool(self._triples)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Graph):
+            return self._triples == other._triples
+        if isinstance(other, (set, frozenset)):
+            return self._triples == other
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover - mutable container
+        raise TypeError("Graph is mutable and unhashable; use frozenset(graph)")
+
+    def __repr__(self) -> str:
+        return f"Graph(<{len(self._triples)} triples>)"
+
+    # ------------------------------------------------------------- modification
+    def add(self, triple: Triple) -> "Graph":
+        """Add a triple (the ``t ∘ ts`` operation).  Returns ``self``."""
+        if not isinstance(triple, Triple):
+            raise GraphError(f"can only add Triple instances, got {type(triple).__name__}")
+        if triple in self._triples:
+            return self
+        self._triples.add(triple)
+        s, p, o = triple.subject, triple.predicate, triple.object
+        self._spo[s][p].add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        return self
+
+    def add_triple(self, subject: SubjectTerm, predicate: IRI, obj: ObjectTerm) -> "Graph":
+        """Convenience wrapper building the :class:`Triple` for the caller."""
+        return self.add(Triple(subject, predicate, obj))
+
+    def update(self, triples: Iterable[Triple]) -> "Graph":
+        """Add every triple from ``triples``.  Returns ``self``."""
+        for triple in triples:
+            self.add(triple)
+        return self
+
+    def discard(self, triple: Triple) -> "Graph":
+        """Remove ``triple`` if present.  Returns ``self``."""
+        if triple not in self._triples:
+            return self
+        self._triples.discard(triple)
+        s, p, o = triple.subject, triple.predicate, triple.object
+        self._spo[s][p].discard(o)
+        if not self._spo[s][p]:
+            del self._spo[s][p]
+            if not self._spo[s]:
+                del self._spo[s]
+        self._pos[p][o].discard(s)
+        if not self._pos[p][o]:
+            del self._pos[p][o]
+            if not self._pos[p]:
+                del self._pos[p]
+        self._osp[o][s].discard(p)
+        if not self._osp[o][s]:
+            del self._osp[o][s]
+            if not self._osp[o]:
+                del self._osp[o]
+        return self
+
+    def remove(self, triple: Triple) -> "Graph":
+        """Remove ``triple``; raise :class:`GraphError` if absent."""
+        if triple not in self._triples:
+            raise GraphError(f"triple not in graph: {triple}")
+        return self.discard(triple)
+
+    def clear(self) -> None:
+        """Remove every triple."""
+        self._triples.clear()
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+
+    # ---------------------------------------------------------------- querying
+    def triples(
+        self,
+        subject: Optional[SubjectTerm] = None,
+        predicate: Optional[IRI] = None,
+        obj: Optional[ObjectTerm] = None,
+    ) -> Iterator[Triple]:
+        """Iterate over triples matching a pattern; ``None`` is a wildcard."""
+        if subject is not None and predicate is not None and obj is not None:
+            candidate = Triple(subject, predicate, obj)
+            if candidate in self._triples:
+                yield candidate
+            return
+        if subject is not None:
+            by_pred = self._spo.get(subject)
+            if not by_pred:
+                return
+            if predicate is not None:
+                for o in by_pred.get(predicate, ()):
+                    if obj is None or obj == o:
+                        yield Triple(subject, predicate, o)
+            else:
+                for p, objects in by_pred.items():
+                    for o in objects:
+                        if obj is None or obj == o:
+                            yield Triple(subject, p, o)
+            return
+        if predicate is not None:
+            by_obj = self._pos.get(predicate)
+            if not by_obj:
+                return
+            if obj is not None:
+                for s in by_obj.get(obj, ()):
+                    yield Triple(s, predicate, obj)
+            else:
+                for o, subjects in by_obj.items():
+                    for s in subjects:
+                        yield Triple(s, predicate, o)
+            return
+        if obj is not None:
+            by_subj = self._osp.get(obj)
+            if not by_subj:
+                return
+            for s, predicates in by_subj.items():
+                for p in predicates:
+                    yield Triple(s, p, obj)
+            return
+        yield from self._triples
+
+    def subjects(self, predicate: Optional[IRI] = None,
+                 obj: Optional[ObjectTerm] = None) -> Iterator[SubjectTerm]:
+        """Iterate over distinct subjects of triples matching the pattern."""
+        seen: Set[SubjectTerm] = set()
+        for triple in self.triples(None, predicate, obj):
+            if triple.subject not in seen:
+                seen.add(triple.subject)
+                yield triple.subject
+
+    def predicates(self, subject: Optional[SubjectTerm] = None,
+                   obj: Optional[ObjectTerm] = None) -> Iterator[IRI]:
+        """Iterate over distinct predicates of triples matching the pattern."""
+        seen: Set[IRI] = set()
+        for triple in self.triples(subject, None, obj):
+            if triple.predicate not in seen:
+                seen.add(triple.predicate)
+                yield triple.predicate
+
+    def objects(self, subject: Optional[SubjectTerm] = None,
+                predicate: Optional[IRI] = None) -> Iterator[ObjectTerm]:
+        """Iterate over distinct objects of triples matching the pattern."""
+        seen: Set[ObjectTerm] = set()
+        for triple in self.triples(subject, predicate, None):
+            if triple.object not in seen:
+                seen.add(triple.object)
+                yield triple.object
+
+    def value(self, subject: SubjectTerm, predicate: IRI) -> Optional[ObjectTerm]:
+        """Return one object for ``(subject, predicate)`` or ``None``."""
+        for obj in self.objects(subject, predicate):
+            return obj
+        return None
+
+    def nodes(self) -> Iterator[SubjectTerm]:
+        """Iterate over every distinct subject node in the graph."""
+        return iter(list(self._spo.keys()))
+
+    def all_nodes(self) -> Iterator[ObjectTerm]:
+        """Iterate over every distinct node (subjects and objects)."""
+        seen: Set[ObjectTerm] = set()
+        for triple in self._triples:
+            for term in (triple.subject, triple.object):
+                if term not in seen:
+                    seen.add(term)
+                    yield term
+
+    def degree(self, node: SubjectTerm) -> int:
+        """Return the out-degree of ``node`` (size of its neighbourhood)."""
+        by_pred = self._spo.get(node)
+        if not by_pred:
+            return 0
+        return sum(len(objects) for objects in by_pred.values())
+
+    # ------------------------------------------------------ paper-level algebra
+    def neighbourhood(self, node: SubjectTerm) -> FrozenSet[Triple]:
+        """Return ``Σgₙ``: the set of triples whose subject is ``node``."""
+        by_pred = self._spo.get(node)
+        if not by_pred:
+            return frozenset()
+        return frozenset(
+            Triple(node, p, o) for p, objects in by_pred.items() for o in objects
+        )
+
+    def neighbourhood_view(self, node: SubjectTerm) -> "NeighbourhoodView":
+        """Return a :class:`NeighbourhoodView` over ``Σgₙ``."""
+        return NeighbourhoodView(node, self.neighbourhood(node))
+
+    def union(self, other: "Graph") -> "Graph":
+        """Return a new graph ``self ⊕ other`` (blank-node identity preserved)."""
+        result = Graph(namespaces=self.namespaces.copy())
+        result.update(self._triples)
+        result.update(other)
+        for prefix, base in other.namespaces.prefixes():
+            if prefix not in result.namespaces:
+                result.namespaces.bind(prefix, base)
+        return result
+
+    def __or__(self, other: "Graph") -> "Graph":
+        return self.union(other)
+
+    def __add__(self, other: "Graph") -> "Graph":
+        return self.union(other)
+
+    def copy(self) -> "Graph":
+        """Return an independent copy of the graph."""
+        return Graph(self._triples, namespaces=self.namespaces.copy())
+
+    def to_set(self) -> FrozenSet[Triple]:
+        """Return the triples as an immutable frozenset."""
+        return frozenset(self._triples)
+
+    def sorted_triples(self) -> List[Triple]:
+        """Return triples in a deterministic (term-ordered) list."""
+        return sorted(self._triples, key=Triple.sort_key)
+
+    # ------------------------------------------------------------ serialisation
+    def serialize(self, format: str = "turtle") -> str:
+        """Serialise the graph (formats: ``turtle``, ``ntriples``)."""
+        if format in ("turtle", "ttl"):
+            from .turtle import serialize_turtle
+
+            return serialize_turtle(self)
+        if format in ("ntriples", "nt"):
+            from .ntriples import serialize_ntriples
+
+            return serialize_ntriples(self)
+        raise GraphError(f"unknown serialisation format: {format!r}")
+
+    @classmethod
+    def parse(cls, data: str, format: str = "turtle",
+              base: Optional[str] = None) -> "Graph":
+        """Parse ``data`` into a new graph (formats: ``turtle``, ``ntriples``)."""
+        if format in ("turtle", "ttl"):
+            from .turtle import parse_turtle
+
+            return parse_turtle(data, base=base)
+        if format in ("ntriples", "nt"):
+            from .ntriples import parse_ntriples
+
+            return parse_ntriples(data)
+        raise GraphError(f"unknown parse format: {format!r}")
+
+
+class NeighbourhoodView:
+    """The neighbourhood ``Σgₙ`` of a node, pre-grouped by predicate.
+
+    Both matching engines consume neighbourhoods; grouping the triples by
+    predicate lets the derivative engine order its work and lets reporting
+    code produce readable error messages.
+    """
+
+    __slots__ = ("node", "triples", "_by_predicate")
+
+    def __init__(self, node: SubjectTerm, triples: FrozenSet[Triple]):
+        self.node = node
+        self.triples = frozenset(triples)
+        by_predicate: Dict[IRI, List[Triple]] = defaultdict(list)
+        for triple in self.triples:
+            if triple.subject != node:
+                raise GraphError(
+                    f"neighbourhood triple {triple} does not start at {node}"
+                )
+            by_predicate[triple.predicate].append(triple)
+        self._by_predicate = {
+            pred: tuple(sorted(ts, key=Triple.sort_key))
+            for pred, ts in by_predicate.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self.sorted())
+
+    def __contains__(self, triple: object) -> bool:
+        return triple in self.triples
+
+    def predicates(self) -> List[IRI]:
+        """Return the distinct predicates in deterministic order."""
+        return sorted(self._by_predicate.keys(), key=IRI.sort_key)
+
+    def by_predicate(self, predicate: IRI) -> Tuple[Triple, ...]:
+        """Return the triples using ``predicate`` (possibly empty)."""
+        return self._by_predicate.get(predicate, ())
+
+    def sorted(self) -> List[Triple]:
+        """Return the triples sorted by (predicate, object)."""
+        return sorted(self.triples, key=lambda t: (t.predicate.sort_key(), t.object.sort_key()))
+
+    def __repr__(self) -> str:
+        return f"NeighbourhoodView({self.node!r}, {len(self.triples)} triples)"
+
+
+def decompositions(triples: FrozenSet[Triple] | Set[Triple]) -> Iterator[
+    Tuple[FrozenSet[Triple], FrozenSet[Triple]]
+]:
+    """Enumerate every decomposition ``(g1, g2)`` with ``g1 ⊕ g2 = g``.
+
+    Reproduces Example 3 of the paper.  A graph with ``n`` triples yields
+    ``2ⁿ`` pairs; this is the operation that makes the naïve backtracking
+    matcher exponential and that the derivative algorithm avoids entirely.
+    """
+    ordered = sorted(triples, key=Triple.sort_key)
+    n = len(ordered)
+    for mask in range(2 ** n):
+        left = frozenset(ordered[i] for i in range(n) if mask & (1 << i))
+        right = frozenset(ordered[i] for i in range(n) if not mask & (1 << i))
+        yield left, right
+
+
+def decomposition_count(triples: FrozenSet[Triple] | Set[Triple]) -> int:
+    """Return the number of decompositions of ``triples`` (``2ⁿ``)."""
+    return 2 ** len(triples)

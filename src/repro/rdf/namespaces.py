@@ -1,0 +1,209 @@
+"""Namespace helpers and well-known vocabularies.
+
+A :class:`Namespace` wraps a base IRI string and produces :class:`~repro.rdf.terms.IRI`
+terms through attribute or item access::
+
+    >>> FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+    >>> FOAF.name
+    IRI('http://xmlns.com/foaf/0.1/name')
+    >>> FOAF["knows"]
+    IRI('http://xmlns.com/foaf/0.1/knows')
+
+The :class:`NamespaceManager` keeps prefix→namespace bindings and is used by
+the Turtle parser/serialiser and the ShExC parser/serialiser to resolve and
+shorten prefixed names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from .errors import NamespaceError
+from .terms import IRI
+
+__all__ = [
+    "Namespace",
+    "NamespaceManager",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "OWL",
+    "FOAF",
+    "SCHEMA",
+    "DC",
+    "DCTERMS",
+    "SHEX",
+    "EX",
+]
+
+
+class Namespace:
+    """A factory of IRIs sharing a common prefix."""
+
+    __slots__ = ("base",)
+
+    def __init__(self, base: str):
+        if not isinstance(base, str) or not base:
+            raise NamespaceError("namespace base must be a non-empty string")
+        self.base = base
+
+    def term(self, name: str) -> IRI:
+        """Return the IRI obtained by appending ``name`` to the base."""
+        return IRI(self.base + name)
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return self.term(name)
+
+    def __contains__(self, iri: object) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self.base)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Namespace) and other.base == self.base
+
+    def __hash__(self) -> int:
+        return hash(("Namespace", self.base))
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.base!r})"
+
+    def __str__(self) -> str:
+        return self.base
+
+    def local_name(self, iri: IRI) -> str:
+        """Return the part of ``iri`` after the namespace base.
+
+        Raises :class:`NamespaceError` if the IRI is not inside this namespace.
+        """
+        if iri not in self:
+            raise NamespaceError(f"{iri} is not in namespace {self.base}")
+        return iri.value[len(self.base):]
+
+
+#: RDF core vocabulary.
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+#: RDF Schema vocabulary.
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+#: XML Schema datatypes.
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+#: OWL 2 vocabulary.
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+#: Friend-of-a-friend vocabulary (used throughout the paper's examples).
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+#: schema.org vocabulary.
+SCHEMA = Namespace("http://schema.org/")
+#: Dublin Core elements.
+DC = Namespace("http://purl.org/dc/elements/1.1/")
+#: Dublin Core terms.
+DCTERMS = Namespace("http://purl.org/dc/terms/")
+#: ShEx vocabulary (for schema metadata).
+SHEX = Namespace("http://www.w3.org/ns/shex#")
+#: Example namespace used in tests, examples and workloads.
+EX = Namespace("http://example.org/")
+
+_DEFAULT_BINDINGS: Dict[str, Namespace] = {
+    "rdf": RDF,
+    "rdfs": RDFS,
+    "xsd": XSD,
+    "owl": OWL,
+    "foaf": FOAF,
+    "schema": SCHEMA,
+    "dc": DC,
+    "dcterms": DCTERMS,
+    "shex": SHEX,
+}
+
+
+class NamespaceManager:
+    """Bidirectional prefix ↔ namespace registry.
+
+    Used to expand ``foaf:name`` style qualified names while parsing and to
+    compact full IRIs while serialising.
+    """
+
+    def __init__(self, bind_defaults: bool = False):
+        self._prefix_to_ns: Dict[str, str] = {}
+        self._sorted_bases: list[Tuple[str, str]] = []
+        if bind_defaults:
+            for prefix, namespace in _DEFAULT_BINDINGS.items():
+                self.bind(prefix, namespace)
+
+    def bind(self, prefix: str, namespace: Namespace | str, replace: bool = True) -> None:
+        """Associate ``prefix`` with ``namespace``.
+
+        An empty string is a valid prefix (the default/empty prefix of Turtle
+        and ShExC).  Rebinding an existing prefix replaces the old binding
+        unless ``replace`` is false, in which case a :class:`NamespaceError`
+        is raised.
+        """
+        base = namespace.base if isinstance(namespace, Namespace) else str(namespace)
+        if prefix in self._prefix_to_ns and not replace:
+            if self._prefix_to_ns[prefix] != base:
+                raise NamespaceError(f"prefix {prefix!r} is already bound")
+        self._prefix_to_ns[prefix] = base
+        self._rebuild_sorted()
+
+    def _rebuild_sorted(self) -> None:
+        # longest base first so that compaction picks the most specific prefix
+        self._sorted_bases = sorted(
+            ((base, prefix) for prefix, base in self._prefix_to_ns.items()),
+            key=lambda item: (-len(item[0]), item[1]),
+        )
+
+    def namespace(self, prefix: str) -> Namespace:
+        """Return the namespace bound to ``prefix``."""
+        try:
+            return Namespace(self._prefix_to_ns[prefix])
+        except KeyError:
+            raise NamespaceError(f"unknown prefix: {prefix!r}") from None
+
+    def prefixes(self) -> Iterator[Tuple[str, str]]:
+        """Iterate over ``(prefix, base)`` pairs in insertion order."""
+        return iter(self._prefix_to_ns.items())
+
+    def __len__(self) -> int:
+        return len(self._prefix_to_ns)
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._prefix_to_ns
+
+    def expand(self, qname: str) -> IRI:
+        """Expand a prefixed name such as ``foaf:name`` into a full IRI."""
+        if ":" not in qname:
+            raise NamespaceError(f"not a prefixed name: {qname!r}")
+        prefix, _, local = qname.partition(":")
+        if prefix not in self._prefix_to_ns:
+            raise NamespaceError(f"unknown prefix: {prefix!r}")
+        return IRI(self._prefix_to_ns[prefix] + local)
+
+    def compact(self, iri: IRI) -> Optional[str]:
+        """Return the shortest prefixed form of ``iri`` or ``None``.
+
+        The local part must be a simple name (no slash, hash or colon) for the
+        compaction to be reversible by a Turtle/ShExC parser.
+        """
+        for base, prefix in self._sorted_bases:
+            if iri.value.startswith(base):
+                local = iri.value[len(base):]
+                if local and not _is_safe_local(local):
+                    continue
+                return f"{prefix}:{local}"
+        return None
+
+    def copy(self) -> "NamespaceManager":
+        """Return an independent copy of this manager."""
+        clone = NamespaceManager()
+        for prefix, base in self._prefix_to_ns.items():
+            clone.bind(prefix, base)
+        return clone
+
+
+def _is_safe_local(local: str) -> bool:
+    """Heuristic check that ``local`` can appear as a PN_LOCAL name."""
+    if any(ch in local for ch in "/#:?[]()<>\"' \t\n"):
+        return False
+    return True

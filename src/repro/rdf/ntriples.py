@@ -1,0 +1,188 @@
+"""N-Triples parser and serialiser (RDF 1.1 N-Triples, line-based).
+
+N-Triples is the simplest RDF concrete syntax: one triple per line, full IRIs
+only.  It is used as the interchange format for the workload generators and as
+the building block of the Turtle serialiser's escaping rules.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Optional
+
+from .errors import ParseError
+from .graph import Graph
+from .terms import BNode, IRI, Literal, ObjectTerm, SubjectTerm, Triple
+
+__all__ = [
+    "parse_ntriples",
+    "iter_ntriples",
+    "serialize_ntriples",
+    "unescape_string",
+    "escape_string",
+]
+
+_IRIREF = r"<([^\x00-\x20<>\"{}|^`\\]*)>"
+_BNODE = r"_:([A-Za-z0-9][A-Za-z0-9_.-]*)"
+_STRING = r'"((?:[^"\\\n\r]|\\.)*)"'
+_LANGTAG = r"@([a-zA-Z]{1,8}(?:-[a-zA-Z0-9]{1,8})*)"
+
+_SUBJECT_RE = re.compile(rf"\s*(?:{_IRIREF}|{_BNODE})")
+_PREDICATE_RE = re.compile(rf"\s*{_IRIREF}")
+_OBJECT_RE = re.compile(
+    rf"\s*(?:{_IRIREF}|{_BNODE}|{_STRING}(?:{_LANGTAG}|\^\^{_IRIREF})?)"
+)
+_END_RE = re.compile(r"\s*\.\s*(#.*)?$")
+
+_ESCAPE_SEQUENCES = {
+    "t": "\t",
+    "b": "\b",
+    "n": "\n",
+    "r": "\r",
+    "f": "\f",
+    '"': '"',
+    "'": "'",
+    "\\": "\\",
+}
+
+
+def unescape_string(value: str) -> str:
+    """Resolve ``\\n``, ``\\t``, ``\\uXXXX`` and ``\\UXXXXXXXX`` escapes."""
+    out = []
+    i = 0
+    n = len(value)
+    while i < n:
+        ch = value[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= n:
+            raise ParseError("dangling escape at end of string")
+        esc = value[i + 1]
+        if esc in _ESCAPE_SEQUENCES:
+            out.append(_ESCAPE_SEQUENCES[esc])
+            i += 2
+        elif esc == "u":
+            hex_digits = value[i + 2:i + 6]
+            if len(hex_digits) != 4:
+                raise ParseError(f"invalid \\u escape: {value[i:i+6]!r}")
+            out.append(chr(int(hex_digits, 16)))
+            i += 6
+        elif esc == "U":
+            hex_digits = value[i + 2:i + 10]
+            if len(hex_digits) != 8:
+                raise ParseError(f"invalid \\U escape: {value[i:i+10]!r}")
+            out.append(chr(int(hex_digits, 16)))
+            i += 10
+        else:
+            raise ParseError(f"unknown escape sequence: \\{esc}")
+    return "".join(out)
+
+
+def escape_string(value: str) -> str:
+    """Escape a literal lexical form for N-Triples output."""
+    out = []
+    for ch in value:
+        if ch == "\\":
+            out.append("\\\\")
+        elif ch == '"':
+            out.append('\\"')
+        elif ch == "\n":
+            out.append("\\n")
+        elif ch == "\r":
+            out.append("\\r")
+        elif ch == "\t":
+            out.append("\\t")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def _parse_subject(line: str, pos: int, lineno: int) -> tuple[SubjectTerm, int]:
+    match = _SUBJECT_RE.match(line, pos)
+    if not match:
+        raise ParseError("expected IRI or blank node as subject", lineno, pos)
+    iri, bnode = match.group(1), match.group(2)
+    term: SubjectTerm = IRI(unescape_string(iri)) if iri is not None else BNode(bnode)
+    return term, match.end()
+
+
+def _parse_predicate(line: str, pos: int, lineno: int) -> tuple[IRI, int]:
+    match = _PREDICATE_RE.match(line, pos)
+    if not match:
+        raise ParseError("expected IRI as predicate", lineno, pos)
+    return IRI(unescape_string(match.group(1))), match.end()
+
+
+def _parse_object(line: str, pos: int, lineno: int) -> tuple[ObjectTerm, int]:
+    match = _OBJECT_RE.match(line, pos)
+    if not match:
+        raise ParseError("expected IRI, blank node or literal as object", lineno, pos)
+    iri, bnode, string, lang, dtype = (
+        match.group(1), match.group(2), match.group(3), match.group(4), match.group(5),
+    )
+    term: ObjectTerm
+    if iri is not None:
+        term = IRI(unescape_string(iri))
+    elif bnode is not None:
+        term = BNode(bnode)
+    else:
+        lexical = unescape_string(string)
+        if lang:
+            term = Literal(lexical, lang=lang)
+        elif dtype:
+            term = Literal(lexical, datatype=IRI(unescape_string(dtype)))
+        else:
+            term = Literal(lexical)
+    return term, match.end()
+
+
+def iter_ntriples(data: str) -> Iterator[Triple]:
+    """Yield triples from N-Triples text, skipping comments and blank lines."""
+    for lineno, raw_line in enumerate(data.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        subject, pos = _parse_subject(raw_line, 0, lineno)
+        predicate, pos = _parse_predicate(raw_line, pos, lineno)
+        obj, pos = _parse_object(raw_line, pos, lineno)
+        if not _END_RE.match(raw_line, pos):
+            raise ParseError("expected '.' at end of triple", lineno, pos)
+        yield Triple(subject, predicate, obj)
+
+
+def parse_ntriples(data: str) -> Graph:
+    """Parse N-Triples text into a :class:`~repro.rdf.graph.Graph`."""
+    graph = Graph()
+    for triple in iter_ntriples(data):
+        graph.add(triple)
+    return graph
+
+
+def serialize_ntriples(graph: Graph, sort: bool = True) -> str:
+    """Serialise ``graph`` as N-Triples (one canonical line per triple)."""
+    triples = graph.sorted_triples() if sort else list(graph)
+    lines = []
+    for triple in triples:
+        lines.append(_triple_to_ntriples(triple))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _term_to_ntriples(term: ObjectTerm) -> str:
+    if isinstance(term, Literal):
+        quoted = f'"{escape_string(term.lexical)}"'
+        if term.lang:
+            return f"{quoted}@{term.lang}"
+        if term.is_plain:
+            return quoted
+        return f"{quoted}^^<{term.datatype.value}>"
+    return term.n3()
+
+
+def _triple_to_ntriples(triple: Triple) -> str:
+    return (
+        f"{_term_to_ntriples(triple.subject)} "
+        f"{_term_to_ntriples(triple.predicate)} "
+        f"{_term_to_ntriples(triple.object)} ."
+    )

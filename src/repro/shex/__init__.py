@@ -1,0 +1,131 @@
+"""Shape Expressions: the paper's primary contribution.
+
+The package implements Regular Shape Expressions (Section 4), their
+declarative semantics (Section 4), the backtracking matcher derived from the
+inference rules (Section 5), the derivative-based matcher (Sections 6–7),
+labelled Shape Expression Schemas with recursive references (Section 8), the
+ShEx compact syntax, a JSON interchange format and a compiler to SPARQL
+(Section 3).
+
+Typical usage::
+
+    from repro.rdf import Graph
+    from repro.shex import Schema, Validator
+
+    schema = Schema.from_shexc('''
+        PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+        PREFIX xsd:  <http://www.w3.org/2001/XMLSchema#>
+        <Person> {
+          foaf:age   xsd:integer ,
+          foaf:name  xsd:string + ,
+          foaf:knows @<Person> *
+        }
+    ''')
+    graph = Graph.parse(open("people.ttl").read())
+    validator = Validator(graph, schema)           # derivative engine
+    report = validator.validate_graph()
+"""
+
+from .backtracking import (
+    BacktrackingBudgetExceeded,
+    BacktrackingEngine,
+    matches_backtracking,
+)
+from .derivatives import (
+    DerivativeEngine,
+    derivative,
+    derivative_graph,
+    derivative_trace,
+    matches,
+    nullable,
+)
+from .expressions import (
+    EMPTY,
+    EPSILON,
+    And,
+    Arc,
+    Empty,
+    EmptyTriples,
+    Or,
+    ShapeExpr,
+    Star,
+    alternative,
+    alternative_all,
+    arc,
+    expression_depth,
+    expression_size,
+    interleave,
+    interleave_all,
+    iter_subexpressions,
+    optional,
+    plus,
+    referenced_labels,
+    repeat,
+    star,
+)
+from .language import LanguageEnumerationError, enumerate_language, language_size
+from .node_constraints import (
+    AnyValue,
+    ConstraintAnd,
+    ConstraintNot,
+    ConstraintOr,
+    DatatypeConstraint,
+    Facets,
+    IRIStem,
+    LanguageTag,
+    NodeConstraint,
+    NodeKind,
+    NodeKindConstraint,
+    PredicateSet,
+    ShapeRef,
+    ValueSet,
+    datatype,
+    shape_ref,
+    value_set,
+)
+from .reporting import (
+    format_csv,
+    format_text,
+    report_to_dict,
+    report_to_json,
+    summarize,
+)
+from .results import MatchResult, MatchStats, ValidationReportEntry
+from .schema import Schema, SchemaError, ValidationContext
+from .shape_map import FixedEntry, QueryEntry, ShapeMap, parse_shape_map
+from .shexc import parse_shexc, serialize_shexc
+from .shexj import schema_from_dict, schema_to_dict
+from .sparql_gen import SparqlEngine, shape_to_sparql_ask, shape_to_sparql_select
+from .typing import ShapeLabel, ShapeTyping
+from .validator import ENGINES, ValidationReport, Validator, get_engine
+
+__all__ = [
+    # expressions
+    "ShapeExpr", "Empty", "EmptyTriples", "Arc", "Star", "And", "Or",
+    "EMPTY", "EPSILON",
+    "arc", "interleave", "alternative", "interleave_all", "alternative_all",
+    "star", "plus", "optional", "repeat",
+    "expression_size", "expression_depth", "iter_subexpressions", "referenced_labels",
+    # node constraints
+    "NodeConstraint", "AnyValue", "ValueSet", "DatatypeConstraint", "NodeKind",
+    "NodeKindConstraint", "IRIStem", "LanguageTag", "Facets",
+    "ConstraintAnd", "ConstraintOr", "ConstraintNot", "ShapeRef", "PredicateSet",
+    "value_set", "datatype", "shape_ref",
+    # semantics and engines
+    "enumerate_language", "language_size", "LanguageEnumerationError",
+    "nullable", "derivative", "derivative_graph", "derivative_trace", "matches",
+    "DerivativeEngine",
+    "BacktrackingEngine", "BacktrackingBudgetExceeded", "matches_backtracking",
+    # schema layer
+    "Schema", "SchemaError", "ValidationContext",
+    "ShapeLabel", "ShapeTyping",
+    "MatchResult", "MatchStats", "ValidationReportEntry",
+    "Validator", "ValidationReport", "get_engine", "ENGINES",
+    # syntaxes
+    "parse_shexc", "serialize_shexc", "schema_to_dict", "schema_from_dict",
+    # shape maps and reporting
+    "ShapeMap", "FixedEntry", "QueryEntry", "parse_shape_map",
+    "format_text", "format_csv", "report_to_dict", "report_to_json", "summarize",
+    # SPARQL compilation
+    "shape_to_sparql_ask", "shape_to_sparql_select", "SparqlEngine",
+]

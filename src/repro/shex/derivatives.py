@@ -1,0 +1,275 @@
+"""Regular shape expression derivatives (Sections 6 and 7 of the paper).
+
+The derivative of a shape with respect to a triple ``t`` is the shape of the
+*remaining* triples: ``∂t(Sₙ(E)) = {ts | t ∘ ts ∈ Sₙ(E)}``.  Together with
+the nullability predicate ``ν`` this yields a matching algorithm that
+consumes the neighbourhood one triple at a time, with no graph decomposition
+and no backtracking::
+
+    e ≃ {}        ⇔  ν(e)
+    e ≃ t ∘ ts    ⇔  ∂t(e) ≃ ts
+
+The derivative rules implemented here are exactly those of Section 6, plus
+the context-aware variant ``∂t(e, Γ)`` of Section 8 which resolves shape
+references ``@label`` by recursively validating the triple's object under the
+typing context ``Γ``.
+
+The :class:`DerivativeEngine` adds the engineering the paper alludes to:
+
+* application of the simplification rules through the smart constructors
+  (switchable, for the ablation benchmark),
+* optional memoisation of ``(expression, triple)`` derivative computations,
+* deterministic triple ordering (by predicate) which empirically keeps the
+  intermediate expressions small,
+* statistics collection (derivative steps, peak expression size).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Triple
+from .expressions import (
+    EMPTY,
+    EPSILON,
+    And,
+    Arc,
+    Empty,
+    EmptyTriples,
+    Or,
+    ShapeExpr,
+    Star,
+    alternative,
+    expression_size,
+    interleave,
+)
+from .node_constraints import ShapeRef
+from .results import MatchResult, MatchStats
+from .schema import ValidationContext
+from .typing import ShapeTyping
+
+__all__ = [
+    "nullable",
+    "derivative",
+    "derivative_graph",
+    "matches",
+    "derivative_trace",
+    "DerivativeEngine",
+]
+
+
+# --------------------------------------------------------------------- nullability
+def nullable(expr: ShapeExpr) -> bool:
+    """``ν(e)`` — True when ``e`` matches the empty graph (Section 6).
+
+    * ``ν(∅) = false``              * ``ν(e*) = true``
+    * ``ν(ε) = true``               * ``ν(e1 ‖ e2) = ν(e1) ∧ ν(e2)``
+    * ``ν(vp → vo) = false``        * ``ν(e1 | e2) = ν(e1) ∨ ν(e2)``
+    """
+    if isinstance(expr, EmptyTriples):
+        return True
+    if isinstance(expr, (Empty, Arc)):
+        return False
+    if isinstance(expr, Star):
+        return True
+    if isinstance(expr, And):
+        return nullable(expr.left) and nullable(expr.right)
+    if isinstance(expr, Or):
+        return nullable(expr.left) or nullable(expr.right)
+    raise TypeError(f"unknown shape expression: {expr!r}")
+
+
+# ---------------------------------------------------------------------- derivatives
+def derivative(expr: ShapeExpr, triple: Triple,
+               context: Optional[ValidationContext] = None,
+               simplify: bool = True,
+               stats: Optional[MatchStats] = None) -> ShapeExpr:
+    """``∂t(e)`` — the derivative of ``expr`` with respect to ``triple``.
+
+    The rules are (Section 6)::
+
+        ∂t(∅) = ∅
+        ∂t(ε) = ∅
+        ∂⟨s,p,o⟩(vp → vo) = ε   if p ∈ vp and o ∈ vo, else ∅
+        ∂t(e*)       = ∂t(e) ‖ e*
+        ∂t(e1 ‖ e2)  = ∂t(e1) ‖ e2  |  ∂t(e2) ‖ e1
+        ∂t(e1 | e2)  = ∂t(e1) | ∂t(e2)
+
+    When an arc's object constraint is a shape reference ``@label`` the
+    context-aware rule of Section 8 is used: the triple's object is validated
+    against the referenced shape under ``context`` (which must then be
+    provided).  Confirmed references are recorded in ``context.typing``.
+    """
+    if stats is not None:
+        stats.derivative_steps += 1
+    if isinstance(expr, (Empty, EmptyTriples)):
+        return EMPTY
+    if isinstance(expr, Arc):
+        return _derive_arc(expr, triple, context, stats)
+    if isinstance(expr, Star):
+        inner = derivative(expr.expr, triple, context, simplify, stats)
+        return interleave(inner, expr, simplify=simplify)
+    if isinstance(expr, And):
+        left = derivative(expr.left, triple, context, simplify, stats)
+        right = derivative(expr.right, triple, context, simplify, stats)
+        return alternative(
+            interleave(left, expr.right, simplify=simplify),
+            interleave(right, expr.left, simplify=simplify),
+            simplify=simplify,
+        )
+    if isinstance(expr, Or):
+        left = derivative(expr.left, triple, context, simplify, stats)
+        right = derivative(expr.right, triple, context, simplify, stats)
+        return alternative(left, right, simplify=simplify)
+    raise TypeError(f"unknown shape expression: {expr!r}")
+
+
+def _derive_arc(expr: Arc, triple: Triple,
+                context: Optional[ValidationContext],
+                stats: Optional[MatchStats]) -> ShapeExpr:
+    """Derivative of a single arc expression with respect to one triple."""
+    if stats is not None:
+        stats.arc_checks += 1
+    if not expr.predicate.matches(triple.predicate):
+        return EMPTY
+    constraint = expr.object
+    if isinstance(constraint, ShapeRef):
+        if context is None:
+            raise TypeError(
+                "derivative of a shape-reference arc requires a ValidationContext"
+            )
+        result = context.check_reference(triple.object, constraint.label)
+        return EPSILON if result.matched else EMPTY
+    return EPSILON if constraint.matches(triple.object) else EMPTY
+
+
+def derivative_graph(expr: ShapeExpr, triples: Iterable[Triple],
+                     context: Optional[ValidationContext] = None,
+                     simplify: bool = True,
+                     stats: Optional[MatchStats] = None) -> ShapeExpr:
+    """``∂g(e)`` — derivative with respect to a whole set of triples.
+
+    Implements ``∂{}(e) = e`` and ``∂(t ∘ ts)(e) = ∂ts(∂t(e))``; triples are
+    consumed in the iteration order of ``triples``.
+    """
+    current = expr
+    for triple in triples:
+        current = derivative(current, triple, context, simplify, stats)
+        if stats is not None:
+            stats.observe_expression_size(expression_size(current))
+        if isinstance(current, Empty):
+            # ∅ is absorbing: no continuation can succeed
+            return EMPTY
+    return current
+
+
+def matches(expr: ShapeExpr, triples: Iterable[Triple],
+            context: Optional[ValidationContext] = None) -> bool:
+    """Decide ``Σ ∈ Sₙ[[e]]`` with the derivative algorithm of Section 7."""
+    return nullable(derivative_graph(expr, triples, context))
+
+
+def derivative_trace(expr: ShapeExpr, triples: Iterable[Triple],
+                     context: Optional[ValidationContext] = None) -> List[Tuple[Triple, ShapeExpr]]:
+    """Return the list of ``(triple, derivative-after-consuming-it)`` steps.
+
+    Reproduces the traces of Examples 11 and 12; mainly used by tests,
+    documentation and the example scripts.
+    """
+    steps: List[Tuple[Triple, ShapeExpr]] = []
+    current = expr
+    for triple in triples:
+        current = derivative(current, triple, context)
+        steps.append((triple, current))
+    return steps
+
+
+# ------------------------------------------------------------------------- engine
+class DerivativeEngine:
+    """Configurable derivative-based matcher.
+
+    Parameters
+    ----------
+    simplify:
+        apply the Section 4 simplification rules while building derivatives
+        (default True; the ablation benchmark B8 sets it to False).
+    order_by_predicate:
+        sort the neighbourhood by predicate before consuming it.  Any order
+        is correct; grouping equal predicates empirically keeps intermediate
+        expressions smaller for interleave-heavy shapes.
+    memoize:
+        cache ``(expression, triple) → derivative`` pairs within one
+        neighbourhood match.  Only enabled for reference-free expressions
+        because reference resolution has side effects on the context.
+    """
+
+    name = "derivatives"
+
+    def __init__(self, simplify: bool = True, order_by_predicate: bool = True,
+                 memoize: bool = True):
+        self.simplify = simplify
+        self.order_by_predicate = order_by_predicate
+        self.memoize = memoize
+
+    def order_triples(self, triples: Iterable[Triple]) -> List[Triple]:
+        """Return the triples in the order the engine will consume them."""
+        triples = list(triples)
+        if self.order_by_predicate:
+            triples.sort(key=Triple.sort_key)
+        return triples
+
+    def match_neighbourhood(self, expr: ShapeExpr, triples: FrozenSet[Triple],
+                            context: Optional[ValidationContext] = None) -> MatchResult:
+        """Match a node neighbourhood ``Σgₙ`` against ``expr``.
+
+        This is the engine entry point used by the validator and by
+        :class:`~repro.shex.schema.ValidationContext` for recursive shape
+        references.
+        """
+        stats = MatchStats()
+        stats.observe_expression_size(expression_size(expr))
+        ordered = self.order_triples(triples)
+        cache: Optional[Dict[Tuple[ShapeExpr, Triple], ShapeExpr]] = (
+            {} if self.memoize and not _has_references(expr) else None
+        )
+        current = expr
+        for triple in ordered:
+            if cache is not None:
+                key = (current, triple)
+                cached = cache.get(key)
+                if cached is None:
+                    cached = derivative(current, triple, context, self.simplify, stats)
+                    cache[key] = cached
+                current = cached
+            else:
+                current = derivative(current, triple, context, self.simplify, stats)
+            stats.observe_expression_size(expression_size(current))
+            if isinstance(current, Empty):
+                typing = context.typing if context is not None else ShapeTyping.empty()
+                return MatchResult(
+                    False, typing, stats,
+                    reason=f"no continuation after consuming {triple.n3()}",
+                )
+        if nullable(current):
+            typing = context.typing if context is not None else ShapeTyping.empty()
+            return MatchResult(True, typing, stats)
+        typing = context.typing if context is not None else ShapeTyping.empty()
+        return MatchResult(
+            False, typing, stats,
+            reason="remaining expression is not nullable "
+                   f"(missing required arcs): {current.to_str()}",
+        )
+
+    # engines are also used directly as NeighbourhoodMatcher callables
+    __call__ = match_neighbourhood
+
+
+def _has_references(expr: ShapeExpr) -> bool:
+    """True if ``expr`` contains any ``@label`` arc."""
+    from .expressions import iter_subexpressions
+
+    return any(
+        isinstance(sub, Arc) and isinstance(sub.object, ShapeRef)
+        for sub in iter_subexpressions(expr)
+    )

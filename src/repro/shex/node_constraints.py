@@ -1,0 +1,454 @@
+"""Node constraints: the ``vp`` and ``vo`` sets of an arc expression.
+
+An arc in a regular shape expression is written ``vp → vo`` where ``vp`` is a
+set of admissible predicates and ``vo`` a set of admissible objects
+(Section 4).  In practice ``vp`` is almost always a single predicate IRI and
+``vo`` is one of:
+
+* an explicit **value set** — ``{1, 2}`` in the paper's running example,
+* a **datatype** — ``xsd:integer`` / ``xsd:string`` (Example 1), treated as a
+  subset of the literals,
+* a **node kind** — IRI / blank node / literal / non-literal,
+* a **wildcard** — any object at all,
+* an **IRI stem** — all IRIs sharing a prefix (used by linked-data portals),
+* a **shape reference** — ``@<Person>`` (Example 1/14); the reference case is
+  resolved by the schema layer because it needs the typing context ``Γ``,
+* boolean combinations of the above (a small ShEx extension useful for the
+  workloads).
+
+Each constraint exposes ``matches(term)`` so the two matching engines and the
+SPARQL compiler can share one vocabulary of constraints.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+
+from ..rdf.datatypes import datatype_matches, to_python_value
+from ..rdf.terms import BNode, IRI, Literal, ObjectTerm, Term
+
+__all__ = [
+    "NodeConstraint",
+    "AnyValue",
+    "ValueSet",
+    "DatatypeConstraint",
+    "NodeKind",
+    "NodeKindConstraint",
+    "IRIStem",
+    "LanguageTag",
+    "Facets",
+    "ConstraintAnd",
+    "ConstraintOr",
+    "ConstraintNot",
+    "ShapeRef",
+    "PredicateSet",
+    "value_set",
+    "datatype",
+    "shape_ref",
+]
+
+
+class NodeConstraint:
+    """Base class of all object (``vo``) constraints."""
+
+    __slots__ = ()
+
+    def matches(self, term: ObjectTerm) -> bool:
+        """Return True if ``term`` satisfies this constraint."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Return a short human-readable description for error reports."""
+        raise NotImplementedError
+
+    # Constraints are value objects: subclasses are frozen dataclasses or
+    # define their own __eq__/__hash__.
+
+
+@dataclass(frozen=True)
+class Facets:
+    """XSD-style facet restrictions attached to literal constraints.
+
+    All fields are optional; an empty :class:`Facets` accepts everything.
+    """
+
+    min_inclusive: Optional[float] = None
+    max_inclusive: Optional[float] = None
+    min_exclusive: Optional[float] = None
+    max_exclusive: Optional[float] = None
+    min_length: Optional[int] = None
+    max_length: Optional[int] = None
+    length: Optional[int] = None
+    pattern: Optional[str] = None
+
+    def is_trivial(self) -> bool:
+        """True when no facet is set."""
+        return all(
+            value is None
+            for value in (
+                self.min_inclusive, self.max_inclusive, self.min_exclusive,
+                self.max_exclusive, self.min_length, self.max_length,
+                self.length, self.pattern,
+            )
+        )
+
+    def check(self, literal: Literal) -> bool:
+        """Check every configured facet against ``literal``."""
+        lexical = literal.lexical
+        if self.length is not None and len(lexical) != self.length:
+            return False
+        if self.min_length is not None and len(lexical) < self.min_length:
+            return False
+        if self.max_length is not None and len(lexical) > self.max_length:
+            return False
+        if self.pattern is not None and not re.search(self.pattern, lexical):
+            return False
+        if (self.min_inclusive is not None or self.max_inclusive is not None
+                or self.min_exclusive is not None or self.max_exclusive is not None):
+            value = to_python_value(literal)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                try:
+                    value = float(value)  # Decimal and numeric strings
+                except (TypeError, ValueError):
+                    return False
+            if self.min_inclusive is not None and value < self.min_inclusive:
+                return False
+            if self.max_inclusive is not None and value > self.max_inclusive:
+                return False
+            if self.min_exclusive is not None and value <= self.min_exclusive:
+                return False
+            if self.max_exclusive is not None and value >= self.max_exclusive:
+                return False
+        return True
+
+    def describe(self) -> str:
+        parts = []
+        for name in ("min_inclusive", "max_inclusive", "min_exclusive", "max_exclusive",
+                     "min_length", "max_length", "length", "pattern"):
+            value = getattr(self, name)
+            if value is not None:
+                parts.append(f"{name}={value!r}")
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class AnyValue(NodeConstraint):
+    """The wildcard constraint ``.`` — any IRI, blank node or literal."""
+
+    def matches(self, term: ObjectTerm) -> bool:
+        return isinstance(term, (IRI, BNode, Literal))
+
+    def describe(self) -> str:
+        return "."
+
+
+class ValueSet(NodeConstraint):
+    """An explicit, finite set of admissible object terms (``{1, 2}``)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Iterable[ObjectTerm]):
+        frozen = frozenset(values)
+        for value in frozen:
+            if not isinstance(value, Term):
+                raise TypeError(
+                    f"value set members must be RDF terms, got {type(value).__name__}"
+                )
+        object.__setattr__(self, "values", frozen)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("ValueSet is immutable")
+
+    def matches(self, term: ObjectTerm) -> bool:
+        return term in self.values
+
+    def describe(self) -> str:
+        rendered = " ".join(sorted(v.n3() for v in self.values))
+        return f"[{rendered}]"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ValueSet) and other.values == self.values
+
+    def __hash__(self) -> int:
+        return hash(("ValueSet", self.values))
+
+    def __repr__(self) -> str:
+        return f"ValueSet({sorted(v.n3() for v in self.values)})"
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(sorted(self.values, key=lambda term: term.sort_key()))
+
+
+@dataclass(frozen=True)
+class DatatypeConstraint(NodeConstraint):
+    """Literals of a given datatype, optionally restricted by facets."""
+
+    datatype: IRI
+    facets: Facets = field(default_factory=Facets)
+
+    def matches(self, term: ObjectTerm) -> bool:
+        if not isinstance(term, Literal):
+            return False
+        if not datatype_matches(term, self.datatype):
+            return False
+        return self.facets.check(term)
+
+    def describe(self) -> str:
+        base = self.datatype.n3()
+        if self.facets.is_trivial():
+            return base
+        return f"{base} ({self.facets.describe()})"
+
+
+class NodeKind:
+    """Enumeration of node kinds accepted by :class:`NodeKindConstraint`."""
+
+    IRI = "iri"
+    BNODE = "bnode"
+    LITERAL = "literal"
+    NONLITERAL = "nonliteral"
+
+    ALL = (IRI, BNODE, LITERAL, NONLITERAL)
+
+
+@dataclass(frozen=True)
+class NodeKindConstraint(NodeConstraint):
+    """Constrain the kind of the object term (IRI / BNODE / LITERAL / NONLITERAL)."""
+
+    kind: str
+    facets: Facets = field(default_factory=Facets)
+
+    def __post_init__(self):
+        if self.kind not in NodeKind.ALL:
+            raise ValueError(f"unknown node kind: {self.kind!r}")
+
+    def matches(self, term: ObjectTerm) -> bool:
+        if self.kind == NodeKind.IRI:
+            ok = isinstance(term, IRI)
+        elif self.kind == NodeKind.BNODE:
+            ok = isinstance(term, BNode)
+        elif self.kind == NodeKind.LITERAL:
+            ok = isinstance(term, Literal)
+        else:
+            ok = isinstance(term, (IRI, BNode))
+        if not ok:
+            return False
+        if isinstance(term, Literal):
+            return self.facets.check(term)
+        if not self.facets.is_trivial() and self.facets.pattern is not None:
+            value = term.value if isinstance(term, IRI) else term.id
+            return re.search(self.facets.pattern, value) is not None
+        return True
+
+    def describe(self) -> str:
+        return self.kind.upper()
+
+
+@dataclass(frozen=True)
+class IRIStem(NodeConstraint):
+    """All IRIs starting with a given stem (``ex:~`` in ShExC value sets)."""
+
+    stem: str
+
+    def matches(self, term: ObjectTerm) -> bool:
+        return isinstance(term, IRI) and term.value.startswith(self.stem)
+
+    def describe(self) -> str:
+        return f"<{self.stem}>~"
+
+
+@dataclass(frozen=True)
+class LanguageTag(NodeConstraint):
+    """Language-tagged literals with the given tag (``@en``)."""
+
+    tag: str
+
+    def matches(self, term: ObjectTerm) -> bool:
+        if not isinstance(term, Literal) or term.lang is None:
+            return False
+        tag = self.tag.lower()
+        return term.lang == tag or term.lang.startswith(tag + "-")
+
+    def describe(self) -> str:
+        return f"@{self.tag}"
+
+
+class ConstraintAnd(NodeConstraint):
+    """Conjunction of object constraints."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Sequence[NodeConstraint]):
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("ConstraintAnd is immutable")
+
+    def matches(self, term: ObjectTerm) -> bool:
+        return all(op.matches(term) for op in self.operands)
+
+    def describe(self) -> str:
+        return " AND ".join(op.describe() for op in self.operands)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ConstraintAnd) and other.operands == self.operands
+
+    def __hash__(self) -> int:
+        return hash(("ConstraintAnd", self.operands))
+
+
+class ConstraintOr(NodeConstraint):
+    """Disjunction of object constraints."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Sequence[NodeConstraint]):
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("ConstraintOr is immutable")
+
+    def matches(self, term: ObjectTerm) -> bool:
+        return any(op.matches(term) for op in self.operands)
+
+    def describe(self) -> str:
+        return " OR ".join(op.describe() for op in self.operands)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ConstraintOr) and other.operands == self.operands
+
+    def __hash__(self) -> int:
+        return hash(("ConstraintOr", self.operands))
+
+
+@dataclass(frozen=True)
+class ConstraintNot(NodeConstraint):
+    """Negation of an object constraint."""
+
+    operand: NodeConstraint
+
+    def matches(self, term: ObjectTerm) -> bool:
+        return not self.operand.matches(term)
+
+    def describe(self) -> str:
+        return f"NOT ({self.operand.describe()})"
+
+
+@dataclass(frozen=True)
+class ShapeRef(NodeConstraint):
+    """A reference ``@label`` to another shape in the schema.
+
+    ``matches`` cannot be decided locally: whether the object conforms to the
+    referenced shape requires validating the object's own neighbourhood under
+    the typing context ``Γ``.  The schema-level matcher intercepts
+    :class:`ShapeRef` before falling back to ``matches``; calling ``matches``
+    directly therefore raises to flag a mis-use.
+    """
+
+    label: object  # ShapeLabel, kept untyped to avoid a circular import
+
+    def matches(self, term: ObjectTerm) -> bool:
+        raise TypeError(
+            "ShapeRef constraints must be resolved by a schema-aware matcher; "
+            "use repro.shex.schema.SchemaValidator"
+        )
+
+    def describe(self) -> str:
+        return f"@{self.label}"
+
+
+class PredicateSet:
+    """The ``vp`` component of an arc: a set of admissible predicate IRIs.
+
+    Most shapes use a single predicate; the class also supports wildcards and
+    stems so that adversarial workloads can express "any predicate".
+    """
+
+    __slots__ = ("predicates", "stem", "any_predicate")
+
+    def __init__(self, predicates: Optional[Iterable[IRI]] = None,
+                 stem: Optional[str] = None, any_predicate: bool = False):
+        frozen: FrozenSet[IRI] = frozenset(predicates or ())
+        for predicate in frozen:
+            if not isinstance(predicate, IRI):
+                raise TypeError("predicates must be IRIs")
+        if not frozen and stem is None and not any_predicate:
+            raise ValueError("a PredicateSet needs predicates, a stem or any_predicate=True")
+        object.__setattr__(self, "predicates", frozen)
+        object.__setattr__(self, "stem", stem)
+        object.__setattr__(self, "any_predicate", any_predicate)
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("PredicateSet is immutable")
+
+    @classmethod
+    def single(cls, predicate: IRI) -> "PredicateSet":
+        """The common case: exactly one predicate."""
+        return cls([predicate])
+
+    def matches(self, predicate: IRI) -> bool:
+        """True if ``predicate ∈ vp``."""
+        if self.any_predicate:
+            return True
+        if predicate in self.predicates:
+            return True
+        if self.stem is not None and predicate.value.startswith(self.stem):
+            return True
+        return False
+
+    def describe(self) -> str:
+        if self.any_predicate:
+            return "<any>"
+        if self.stem is not None and not self.predicates:
+            return f"<{self.stem}>~"
+        names = sorted(p.n3() for p in self.predicates)
+        if self.stem is not None:
+            names.append(f"<{self.stem}>~")
+        return names[0] if len(names) == 1 else "{" + ", ".join(names) + "}"
+
+    def sample(self) -> Optional[IRI]:
+        """Return one concrete predicate if the set is explicit, else ``None``."""
+        if self.predicates:
+            return sorted(self.predicates, key=IRI.sort_key)[0]
+        return None
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, PredicateSet)
+            and other.predicates == self.predicates
+            and other.stem == self.stem
+            and other.any_predicate == self.any_predicate
+        )
+
+    def __hash__(self) -> int:
+        return hash(("PredicateSet", self.predicates, self.stem, self.any_predicate))
+
+    def __repr__(self) -> str:
+        return f"PredicateSet({self.describe()})"
+
+
+# ----------------------------------------------------------------- conveniences
+def value_set(*values: Union[ObjectTerm, int, str, bool]) -> ValueSet:
+    """Build a :class:`ValueSet`, coercing plain Python values to literals."""
+    terms = []
+    for value in values:
+        if isinstance(value, Term):
+            terms.append(value)
+        else:
+            terms.append(Literal(value))
+    return ValueSet(terms)
+
+
+def datatype(iri: IRI, **facets) -> DatatypeConstraint:
+    """Build a :class:`DatatypeConstraint`, optionally with facet keywords."""
+    return DatatypeConstraint(iri, Facets(**facets))
+
+
+def shape_ref(label) -> ShapeRef:
+    """Build a :class:`ShapeRef` to ``label``."""
+    return ShapeRef(label)

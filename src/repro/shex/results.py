@@ -1,0 +1,114 @@
+"""Result and statistics objects shared by the matching engines.
+
+Both the derivative engine and the backtracking engine report their outcome
+through :class:`MatchResult`, which carries the boolean verdict, the shape
+typing ``τ`` built along the way (Section 8) and a :class:`MatchStats` record
+used by the benchmarks to explain *why* one engine is faster than the other
+(derivative steps vs. decompositions explored, peak expression size, …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .typing import ShapeTyping
+
+__all__ = ["MatchStats", "MatchResult", "ValidationReportEntry"]
+
+
+@dataclass
+class MatchStats:
+    """Counters describing the work performed during one match.
+
+    Attributes
+    ----------
+    derivative_steps:
+        number of single-triple derivatives computed (derivative engine).
+    decompositions:
+        number of graph decompositions enumerated (backtracking engine);
+        this is the exponential factor the paper highlights in Example 3.
+    rule_applications:
+        number of inference-rule applications attempted (backtracking engine).
+    arc_checks:
+        number of arc constraint evaluations (both engines).
+    reference_checks:
+        number of recursive shape-reference validations triggered.
+    max_expression_size:
+        largest expression (AST node count) materialised during matching;
+        tracks the derivative growth discussed in Example 10.
+    """
+
+    derivative_steps: int = 0
+    decompositions: int = 0
+    rule_applications: int = 0
+    arc_checks: int = 0
+    reference_checks: int = 0
+    max_expression_size: int = 0
+
+    def observe_expression_size(self, size: int) -> None:
+        """Record the size of an intermediate expression."""
+        if size > self.max_expression_size:
+            self.max_expression_size = size
+
+    def merge(self, other: "MatchStats") -> "MatchStats":
+        """Accumulate ``other`` into this record and return ``self``."""
+        self.derivative_steps += other.derivative_steps
+        self.decompositions += other.decompositions
+        self.rule_applications += other.rule_applications
+        self.arc_checks += other.arc_checks
+        self.reference_checks += other.reference_checks
+        self.max_expression_size = max(self.max_expression_size, other.max_expression_size)
+        return self
+
+    def as_dict(self) -> dict:
+        """Return the counters as a plain dictionary (for benchmark tables)."""
+        return {
+            "derivative_steps": self.derivative_steps,
+            "decompositions": self.decompositions,
+            "rule_applications": self.rule_applications,
+            "arc_checks": self.arc_checks,
+            "reference_checks": self.reference_checks,
+            "max_expression_size": self.max_expression_size,
+        }
+
+
+@dataclass
+class MatchResult:
+    """The outcome of matching one neighbourhood against one expression."""
+
+    matched: bool
+    typing: ShapeTyping = field(default_factory=ShapeTyping.empty)
+    stats: MatchStats = field(default_factory=MatchStats)
+    #: human-readable explanation of a failure (empty on success).
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.matched
+
+    @classmethod
+    def success(cls, typing: Optional[ShapeTyping] = None,
+                stats: Optional[MatchStats] = None) -> "MatchResult":
+        """Build a successful result."""
+        return cls(True, typing or ShapeTyping.empty(), stats or MatchStats())
+
+    @classmethod
+    def failure(cls, reason: str = "", stats: Optional[MatchStats] = None) -> "MatchResult":
+        """Build a failed result with an optional explanation."""
+        return cls(False, ShapeTyping.empty(), stats or MatchStats(), reason)
+
+
+@dataclass
+class ValidationReportEntry:
+    """One line of a validation report: a node, a shape and the verdict."""
+
+    node: object
+    label: object
+    conforms: bool
+    reason: str = ""
+    stats: MatchStats = field(default_factory=MatchStats)
+
+    def __str__(self) -> str:
+        verdict = "conforms to" if self.conforms else "does NOT conform to"
+        suffix = f" ({self.reason})" if self.reason and not self.conforms else ""
+        return f"{self.node.n3()} {verdict} {self.label}{suffix}"

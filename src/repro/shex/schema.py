@@ -1,0 +1,262 @@
+"""Shape Expression Schemas ``(Λ, δ)`` and the typing context ``Γ``.
+
+Section 8 of the paper extends regular shape expressions with labels: a
+schema is a pair ``(Λ, δ)`` where ``δ`` maps each label to a regular shape
+expression whose arcs may reference other labels (``@<Person>``).  Matching
+then happens *under a context* ``Γ`` holding the typing hypotheses made so
+far; the rule ``MatchShape`` adds ``n → l`` to the context before checking
+``δ(l)`` against ``Σgₙ``, which is what makes recursive schemas (Example 13,
+Example 14) terminate.
+
+This module provides:
+
+* :class:`Schema` — the ``(Λ, δ)`` pair with convenience constructors,
+* :class:`ValidationContext` — the ``Γ`` object shared by both engines; it
+  holds the graph, the schema, the hypothesis set and a pluggable
+  ``neighbourhood matcher`` so the same recursion logic drives the
+  derivative engine, the backtracking engine and any future engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, Literal, ObjectTerm, SubjectTerm, Triple
+from .expressions import ShapeExpr, iter_subexpressions, referenced_labels
+from .node_constraints import ShapeRef
+from .results import MatchResult, MatchStats
+from .typing import ShapeLabel, ShapeTyping
+
+__all__ = ["Schema", "SchemaError", "ValidationContext", "NeighbourhoodMatcher"]
+
+
+class SchemaError(Exception):
+    """Raised for malformed schemas (unknown labels, missing start shape…)."""
+
+
+#: Signature of the function both engines expose: match an expression against
+#: a set of triples under a context, returning a :class:`MatchResult`.
+NeighbourhoodMatcher = Callable[
+    [ShapeExpr, FrozenSet[Triple], "ValidationContext"], MatchResult
+]
+
+
+class Schema:
+    """A Shape Expression Schema: a finite set of labelled shape expressions."""
+
+    def __init__(self, shapes: Mapping[ShapeLabel | str, ShapeExpr],
+                 start: Optional[ShapeLabel | str] = None):
+        self._shapes: Dict[ShapeLabel, ShapeExpr] = {}
+        for label, expr in shapes.items():
+            label = label if isinstance(label, ShapeLabel) else ShapeLabel(label)
+            if not isinstance(expr, ShapeExpr):
+                raise SchemaError(f"shape {label} is not a ShapeExpr: {expr!r}")
+            self._shapes[label] = expr
+        if not self._shapes:
+            raise SchemaError("a schema needs at least one shape")
+        if start is not None:
+            start = start if isinstance(start, ShapeLabel) else ShapeLabel(start)
+            if start not in self._shapes:
+                raise SchemaError(f"start shape {start} is not defined")
+        self._start = start
+        self._check_references()
+
+    def _check_references(self) -> None:
+        """Every ``@label`` reference must point at a defined shape."""
+        for label, expr in self._shapes.items():
+            for referenced in referenced_labels(expr):
+                referenced = (referenced if isinstance(referenced, ShapeLabel)
+                              else ShapeLabel(str(referenced)))
+                if referenced not in self._shapes:
+                    raise SchemaError(
+                        f"shape {label} references undefined shape {referenced}"
+                    )
+
+    # -- accessors -------------------------------------------------------------
+    @property
+    def start(self) -> Optional[ShapeLabel]:
+        """The start shape, if one was declared."""
+        return self._start
+
+    def labels(self) -> Iterator[ShapeLabel]:
+        """Iterate over the labels ``Λ`` in sorted order."""
+        return iter(sorted(self._shapes.keys()))
+
+    def expression(self, label: ShapeLabel | str) -> ShapeExpr:
+        """Return ``δ(label)``."""
+        label = label if isinstance(label, ShapeLabel) else ShapeLabel(label)
+        try:
+            return self._shapes[label]
+        except KeyError:
+            raise SchemaError(f"unknown shape label: {label}") from None
+
+    def __contains__(self, label: object) -> bool:
+        if isinstance(label, str):
+            label = ShapeLabel(label)
+        return label in self._shapes
+
+    def __len__(self) -> int:
+        return len(self._shapes)
+
+    def items(self) -> Iterator[Tuple[ShapeLabel, ShapeExpr]]:
+        """Iterate over ``(label, expression)`` pairs in label order."""
+        for label in self.labels():
+            yield label, self._shapes[label]
+
+    def is_recursive(self) -> bool:
+        """True if any shape can reach itself through ``@label`` references."""
+        return any(label in self._reachable(label) for label in self._shapes)
+
+    def dependencies(self, label: ShapeLabel | str) -> FrozenSet[ShapeLabel]:
+        """Return the labels directly referenced by ``label``'s expression."""
+        expr = self.expression(label)
+        return frozenset(
+            ref if isinstance(ref, ShapeLabel) else ShapeLabel(str(ref))
+            for ref in referenced_labels(expr)
+        )
+
+    def _reachable(self, label: ShapeLabel) -> FrozenSet[ShapeLabel]:
+        seen: Set[ShapeLabel] = set()
+        frontier = list(self.dependencies(label))
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.dependencies(current))
+        return frozenset(seen)
+
+    def __repr__(self) -> str:
+        labels = ", ".join(str(label) for label in self.labels())
+        return f"Schema([{labels}], start={self._start})"
+
+    # -- construction helpers ---------------------------------------------------
+    @classmethod
+    def single(cls, label: ShapeLabel | str, expr: ShapeExpr) -> "Schema":
+        """A schema with exactly one shape, also used as the start shape."""
+        return cls({label: expr}, start=label)
+
+    @classmethod
+    def from_shexc(cls, text: str) -> "Schema":
+        """Parse a schema written in the ShEx compact syntax."""
+        from .shexc import parse_shexc
+
+        return parse_shexc(text)
+
+    def to_shexc(self) -> str:
+        """Serialise the schema back to ShEx compact syntax."""
+        from .shexc import serialize_shexc
+
+        return serialize_shexc(self)
+
+
+class ValidationContext:
+    """The typing context ``Γ`` threaded through a validation run.
+
+    The context records the *hypotheses*: the ``(node, label)`` pairs whose
+    validation is currently in progress.  When an arc references a label and
+    the object node is already hypothesised for that label, the reference is
+    assumed to hold, which is exactly the coinductive reading of the
+    ``MatchShape`` rule and guarantees termination on cyclic data
+    (``:alice foaf:knows :bob . :bob foaf:knows :alice .``).
+
+    The actual neighbourhood matching is delegated to the ``matcher``
+    callable so the derivative and backtracking engines can share this class.
+    """
+
+    def __init__(self, graph: Graph, schema: Optional[Schema],
+                 matcher: NeighbourhoodMatcher,
+                 max_recursion_depth: int = 500):
+        self.graph = graph
+        self.schema = schema
+        self._matcher = matcher
+        self._hypotheses: Set[Tuple[ObjectTerm, ShapeLabel]] = set()
+        self._confirmed = ShapeTyping.empty()
+        self._failed: Set[Tuple[ObjectTerm, ShapeLabel]] = set()
+        self.stats = MatchStats()
+        self.max_recursion_depth = max_recursion_depth
+        self._depth = 0
+
+    # -- typing bookkeeping -----------------------------------------------------
+    @property
+    def typing(self) -> ShapeTyping:
+        """The typing confirmed so far (``Γ.typing`` in the paper)."""
+        return self._confirmed
+
+    def assume(self, node: ObjectTerm, label: ShapeLabel) -> None:
+        """Add the hypothesis ``node → label`` (the ``Γ{n → l}`` operation)."""
+        self._hypotheses.add((node, label))
+
+    def retract(self, node: ObjectTerm, label: ShapeLabel) -> None:
+        """Drop a hypothesis after its validation finished."""
+        self._hypotheses.discard((node, label))
+
+    def is_assumed(self, node: ObjectTerm, label: ShapeLabel) -> bool:
+        """True if ``node → label`` is currently hypothesised."""
+        return (node, label) in self._hypotheses
+
+    def confirm(self, node: ObjectTerm, label: ShapeLabel) -> None:
+        """Record ``node → label`` as definitely established."""
+        self._confirmed = self._confirmed.add(node, label)
+
+    def record_failure(self, node: ObjectTerm, label: ShapeLabel) -> None:
+        """Record that ``node`` definitely does not have shape ``label``."""
+        self._failed.add((node, label))
+
+    def is_confirmed(self, node: ObjectTerm, label: ShapeLabel) -> bool:
+        """True if ``node → label`` has already been established."""
+        return self._confirmed.has(node, label)
+
+    def is_failed(self, node: ObjectTerm, label: ShapeLabel) -> bool:
+        """True if ``node → label`` has already been refuted."""
+        return (node, label) in self._failed
+
+    # -- the MatchShape rule -----------------------------------------------------
+    def check_reference(self, node: ObjectTerm, label: ShapeLabel | str) -> MatchResult:
+        """Validate ``node`` against the shape named ``label``.
+
+        Implements the ``MatchShape`` / ``Arcref`` rules: extend the context
+        with the hypothesis, match ``δ(label)`` against the node's
+        neighbourhood, and cache the verdict so shared sub-structures are
+        validated once.
+        """
+        if self.schema is None:
+            raise SchemaError("shape references need a schema-aware validation context")
+        label = label if isinstance(label, ShapeLabel) else ShapeLabel(label)
+        self.stats.reference_checks += 1
+        if self.is_confirmed(node, label):
+            return MatchResult.success(ShapeTyping.single(node, label))
+        if self.is_failed(node, label):
+            return MatchResult.failure(f"{node.n3()} already failed shape {label}")
+        if self.is_assumed(node, label):
+            # coinductive hypothesis: assume the reference holds
+            return MatchResult.success(ShapeTyping.single(node, label))
+        if self._depth >= self.max_recursion_depth:
+            return MatchResult.failure(
+                f"recursion depth limit ({self.max_recursion_depth}) exceeded "
+                f"while validating {node.n3()} against {label}"
+            )
+        expr = self.schema.expression(label)
+        if isinstance(node, Literal):
+            # literals have no outgoing arcs; they conform only to shapes
+            # accepting the empty neighbourhood
+            neighbourhood: FrozenSet[Triple] = frozenset()
+        else:
+            neighbourhood = self.graph.neighbourhood(node)
+        self.assume(node, label)
+        self._depth += 1
+        try:
+            result = self._matcher(expr, neighbourhood, self)
+        finally:
+            self._depth -= 1
+            self.retract(node, label)
+        if result.matched:
+            self.confirm(node, label)
+            typing = result.typing.add(node, label)
+            return MatchResult(True, typing, result.stats)
+        self.record_failure(node, label)
+        return MatchResult.failure(
+            f"{node.n3()} does not match shape {label}: {result.reason}",
+            result.stats,
+        )

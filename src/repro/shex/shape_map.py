@@ -1,0 +1,283 @@
+"""Shape maps: declaring which nodes should be validated against which shapes.
+
+The paper validates "nodes against shapes"; in practice (and in the later
+ShEx specifications) the association is written down as a *shape map*.  This
+module implements the fixed and query-based shape maps users of a validator
+need:
+
+* **fixed** associations — ``<http://example.org/john>@<Person>``,
+* **query** associations — ``{FOCUS rdf:type foaf:Person}@<Person>`` selects
+  every node with a matching triple as the focus,
+* programmatic construction from Python dictionaries.
+
+A :class:`ShapeMap` resolves against a graph into concrete ``(node, label)``
+pairs which are then fed to :meth:`repro.shex.validator.Validator.validate_map`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..rdf.errors import ParseError
+from ..rdf.graph import Graph
+from ..rdf.namespaces import NamespaceManager
+from ..rdf.ntriples import unescape_string
+from ..rdf.terms import IRI, Literal, ObjectTerm, SubjectTerm
+from .typing import ShapeLabel
+
+__all__ = [
+    "ShapeMapEntry",
+    "FixedEntry",
+    "QueryEntry",
+    "ShapeMap",
+    "parse_shape_map",
+]
+
+
+class ShapeMapEntry:
+    """Base class of shape map entries."""
+
+    __slots__ = ()
+
+    def resolve(self, graph: Graph) -> Iterator[Tuple[SubjectTerm, ShapeLabel]]:
+        """Yield the concrete ``(node, label)`` pairs this entry selects."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedEntry(ShapeMapEntry):
+    """A single node associated with a single shape label."""
+
+    node: SubjectTerm
+    label: ShapeLabel
+
+    def resolve(self, graph: Graph) -> Iterator[Tuple[SubjectTerm, ShapeLabel]]:
+        yield self.node, self.label
+
+    def __str__(self) -> str:
+        return f"{self.node.n3()}@<{self.label}>"
+
+
+@dataclass(frozen=True)
+class QueryEntry(ShapeMapEntry):
+    """A triple-pattern selector: every matching focus node gets the shape.
+
+    The pattern has exactly one ``FOCUS`` position (subject or object); the
+    other positions are either concrete terms or the wildcard ``_``.
+    """
+
+    label: ShapeLabel
+    focus_position: str                       # "subject" or "object"
+    predicate: Optional[IRI] = None           # None = wildcard
+    other: Optional[ObjectTerm] = None        # the non-focus position (None = wildcard)
+
+    def __post_init__(self):
+        if self.focus_position not in ("subject", "object"):
+            raise ValueError("focus_position must be 'subject' or 'object'")
+
+    def resolve(self, graph: Graph) -> Iterator[Tuple[SubjectTerm, ShapeLabel]]:
+        seen = set()
+        if self.focus_position == "subject":
+            candidates = graph.triples(None, self.predicate, self.other)
+            for triple in candidates:
+                if triple.subject not in seen:
+                    seen.add(triple.subject)
+                    yield triple.subject, self.label
+        else:
+            subject = self.other if isinstance(self.other, (IRI,)) else None
+            for triple in graph.triples(subject, self.predicate, None):
+                node = triple.object
+                if isinstance(node, Literal):
+                    continue  # literals cannot be focus nodes of a shape
+                if node not in seen:
+                    seen.add(node)
+                    yield node, self.label
+
+    def __str__(self) -> str:
+        def render(term, is_focus):
+            if is_focus:
+                return "FOCUS"
+            if term is None:
+                return "_"
+            return term.n3()
+
+        subject = render(self.other if self.focus_position == "object" else None,
+                         self.focus_position == "subject")
+        obj = render(self.other if self.focus_position == "subject" else None,
+                     self.focus_position == "object")
+        predicate = self.predicate.n3() if self.predicate is not None else "_"
+        return f"{{{subject} {predicate} {obj}}}@<{self.label}>"
+
+
+class ShapeMap:
+    """An ordered collection of shape map entries."""
+
+    def __init__(self, entries: Optional[Sequence[ShapeMapEntry]] = None):
+        self._entries: List[ShapeMapEntry] = list(entries or [])
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_dict(cls, associations: Dict[SubjectTerm, Union[ShapeLabel, str]]) -> "ShapeMap":
+        """Build a fixed shape map from ``{node: label}`` associations."""
+        entries = [
+            FixedEntry(node, label if isinstance(label, ShapeLabel) else ShapeLabel(label))
+            for node, label in associations.items()
+        ]
+        return cls(entries)
+
+    @classmethod
+    def parse(cls, text: str,
+              namespaces: Optional[NamespaceManager] = None) -> "ShapeMap":
+        """Parse the textual shape map syntax (see :func:`parse_shape_map`)."""
+        return parse_shape_map(text, namespaces)
+
+    def add(self, entry: ShapeMapEntry) -> "ShapeMap":
+        """Append an entry.  Returns ``self`` for chaining."""
+        if not isinstance(entry, ShapeMapEntry):
+            raise TypeError("expected a ShapeMapEntry")
+        self._entries.append(entry)
+        return self
+
+    # -- container protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ShapeMapEntry]:
+        return iter(self._entries)
+
+    def __str__(self) -> str:
+        return ",\n".join(str(entry) for entry in self._entries)
+
+    # -- resolution --------------------------------------------------------------
+    def resolve(self, graph: Graph) -> Dict[SubjectTerm, ShapeLabel]:
+        """Resolve every entry against ``graph``.
+
+        Later entries win when two entries select the same node (mirroring
+        the "last association wins" convention of fixed maps); the result is
+        directly usable by ``Validator.validate_map``.
+        """
+        associations: Dict[SubjectTerm, ShapeLabel] = {}
+        for entry in self._entries:
+            for node, label in entry.resolve(graph):
+                associations[node] = label
+        return associations
+
+
+# ------------------------------------------------------------------------ text syntax
+_ENTRY_RE = re.compile(r"\s*(?P<selector><[^>]*>|_:[A-Za-z0-9_.-]+|\{[^}]*\}|[A-Za-z][\w-]*:[\w.-]*)"
+                       r"\s*@\s*(?P<label><[^>]*>|[A-Za-z][\w-]*:[\w.-]*|[A-Za-z][\w.-]*)\s*$")
+_QUERY_RE = re.compile(r"^\{\s*(?P<subject>\S+)\s+(?P<predicate>\S+)\s+(?P<object>.+?)\s*\}$")
+
+
+def _parse_term(token: str, namespaces: NamespaceManager):
+    token = token.strip()
+    if token == "_":
+        return None
+    if token == "FOCUS":
+        return "FOCUS"
+    if token.startswith("<") and token.endswith(">"):
+        return IRI(unescape_string(token[1:-1]))
+    if token.startswith("_:"):
+        from ..rdf.terms import BNode
+
+        return BNode(token[2:])
+    if token.startswith('"'):
+        match = re.match(r'^"((?:[^"\\]|\\.)*)"(?:@([A-Za-z-]+)|\^\^(\S+))?$', token)
+        if not match:
+            raise ParseError(f"cannot parse literal in shape map: {token!r}")
+        lexical = unescape_string(match.group(1))
+        if match.group(2):
+            return Literal(lexical, lang=match.group(2))
+        if match.group(3):
+            return Literal(lexical, datatype=_parse_term(match.group(3), namespaces))
+        return Literal(lexical)
+    if ":" in token:
+        return namespaces.expand(token)
+    raise ParseError(f"cannot parse shape map term: {token!r}")
+
+
+def _parse_label(token: str, namespaces: NamespaceManager) -> ShapeLabel:
+    token = token.strip()
+    if token.startswith("<") and token.endswith(">"):
+        return ShapeLabel(token[1:-1])
+    if ":" in token:
+        return ShapeLabel(namespaces.expand(token).value)
+    return ShapeLabel(token)
+
+
+def parse_shape_map(text: str,
+                    namespaces: Optional[NamespaceManager] = None) -> ShapeMap:
+    """Parse the comma/newline separated shape map syntax.
+
+    Supported entry forms::
+
+        <http://example.org/john>@<Person>
+        ex:john@ex:PersonShape
+        _:b1@<Person>
+        {FOCUS foaf:knows _}@<Person>
+        {_ foaf:knows FOCUS}@<Person>
+
+    ``namespaces`` supplies the prefix bindings used to expand prefixed names
+    (defaults to the common vocabularies).
+    """
+    namespaces = namespaces or NamespaceManager(bind_defaults=True)
+    shape_map = ShapeMap()
+    # split on commas and newlines, but not inside { } or < >
+    entries = _split_entries(text)
+    for raw_entry in entries:
+        if not raw_entry.strip():
+            continue
+        match = _ENTRY_RE.match(raw_entry)
+        if not match:
+            raise ParseError(f"cannot parse shape map entry: {raw_entry.strip()!r}")
+        selector = match.group("selector").strip()
+        label = _parse_label(match.group("label"), namespaces)
+        if selector.startswith("{"):
+            shape_map.add(_parse_query_selector(selector, label, namespaces))
+        else:
+            node = _parse_term(selector, namespaces)
+            if node is None or node == "FOCUS":
+                raise ParseError(f"invalid focus node in shape map: {selector!r}")
+            shape_map.add(FixedEntry(node, label))
+    return shape_map
+
+
+def _split_entries(text: str) -> List[str]:
+    entries: List[str] = []
+    current: List[str] = []
+    depth = 0
+    for char in text:
+        if char == "{":
+            depth += 1
+        elif char == "}":
+            depth -= 1
+        if char in ",\n" and depth == 0:
+            entries.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    entries.append("".join(current))
+    return entries
+
+
+def _parse_query_selector(selector: str, label: ShapeLabel,
+                          namespaces: NamespaceManager) -> QueryEntry:
+    match = _QUERY_RE.match(selector)
+    if not match:
+        raise ParseError(f"cannot parse query selector: {selector!r}")
+    subject = _parse_term(match.group("subject"), namespaces)
+    predicate = _parse_term(match.group("predicate"), namespaces)
+    obj = _parse_term(match.group("object"), namespaces)
+    if predicate == "FOCUS":
+        raise ParseError("FOCUS cannot appear in the predicate position")
+    if subject == "FOCUS" and obj == "FOCUS":
+        raise ParseError("only one FOCUS position is allowed")
+    if subject == "FOCUS":
+        return QueryEntry(label=label, focus_position="subject",
+                          predicate=predicate, other=obj)
+    if obj == "FOCUS":
+        return QueryEntry(label=label, focus_position="object",
+                          predicate=predicate, other=subject)
+    raise ParseError("a query selector needs a FOCUS position")

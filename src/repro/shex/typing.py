@@ -1,0 +1,165 @@
+"""Shape typings: the ``τ`` objects of Section 8.
+
+A *shape typing* maps nodes of an RDF graph to the set of shape labels they
+have been shown to satisfy.  The paper manipulates typings with three
+operations, reproduced here:
+
+* `` `` (the empty typing),
+* ``n → s : τ`` (adding the association of shape ``s`` to node ``n``),
+* ``τ1 ⊎ τ2`` (combining two typings).
+
+Typings are immutable value objects; adding or combining returns a new
+typing, which keeps backtracking branches independent of each other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
+
+from ..rdf.terms import ObjectTerm
+
+__all__ = ["ShapeLabel", "ShapeTyping"]
+
+
+class ShapeLabel:
+    """A label ``λ ∈ Λ`` naming a shape in a schema.
+
+    Labels compare by name, so ``ShapeLabel("Person")`` constructed in a test
+    equals the label produced by the ShExC parser for ``<Person>``.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise ValueError("a shape label needs a non-empty name")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("ShapeLabel is immutable")
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ShapeLabel):
+            return other.name == self.name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("ShapeLabel", self.name))
+
+    def __repr__(self) -> str:
+        return f"ShapeLabel({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __lt__(self, other: "ShapeLabel") -> bool:
+        if not isinstance(other, ShapeLabel):
+            return NotImplemented
+        return self.name < other.name
+
+
+def _as_label(label: "ShapeLabel | str") -> ShapeLabel:
+    return label if isinstance(label, ShapeLabel) else ShapeLabel(label)
+
+
+class ShapeTyping:
+    """An immutable mapping from graph nodes to sets of shape labels."""
+
+    __slots__ = ("_assignments",)
+
+    def __init__(self, assignments: Mapping[ObjectTerm, Iterable[ShapeLabel]] | None = None):
+        frozen: Dict[ObjectTerm, FrozenSet[ShapeLabel]] = {}
+        if assignments:
+            for node, labels in assignments.items():
+                label_set = frozenset(_as_label(label) for label in labels)
+                if label_set:
+                    frozen[node] = label_set
+        object.__setattr__(self, "_assignments", frozen)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("ShapeTyping is immutable")
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def empty(cls) -> "ShapeTyping":
+        """The empty typing `` ``."""
+        return _EMPTY_TYPING
+
+    @classmethod
+    def single(cls, node: ObjectTerm, label: "ShapeLabel | str") -> "ShapeTyping":
+        """The typing containing exactly ``node → label``."""
+        return cls({node: [_as_label(label)]})
+
+    # -- paper operations ---------------------------------------------------
+    def add(self, node: ObjectTerm, label: "ShapeLabel | str") -> "ShapeTyping":
+        """``n → s : τ`` — return a typing extended with one association."""
+        label = _as_label(label)
+        updated = dict(self._assignments)
+        updated[node] = updated.get(node, frozenset()) | {label}
+        return ShapeTyping(updated)
+
+    def combine(self, other: "ShapeTyping") -> "ShapeTyping":
+        """``τ1 ⊎ τ2`` — the union of two typings."""
+        if not other._assignments:
+            return self
+        if not self._assignments:
+            return other
+        merged = dict(self._assignments)
+        for node, labels in other._assignments.items():
+            merged[node] = merged.get(node, frozenset()) | labels
+        return ShapeTyping(merged)
+
+    def __or__(self, other: "ShapeTyping") -> "ShapeTyping":
+        return self.combine(other)
+
+    # -- queries ---------------------------------------------------------------
+    def labels_for(self, node: ObjectTerm) -> FrozenSet[ShapeLabel]:
+        """Return the labels assigned to ``node`` (empty set if none)."""
+        return self._assignments.get(node, frozenset())
+
+    def has(self, node: ObjectTerm, label: "ShapeLabel | str") -> bool:
+        """True if ``node → label`` is part of this typing."""
+        return _as_label(label) in self._assignments.get(node, frozenset())
+
+    def nodes(self) -> Iterator[ObjectTerm]:
+        """Iterate over the nodes that have at least one label."""
+        return iter(self._assignments.keys())
+
+    def items(self) -> Iterator[Tuple[ObjectTerm, FrozenSet[ShapeLabel]]]:
+        """Iterate over ``(node, labels)`` pairs."""
+        return iter(self._assignments.items())
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def __bool__(self) -> bool:
+        return bool(self._assignments)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._assignments
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ShapeTyping):
+            return NotImplemented
+        return other._assignments == self._assignments
+
+    def __hash__(self) -> int:
+        return hash(frozenset((node, labels) for node, labels in self._assignments.items()))
+
+    def __repr__(self) -> str:
+        parts = []
+        for node, labels in sorted(self._assignments.items(),
+                                   key=lambda item: item[0].sort_key()):
+            rendered = ", ".join(sorted(str(label) for label in labels))
+            parts.append(f"{node.n3()} → {{{rendered}}}")
+        return "ShapeTyping(" + "; ".join(parts) + ")"
+
+    def to_dict(self) -> Dict[str, list]:
+        """Return a JSON-friendly representation (node n3 → sorted label names)."""
+        return {
+            node.n3(): sorted(str(label) for label in labels)
+            for node, labels in self._assignments.items()
+        }
+
+
+_EMPTY_TYPING = ShapeTyping()

@@ -1,0 +1,223 @@
+"""Validator façade: the public entry point for RDF validation.
+
+The :class:`Validator` ties together a graph, a schema and one of the
+matching engines (derivatives, backtracking or the SPARQL compiler) and
+exposes the operations users of the paper's system need:
+
+* ``validate_node(node, label)`` — does one node have one shape?
+* ``validate_map({node: label, …})`` — validate a shape map,
+* ``infer_typing()`` — the type-inference algorithm of Section 8: compute a
+  shape typing assigning to every node the labels it satisfies,
+* ``conforming_nodes(label)`` — which nodes have a given shape (Example 2).
+
+Engines are pluggable so the benchmarks can swap implementations while the
+surrounding code stays identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, ObjectTerm, SubjectTerm
+from .backtracking import BacktrackingEngine
+from .derivatives import DerivativeEngine
+from .expressions import ShapeExpr
+from .results import MatchResult, MatchStats, ValidationReportEntry
+from .schema import Schema, SchemaError, ValidationContext
+from .typing import ShapeLabel, ShapeTyping
+
+__all__ = ["Validator", "ValidationReport", "get_engine", "ENGINES"]
+
+
+#: registry of engine factories keyed by their public names.
+ENGINES = {
+    "derivatives": DerivativeEngine,
+    "backtracking": BacktrackingEngine,
+}
+
+
+def get_engine(engine: Union[str, object, None] = None, **options):
+    """Resolve an engine argument into an engine instance.
+
+    ``engine`` may be ``None`` (default: derivatives), the name of a
+    registered engine, or an already-built engine object exposing
+    ``match_neighbourhood``.
+    """
+    if engine is None:
+        return DerivativeEngine(**options)
+    if isinstance(engine, str):
+        try:
+            factory = ENGINES[engine]
+        except KeyError:
+            raise ValueError(
+                f"unknown engine {engine!r}; available: {sorted(ENGINES)}"
+            ) from None
+        return factory(**options)
+    if hasattr(engine, "match_neighbourhood"):
+        return engine
+    raise TypeError(f"not a matching engine: {engine!r}")
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of validating a shape map or a whole graph."""
+
+    entries: List[ValidationReportEntry] = field(default_factory=list)
+    typing: ShapeTyping = field(default_factory=ShapeTyping.empty)
+
+    @property
+    def conforms(self) -> bool:
+        """True when every requested (node, shape) pair conforms."""
+        return all(entry.conforms for entry in self.entries)
+
+    def failures(self) -> List[ValidationReportEntry]:
+        """Return the entries that did not conform."""
+        return [entry for entry in self.entries if not entry.conforms]
+
+    def entry_for(self, node: ObjectTerm,
+                  label: Union[ShapeLabel, str, None] = None) -> Optional[ValidationReportEntry]:
+        """Return the report entry for ``node`` (and ``label`` if given)."""
+        wanted = None
+        if label is not None:
+            wanted = label if isinstance(label, ShapeLabel) else ShapeLabel(label)
+        for entry in self.entries:
+            if entry.node == node and (wanted is None or entry.label == wanted):
+                return entry
+        return None
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __str__(self) -> str:
+        return "\n".join(str(entry) for entry in self.entries)
+
+    def total_stats(self) -> MatchStats:
+        """Aggregate the per-entry statistics into one record."""
+        total = MatchStats()
+        for entry in self.entries:
+            total.merge(entry.stats)
+        return total
+
+
+class Validator:
+    """Validate RDF graphs against Shape Expression schemas.
+
+    Parameters
+    ----------
+    graph:
+        the data graph to validate.
+    schema:
+        the Shape Expression schema ``(Λ, δ)``; optional when only
+        expression-level matching is needed.
+    engine:
+        ``"derivatives"`` (default), ``"backtracking"`` or an engine object.
+    engine_options:
+        keyword options forwarded to the engine factory
+        (e.g. ``simplify=False`` or ``budget=10_000``).
+    """
+
+    def __init__(self, graph: Graph, schema: Optional[Schema] = None,
+                 engine: Union[str, object, None] = None, **engine_options):
+        self.graph = graph
+        self.schema = schema
+        self.engine = get_engine(engine, **engine_options)
+
+    # -- contexts ---------------------------------------------------------------
+    def _new_context(self) -> ValidationContext:
+        return ValidationContext(self.graph, self.schema, self.engine.match_neighbourhood)
+
+    # -- expression-level API -----------------------------------------------------
+    def node_matches_expression(self, node: SubjectTerm, expr: ShapeExpr) -> MatchResult:
+        """Match the neighbourhood of ``node`` against a bare expression."""
+        context = self._new_context() if self.schema is not None else None
+        neighbourhood = self.graph.neighbourhood(node)
+        return self.engine.match_neighbourhood(expr, neighbourhood, context)
+
+    # -- schema-level API ----------------------------------------------------------
+    def validate_node(self, node: SubjectTerm,
+                      label: Union[ShapeLabel, str, None] = None) -> ValidationReportEntry:
+        """Validate one node against one shape label (default: the start shape)."""
+        label = self._resolve_label(label)
+        context = self._new_context()
+        result = context.check_reference(node, label)
+        return ValidationReportEntry(
+            node=node, label=label, conforms=result.matched,
+            reason=result.reason, stats=context.stats.merge(result.stats),
+        )
+
+    def validate_map(self, shape_map: Mapping[SubjectTerm, Union[ShapeLabel, str]]
+                     ) -> ValidationReport:
+        """Validate every ``node → label`` association of a shape map."""
+        report = ValidationReport()
+        typing = ShapeTyping.empty()
+        for node, label in shape_map.items():
+            entry = self.validate_node(node, label)
+            report.entries.append(entry)
+            if entry.conforms:
+                typing = typing.add(node, self._resolve_label(label))
+        report.typing = typing
+        return report
+
+    def infer_typing(self, nodes: Optional[Iterable[SubjectTerm]] = None,
+                     labels: Optional[Iterable[Union[ShapeLabel, str]]] = None
+                     ) -> ShapeTyping:
+        """Compute a shape typing for the graph (Section 8).
+
+        Tries every combination of the given nodes (default: every subject
+        node of the graph) and labels (default: every label of the schema)
+        and returns the typing containing the associations that validate.
+        """
+        if self.schema is None:
+            raise SchemaError("infer_typing requires a schema")
+        node_list = list(nodes) if nodes is not None else sorted(
+            self.graph.nodes(), key=lambda term: term.sort_key()
+        )
+        label_list = [self._resolve_label(label) for label in labels] if labels \
+            else list(self.schema.labels())
+        typing = ShapeTyping.empty()
+        for node in node_list:
+            for label in label_list:
+                entry = self.validate_node(node, label)
+                if entry.conforms:
+                    typing = typing.add(node, label)
+        return typing
+
+    def conforming_nodes(self, label: Union[ShapeLabel, str, None] = None
+                         ) -> List[SubjectTerm]:
+        """Return the subject nodes that conform to ``label`` (Example 2)."""
+        label = self._resolve_label(label)
+        nodes = sorted(self.graph.nodes(), key=lambda term: term.sort_key())
+        return [node for node in nodes if self.validate_node(node, label).conforms]
+
+    def validate_graph(self, labels: Optional[Sequence[Union[ShapeLabel, str]]] = None
+                       ) -> ValidationReport:
+        """Validate every subject node against every (or the given) labels."""
+        if self.schema is None:
+            raise SchemaError("validate_graph requires a schema")
+        label_list = [self._resolve_label(label) for label in labels] if labels \
+            else list(self.schema.labels())
+        report = ValidationReport()
+        typing = ShapeTyping.empty()
+        for node in sorted(self.graph.nodes(), key=lambda term: term.sort_key()):
+            for label in label_list:
+                entry = self.validate_node(node, label)
+                report.entries.append(entry)
+                if entry.conforms:
+                    typing = typing.add(node, label)
+        report.typing = typing
+        return report
+
+    # -- helpers -----------------------------------------------------------------
+    def _resolve_label(self, label: Union[ShapeLabel, str, None]) -> ShapeLabel:
+        if label is None:
+            if self.schema is None or self.schema.start is None:
+                raise SchemaError("no shape label given and the schema has no start shape")
+            return self.schema.start
+        if isinstance(label, ShapeLabel):
+            return label
+        return ShapeLabel(label)

@@ -1,0 +1,59 @@
+"""SPARQL subset engine: the baseline substrate of Section 3 of the paper.
+
+The paper argues that RDF validation *can* be expressed with SPARQL queries
+(Example 4 shows the Person shape compiled by hand) but that the result is
+unwieldy and cannot express recursion.  To reproduce that comparison without
+an external triple store, this package implements a query engine for the
+SPARQL 1.1 fragment those validation queries need:
+
+* ``SELECT`` / ``ASK`` query forms,
+* basic graph patterns, ``FILTER``, ``OPTIONAL``, ``UNION``, sub-``SELECT``,
+* ``GROUP BY`` / ``HAVING`` with ``COUNT`` (plus ``SUM``/``MIN``/``MAX``/``AVG``),
+* the expression built-ins used for validation (``isLiteral``, ``isIRI``,
+  ``isBlank``, ``bound``, ``datatype``, ``str``, ``lang``, ``regex`` …).
+
+Usage::
+
+    from repro.rdf import Graph
+    from repro.sparql import ask, select
+
+    graph = Graph.parse(turtle_text)
+    ok = ask(graph, "ASK { ?s <http://xmlns.com/foaf/0.1/name> ?name }")
+"""
+
+from .ast_nodes import (
+    Aggregate,
+    AskQuery,
+    BGP,
+    BinaryOp,
+    Expression,
+    FilterPattern,
+    FunctionCall,
+    GroupPattern,
+    OptionalPattern,
+    Projection,
+    Query,
+    SelectQuery,
+    SubSelectPattern,
+    TermExpr,
+    TriplePattern,
+    UnaryOp,
+    UnionPattern,
+    Variable,
+    VariableExpr,
+)
+from .errors import SparqlError, SparqlEvaluationError, SparqlParseError
+from .evaluator import QueryResult, Solution, ask, evaluate_query, execute, select
+from .parser import parse_query
+
+__all__ = [
+    "parse_query", "evaluate_query", "execute", "ask", "select",
+    "QueryResult", "Solution",
+    "Variable", "TriplePattern",
+    "Expression", "VariableExpr", "TermExpr", "FunctionCall", "UnaryOp", "BinaryOp",
+    "Aggregate",
+    "BGP", "GroupPattern", "OptionalPattern", "UnionPattern", "FilterPattern",
+    "SubSelectPattern",
+    "Projection", "SelectQuery", "AskQuery", "Query",
+    "SparqlError", "SparqlParseError", "SparqlEvaluationError",
+]

@@ -1,0 +1,215 @@
+"""Abstract syntax tree for the SPARQL subset.
+
+The engine supports the fragment of SPARQL 1.1 that RDF validation queries
+need (the paper's Example 4 exercises essentially all of it): ``SELECT`` and
+``ASK`` forms, basic graph patterns, ``FILTER``, ``OPTIONAL``, ``UNION``,
+nested sub-``SELECT``, ``GROUP BY`` / ``HAVING`` with ``COUNT`` aggregates,
+``DISTINCT``, ``LIMIT`` / ``OFFSET`` and the usual expression language.
+
+The AST nodes are plain frozen dataclasses; evaluation lives in
+:mod:`repro.sparql.evaluator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+from ..rdf.terms import IRI, Literal, ObjectTerm
+
+__all__ = [
+    "Variable",
+    "TriplePattern",
+    "Expression", "VariableExpr", "TermExpr", "FunctionCall", "UnaryOp", "BinaryOp",
+    "Aggregate",
+    "Pattern", "BGP", "GroupPattern", "OptionalPattern", "UnionPattern",
+    "FilterPattern", "SubSelectPattern",
+    "Projection", "SelectQuery", "AskQuery", "Query",
+]
+
+
+class Variable:
+    """A SPARQL variable (``?name`` or ``$name``)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must not be empty")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Variable is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Variable) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Variable", self.name))
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+#: a position in a triple pattern: either a concrete term or a variable.
+PatternTerm = Union[Variable, IRI, Literal, ObjectTerm]
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """A triple pattern with variables allowed in any position."""
+
+    subject: PatternTerm
+    predicate: PatternTerm
+    object: PatternTerm
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """Return the variables mentioned by this pattern."""
+        return tuple(term for term in (self.subject, self.predicate, self.object)
+                     if isinstance(term, Variable))
+
+
+# ----------------------------------------------------------------------- expressions
+class Expression:
+    """Base class for filter/projection expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class VariableExpr(Expression):
+    """A variable used inside an expression."""
+
+    variable: Variable
+
+
+@dataclass(frozen=True)
+class TermExpr(Expression):
+    """A constant RDF term used inside an expression."""
+
+    term: ObjectTerm
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A built-in function call: ``isLiteral(?o)``, ``datatype(?o)``, ``regex`` …"""
+
+    name: str
+    arguments: Tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """A unary operator: ``!``, ``-`` or ``+``."""
+
+    operator: str
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary operator: ``&&``, ``||``, comparisons and arithmetic."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class Aggregate(Expression):
+    """An aggregate expression (only ``COUNT`` is needed by the validator)."""
+
+    name: str
+    argument: Optional[Expression]  # None means COUNT(*)
+    distinct: bool = False
+
+
+# --------------------------------------------------------------------------- patterns
+class Pattern:
+    """Base class for graph patterns."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class BGP(Pattern):
+    """A basic graph pattern: a conjunction of triple patterns."""
+
+    patterns: Tuple[TriplePattern, ...]
+
+
+@dataclass(frozen=True)
+class GroupPattern(Pattern):
+    """A group ``{ … }``: elements joined in order, filters applied at the end."""
+
+    elements: Tuple[Pattern, ...]
+    filters: Tuple[Expression, ...] = ()
+
+
+@dataclass(frozen=True)
+class OptionalPattern(Pattern):
+    """``OPTIONAL { … }`` (left join with the surrounding group)."""
+
+    pattern: GroupPattern
+
+
+@dataclass(frozen=True)
+class UnionPattern(Pattern):
+    """``{ … } UNION { … }`` (may chain more than two branches)."""
+
+    branches: Tuple[GroupPattern, ...]
+
+
+@dataclass(frozen=True)
+class FilterPattern(Pattern):
+    """A ``FILTER`` constraint kept in document order inside a group."""
+
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class SubSelectPattern(Pattern):
+    """A nested ``SELECT`` used as a graph pattern."""
+
+    query: "SelectQuery"
+
+
+# ----------------------------------------------------------------------------- queries
+@dataclass(frozen=True)
+class Projection:
+    """One projected column: a plain variable or ``(expression AS ?alias)``."""
+
+    variable: Variable
+    expression: Optional[Expression] = None  # None projects the variable itself
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A ``SELECT`` query (possibly nested as a sub-select)."""
+
+    projections: Tuple[Projection, ...]          # empty tuple means SELECT *
+    where: GroupPattern
+    distinct: bool = False
+    group_by: Tuple[Variable, ...] = ()
+    having: Tuple[Expression, ...] = ()
+    order_by: Tuple[Tuple[Expression, bool], ...] = ()   # (expression, ascending)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+    @property
+    def select_all(self) -> bool:
+        """True for ``SELECT *``."""
+        return not self.projections
+
+
+@dataclass(frozen=True)
+class AskQuery:
+    """An ``ASK`` query."""
+
+    where: GroupPattern
+
+
+Query = Union[SelectQuery, AskQuery]

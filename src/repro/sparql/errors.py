@@ -1,0 +1,30 @@
+"""Exception hierarchy for the SPARQL subset engine."""
+
+from __future__ import annotations
+
+__all__ = ["SparqlError", "SparqlParseError", "SparqlEvaluationError"]
+
+
+class SparqlError(Exception):
+    """Base class of every error raised by :mod:`repro.sparql`."""
+
+
+class SparqlParseError(SparqlError):
+    """Raised when a query cannot be parsed.
+
+    Carries the line/column of the offending token when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+
+
+class SparqlEvaluationError(SparqlError):
+    """Raised when a query cannot be evaluated (type errors, unknown functions…)."""

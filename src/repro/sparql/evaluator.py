@@ -1,0 +1,687 @@
+"""Evaluator for the SPARQL subset over :class:`repro.rdf.Graph`.
+
+The evaluator follows the standard SPARQL algebra on multisets of solution
+mappings:
+
+* basic graph patterns are evaluated by index-backed pattern matching and
+  hash joins on shared variables,
+* ``OPTIONAL`` is a left join, ``UNION`` a multiset union,
+* ``FILTER`` expressions use the three-valued SPARQL logic (type errors make
+  a filter condition fail rather than abort the query),
+* ``GROUP BY`` / ``HAVING`` with ``COUNT``/``SUM``/``MIN``/``MAX``/``AVG``
+  aggregates, sub-``SELECT``, ``DISTINCT``, ``ORDER BY``, ``LIMIT`` and
+  ``OFFSET`` are supported because the validation queries of Section 3 of the
+  paper rely on them.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..rdf.datatypes import to_python_value
+from ..rdf.graph import Graph
+from ..rdf.namespaces import XSD
+from ..rdf.terms import BNode, IRI, Literal, ObjectTerm
+from .ast_nodes import (
+    Aggregate,
+    AskQuery,
+    BGP,
+    BinaryOp,
+    Expression,
+    FilterPattern,
+    FunctionCall,
+    GroupPattern,
+    OptionalPattern,
+    Pattern,
+    Projection,
+    Query,
+    SelectQuery,
+    SubSelectPattern,
+    TermExpr,
+    TriplePattern,
+    UnaryOp,
+    UnionPattern,
+    Variable,
+    VariableExpr,
+)
+from .errors import SparqlEvaluationError
+from .parser import parse_query
+
+__all__ = ["Solution", "QueryResult", "evaluate_query", "execute", "ask", "select"]
+
+#: a solution mapping: variable name → bound RDF term.
+Solution = Dict[str, ObjectTerm]
+
+
+class _ExpressionError(Exception):
+    """Internal: SPARQL expression type error (maps to an unbound value)."""
+
+
+class QueryResult:
+    """The result of executing a query.
+
+    For ``SELECT`` queries, behaves like a sequence of solution mappings and
+    also exposes ``variables``.  For ``ASK`` queries, ``boolean`` carries the
+    verdict and the object is truthy/falsy accordingly.
+    """
+
+    def __init__(self, kind: str, solutions: Optional[List[Solution]] = None,
+                 variables: Optional[List[str]] = None, boolean: Optional[bool] = None):
+        self.kind = kind
+        self.solutions = solutions if solutions is not None else []
+        self.variables = variables if variables is not None else []
+        self.boolean = boolean
+
+    def __iter__(self):
+        return iter(self.solutions)
+
+    def __len__(self) -> int:
+        return len(self.solutions)
+
+    def __bool__(self) -> bool:
+        if self.kind == "ask":
+            return bool(self.boolean)
+        return bool(self.solutions)
+
+    def bindings_for(self, variable: str) -> List[ObjectTerm]:
+        """Return every binding of ``variable`` across the solutions."""
+        return [solution[variable] for solution in self.solutions if variable in solution]
+
+    def __repr__(self) -> str:
+        if self.kind == "ask":
+            return f"QueryResult(ask={self.boolean})"
+        return f"QueryResult(select, {len(self.solutions)} solutions)"
+
+
+# ------------------------------------------------------------------------ evaluation
+def evaluate_query(graph: Graph, query: Union[str, Query]) -> QueryResult:
+    """Evaluate ``query`` (text or AST) against ``graph``."""
+    if isinstance(query, str):
+        query = parse_query(query)
+    evaluator = _Evaluator(graph)
+    if isinstance(query, AskQuery):
+        solutions = evaluator.evaluate_group(query.where, [dict()])
+        return QueryResult("ask", boolean=bool(solutions))
+    if isinstance(query, SelectQuery):
+        solutions, variables = evaluator.evaluate_select(query)
+        return QueryResult("select", solutions=solutions, variables=variables)
+    raise SparqlEvaluationError(f"unsupported query type: {type(query).__name__}")
+
+
+def execute(graph: Graph, query: Union[str, Query]) -> QueryResult:
+    """Alias of :func:`evaluate_query` (mirrors common RDF library naming)."""
+    return evaluate_query(graph, query)
+
+
+def ask(graph: Graph, query: Union[str, Query]) -> bool:
+    """Evaluate an ASK query and return its boolean verdict."""
+    result = evaluate_query(graph, query)
+    if result.kind != "ask":
+        raise SparqlEvaluationError("ask() requires an ASK query")
+    return bool(result.boolean)
+
+
+def select(graph: Graph, query: Union[str, Query]) -> List[Solution]:
+    """Evaluate a SELECT query and return its solution mappings."""
+    result = evaluate_query(graph, query)
+    if result.kind != "select":
+        raise SparqlEvaluationError("select() requires a SELECT query")
+    return result.solutions
+
+
+class _Evaluator:
+    """Stateless helper evaluating patterns against one graph."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+
+    # -- groups and patterns -----------------------------------------------------
+    def evaluate_group(self, group: GroupPattern,
+                       inputs: List[Solution]) -> List[Solution]:
+        solutions = inputs
+        for element in group.elements:
+            solutions = self.evaluate_pattern(element, solutions)
+        for constraint in group.filters:
+            solutions = [s for s in solutions if self._effective_boolean(constraint, s)]
+        return solutions
+
+    def evaluate_pattern(self, pattern: Pattern,
+                         inputs: List[Solution]) -> List[Solution]:
+        if isinstance(pattern, BGP):
+            return self._evaluate_bgp(pattern, inputs)
+        if isinstance(pattern, GroupPattern):
+            return self.evaluate_group(pattern, inputs)
+        if isinstance(pattern, OptionalPattern):
+            return self._evaluate_optional(pattern, inputs)
+        if isinstance(pattern, UnionPattern):
+            results: List[Solution] = []
+            for branch in pattern.branches:
+                results.extend(self.evaluate_group(branch, list(inputs)))
+            return results
+        if isinstance(pattern, FilterPattern):
+            return [s for s in inputs if self._effective_boolean(pattern.expression, s)]
+        if isinstance(pattern, SubSelectPattern):
+            sub_solutions, _ = self.evaluate_select(pattern.query)
+            return _join(inputs, sub_solutions)
+        raise SparqlEvaluationError(f"unsupported pattern: {type(pattern).__name__}")
+
+    def _evaluate_bgp(self, bgp: BGP, inputs: List[Solution]) -> List[Solution]:
+        solutions = inputs
+        for triple_pattern in bgp.patterns:
+            solutions = self._match_pattern(triple_pattern, solutions)
+            if not solutions:
+                return []
+        return solutions
+
+    def _match_pattern(self, pattern: TriplePattern,
+                       inputs: List[Solution]) -> List[Solution]:
+        results: List[Solution] = []
+        for solution in inputs:
+            subject = _substitute(pattern.subject, solution)
+            predicate = _substitute(pattern.predicate, solution)
+            obj = _substitute(pattern.object, solution)
+            lookup_subject = subject if not isinstance(subject, Variable) else None
+            lookup_predicate = predicate if not isinstance(predicate, Variable) else None
+            lookup_object = obj if not isinstance(obj, Variable) else None
+            for triple in self.graph.triples(lookup_subject, lookup_predicate, lookup_object):
+                extended = dict(solution)
+                consistent = True
+                for slot, value in ((subject, triple.subject),
+                                    (predicate, triple.predicate),
+                                    (obj, triple.object)):
+                    if isinstance(slot, Variable):
+                        bound = extended.get(slot.name)
+                        if bound is None:
+                            extended[slot.name] = value
+                        elif bound != value:
+                            consistent = False
+                            break
+                if consistent:
+                    results.append(extended)
+        return results
+
+    def _evaluate_optional(self, pattern: OptionalPattern,
+                           inputs: List[Solution]) -> List[Solution]:
+        results: List[Solution] = []
+        for solution in inputs:
+            extended = self.evaluate_group(pattern.pattern, [dict(solution)])
+            if extended:
+                results.extend(extended)
+            else:
+                results.append(solution)
+        return results
+
+    # -- SELECT ----------------------------------------------------------------------
+    def evaluate_select(self, query: SelectQuery) -> Tuple[List[Solution], List[str]]:
+        solutions = self.evaluate_group(query.where, [dict()])
+        has_aggregates = bool(query.group_by) or any(
+            _contains_aggregate(projection.expression)
+            for projection in query.projections if projection.expression is not None
+        ) or bool(query.having)
+        if has_aggregates:
+            solutions = self._evaluate_aggregation(query, solutions)
+            variables = [projection.variable.name for projection in query.projections]
+            if query.group_by:
+                variables = [variable.name for variable in query.group_by] + [
+                    name for name in variables if name not in
+                    {variable.name for variable in query.group_by}
+                ]
+        else:
+            solutions, variables = self._evaluate_projection(query, solutions)
+        if query.distinct:
+            solutions = _distinct(solutions)
+        if query.order_by:
+            solutions = self._order(query.order_by, solutions)
+        if query.offset:
+            solutions = solutions[query.offset:]
+        if query.limit is not None:
+            solutions = solutions[:query.limit]
+        return solutions, variables
+
+    def _evaluate_projection(self, query: SelectQuery,
+                             solutions: List[Solution]) -> Tuple[List[Solution], List[str]]:
+        if query.select_all:
+            variables = sorted({name for solution in solutions for name in solution})
+            return solutions, variables
+        projected: List[Solution] = []
+        for solution in solutions:
+            row: Solution = {}
+            for projection in query.projections:
+                if projection.expression is None:
+                    if projection.variable.name in solution:
+                        row[projection.variable.name] = solution[projection.variable.name]
+                else:
+                    try:
+                        value = self._evaluate_expression(projection.expression, solution)
+                        row[projection.variable.name] = _to_term(value)
+                    except _ExpressionError:
+                        pass
+            projected.append(row)
+        return projected, [projection.variable.name for projection in query.projections]
+
+    def _evaluate_aggregation(self, query: SelectQuery,
+                              solutions: List[Solution]) -> List[Solution]:
+        groups: Dict[Tuple, List[Solution]] = {}
+        if query.group_by:
+            for solution in solutions:
+                key = tuple(
+                    _term_key(solution.get(variable.name)) for variable in query.group_by
+                )
+                groups.setdefault(key, []).append(solution)
+        else:
+            groups[()] = list(solutions)
+            if not solutions:
+                groups[()] = []
+        results: List[Solution] = []
+        for key, members in groups.items():
+            if query.group_by and not members:
+                continue
+            row: Solution = {}
+            if query.group_by:
+                sample = members[0]
+                for variable in query.group_by:
+                    if variable.name in sample:
+                        row[variable.name] = sample[variable.name]
+            passes = True
+            for constraint in query.having:
+                if not self._effective_boolean_aggregate(constraint, row, members):
+                    passes = False
+                    break
+            if not passes:
+                continue
+            for projection in query.projections:
+                if projection.expression is None:
+                    if projection.variable.name not in row and members:
+                        sample_value = members[0].get(projection.variable.name)
+                        if sample_value is not None:
+                            row[projection.variable.name] = sample_value
+                else:
+                    try:
+                        value = self._evaluate_expression(projection.expression, row, members)
+                        row[projection.variable.name] = _to_term(value)
+                    except _ExpressionError:
+                        pass
+            results.append(row)
+        return results
+
+    def _order(self, order_by, solutions: List[Solution]) -> List[Solution]:
+        def sort_key(solution: Solution):
+            keys = []
+            for expression, ascending in order_by:
+                try:
+                    value = self._evaluate_expression(expression, solution)
+                except _ExpressionError:
+                    value = None
+                keys.append(_orderable(value, ascending))
+            return tuple(keys)
+
+        return sorted(solutions, key=sort_key)
+
+    # -- expressions --------------------------------------------------------------------
+    def _effective_boolean(self, expression: Expression, solution: Solution) -> bool:
+        try:
+            return _ebv(self._evaluate_expression(expression, solution))
+        except _ExpressionError:
+            return False
+
+    def _effective_boolean_aggregate(self, expression: Expression, row: Solution,
+                                     members: List[Solution]) -> bool:
+        try:
+            return _ebv(self._evaluate_expression(expression, row, members))
+        except _ExpressionError:
+            return False
+
+    def _evaluate_expression(self, expression: Expression, solution: Solution,
+                             group: Optional[List[Solution]] = None):
+        if isinstance(expression, VariableExpr):
+            value = solution.get(expression.variable.name)
+            if value is None:
+                raise _ExpressionError(f"unbound variable ?{expression.variable.name}")
+            return value
+        if isinstance(expression, TermExpr):
+            return expression.term
+        if isinstance(expression, Aggregate):
+            if group is None:
+                raise _ExpressionError("aggregate used outside a grouping context")
+            return self._evaluate_aggregate(expression, group)
+        if isinstance(expression, UnaryOp):
+            return self._evaluate_unary(expression, solution, group)
+        if isinstance(expression, BinaryOp):
+            return self._evaluate_binary(expression, solution, group)
+        if isinstance(expression, FunctionCall):
+            return self._evaluate_function(expression, solution, group)
+        raise SparqlEvaluationError(f"unsupported expression: {type(expression).__name__}")
+
+    def _evaluate_aggregate(self, aggregate: Aggregate, group: List[Solution]):
+        name = aggregate.name.upper()
+        if aggregate.argument is None:
+            values = [dict(member) for member in group]
+            if aggregate.distinct:
+                values = _distinct(values)
+            if name == "COUNT":
+                return Literal(len(values))
+            raise _ExpressionError(f"{name}(*) is not supported")
+        evaluated = []
+        for member in group:
+            try:
+                evaluated.append(self._evaluate_expression(aggregate.argument, member))
+            except _ExpressionError:
+                continue
+        if aggregate.distinct:
+            unique = []
+            for value in evaluated:
+                if value not in unique:
+                    unique.append(value)
+            evaluated = unique
+        if name == "COUNT":
+            return Literal(len(evaluated))
+        numbers = [_numeric(value) for value in evaluated]
+        if not numbers:
+            raise _ExpressionError(f"{name} over an empty group")
+        if name == "SUM":
+            return _number_literal(sum(numbers))
+        if name == "MIN":
+            return _number_literal(min(numbers))
+        if name == "MAX":
+            return _number_literal(max(numbers))
+        if name == "AVG":
+            return _number_literal(sum(numbers) / len(numbers))
+        raise _ExpressionError(f"unsupported aggregate {name}")
+
+    def _evaluate_unary(self, expression: UnaryOp, solution: Solution,
+                        group: Optional[List[Solution]]):
+        if expression.operator == "!":
+            operand = expression.operand
+            # !bound(?x) must not raise when ?x is unbound
+            if isinstance(operand, FunctionCall) and operand.name == "BOUND":
+                return Literal(not _ebv(self._evaluate_function(operand, solution, group)))
+            return Literal(not _ebv(self._evaluate_expression(operand, solution, group)))
+        value = _numeric(self._evaluate_expression(expression.operand, solution, group))
+        return _number_literal(-value if expression.operator == "-" else value)
+
+    def _evaluate_binary(self, expression: BinaryOp, solution: Solution,
+                         group: Optional[List[Solution]]):
+        operator = expression.operator
+        if operator == "&&":
+            return Literal(
+                self._boolean_of(expression.left, solution, group)
+                and self._boolean_of(expression.right, solution, group)
+            )
+        if operator == "||":
+            return Literal(
+                self._boolean_of(expression.left, solution, group)
+                or self._boolean_of(expression.right, solution, group)
+            )
+        left = self._evaluate_expression(expression.left, solution, group)
+        right = self._evaluate_expression(expression.right, solution, group)
+        if operator in ("=", "!="):
+            equal = _terms_equal(left, right)
+            return Literal(equal if operator == "=" else not equal)
+        if operator in ("<", ">", "<=", ">="):
+            return Literal(_compare(left, right, operator))
+        left_number, right_number = _numeric(left), _numeric(right)
+        if operator == "+":
+            return _number_literal(left_number + right_number)
+        if operator == "-":
+            return _number_literal(left_number - right_number)
+        if operator == "*":
+            return _number_literal(left_number * right_number)
+        if operator == "/":
+            if right_number == 0:
+                raise _ExpressionError("division by zero")
+            return _number_literal(left_number / right_number)
+        raise SparqlEvaluationError(f"unsupported operator {operator!r}")
+
+    def _boolean_of(self, expression: Expression, solution: Solution,
+                    group: Optional[List[Solution]]) -> bool:
+        try:
+            return _ebv(self._evaluate_expression(expression, solution, group))
+        except _ExpressionError:
+            return False
+
+    def _evaluate_function(self, call: FunctionCall, solution: Solution,
+                           group: Optional[List[Solution]]):
+        name = call.name
+        if name == "BOUND":
+            argument = call.arguments[0]
+            if not isinstance(argument, VariableExpr):
+                raise _ExpressionError("BOUND expects a variable")
+            return Literal(argument.variable.name in solution)
+        if name == "COALESCE":
+            for argument in call.arguments:
+                try:
+                    return self._evaluate_expression(argument, solution, group)
+                except _ExpressionError:
+                    continue
+            raise _ExpressionError("COALESCE: no bound argument")
+        if name == "IF":
+            condition = self._boolean_of(call.arguments[0], solution, group)
+            chosen = call.arguments[1] if condition else call.arguments[2]
+            return self._evaluate_expression(chosen, solution, group)
+        arguments = [self._evaluate_expression(argument, solution, group)
+                     for argument in call.arguments]
+        if name in ("ISIRI", "ISURI"):
+            return Literal(isinstance(arguments[0], IRI))
+        if name == "ISBLANK":
+            return Literal(isinstance(arguments[0], BNode))
+        if name == "ISLITERAL":
+            return Literal(isinstance(arguments[0], Literal))
+        if name == "ISNUMERIC":
+            if not isinstance(arguments[0], Literal):
+                return Literal(False)
+            value = to_python_value(arguments[0])
+            return Literal(isinstance(value, (int, float, Decimal))
+                           and not isinstance(value, bool))
+        if name == "DATATYPE":
+            if not isinstance(arguments[0], Literal):
+                raise _ExpressionError("DATATYPE expects a literal")
+            return arguments[0].datatype
+        if name == "STR":
+            value = arguments[0]
+            if isinstance(value, Literal):
+                return Literal(value.lexical)
+            if isinstance(value, IRI):
+                return Literal(value.value)
+            raise _ExpressionError("STR of a blank node")
+        if name == "LANG":
+            if not isinstance(arguments[0], Literal):
+                raise _ExpressionError("LANG expects a literal")
+            return Literal(arguments[0].lang or "")
+        if name == "LANGMATCHES":
+            tag = _string(arguments[0]).lower()
+            pattern = _string(arguments[1]).lower()
+            if pattern == "*":
+                return Literal(bool(tag))
+            return Literal(tag == pattern or tag.startswith(pattern + "-"))
+        if name == "STRLEN":
+            return Literal(len(_string(arguments[0])))
+        if name == "REGEX":
+            import re as _re
+
+            flags = _string(arguments[2]) if len(arguments) > 2 else ""
+            compiled = _re.compile(_string(arguments[1]),
+                                   _re.IGNORECASE if "i" in flags else 0)
+            return Literal(bool(compiled.search(_string(arguments[0]))))
+        if name == "STRSTARTS":
+            return Literal(_string(arguments[0]).startswith(_string(arguments[1])))
+        if name == "STRENDS":
+            return Literal(_string(arguments[0]).endswith(_string(arguments[1])))
+        if name == "CONTAINS":
+            return Literal(_string(arguments[1]) in _string(arguments[0]))
+        if name == "ABS":
+            return _number_literal(abs(_numeric(arguments[0])))
+        if name == "SAMETERM":
+            return Literal(arguments[0] == arguments[1])
+        raise _ExpressionError(f"unsupported function {name}")
+
+
+# ------------------------------------------------------------------------------ helpers
+def _substitute(term, solution: Solution):
+    if isinstance(term, Variable) and term.name in solution:
+        return solution[term.name]
+    return term
+
+
+def _join(left: List[Solution], right: List[Solution]) -> List[Solution]:
+    """Hash-free nested-loop join on compatible solution mappings."""
+    results: List[Solution] = []
+    for left_solution in left:
+        for right_solution in right:
+            merged = dict(left_solution)
+            compatible = True
+            for name, value in right_solution.items():
+                if name in merged and merged[name] != value:
+                    compatible = False
+                    break
+                merged[name] = value
+            if compatible:
+                results.append(merged)
+    return results
+
+
+def _distinct(solutions: List[Solution]) -> List[Solution]:
+    seen = set()
+    unique: List[Solution] = []
+    for solution in solutions:
+        key = tuple(sorted((name, _term_key(value)) for name, value in solution.items()))
+        if key not in seen:
+            seen.add(key)
+            unique.append(solution)
+    return unique
+
+
+def _term_key(term: Optional[ObjectTerm]):
+    if term is None:
+        return ("unbound",)
+    return term.sort_key()
+
+
+def _orderable(value, ascending: bool):
+    if value is None:
+        key: Tuple = (0, "")
+    elif isinstance(value, Literal):
+        python = to_python_value(value)
+        if isinstance(python, (int, float, Decimal)) and not isinstance(python, bool):
+            key = (1, float(python))
+        else:
+            key = (2, value.lexical)
+    else:
+        key = (3, str(value))
+    if not ascending:
+        # invert numeric component where possible; fall back to lexicographic trick
+        if isinstance(key[1], float):
+            key = (key[0], -key[1])
+        else:
+            key = (key[0], "".join(chr(0x10FFFF - ord(ch)) for ch in str(key[1])))
+    return key
+
+
+def _ebv(value) -> bool:
+    """SPARQL effective boolean value."""
+    if isinstance(value, Literal):
+        python = to_python_value(value)
+        if isinstance(python, bool):
+            return python
+        if isinstance(python, (int, float, Decimal)):
+            return python != 0
+        return bool(value.lexical)
+    if value is None:
+        return False
+    raise _ExpressionError(f"no effective boolean value for {value!r}")
+
+
+def _numeric(value) -> float:
+    if isinstance(value, Literal):
+        python = to_python_value(value)
+        if isinstance(python, bool):
+            raise _ExpressionError("boolean used as a number")
+        if isinstance(python, (int, float)):
+            return python
+        if isinstance(python, Decimal):
+            return float(python)
+    raise _ExpressionError(f"not a numeric value: {value!r}")
+
+
+def _number_literal(value) -> Literal:
+    if isinstance(value, float) and value.is_integer():
+        value = int(value)
+    if isinstance(value, int):
+        return Literal(value)
+    return Literal(float(value))
+
+
+def _string(value) -> str:
+    if isinstance(value, Literal):
+        return value.lexical
+    if isinstance(value, IRI):
+        return value.value
+    raise _ExpressionError(f"not a string value: {value!r}")
+
+
+def _terms_equal(left, right) -> bool:
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        left_value = to_python_value(left)
+        right_value = to_python_value(right)
+        if isinstance(left_value, (int, float, Decimal)) and \
+                isinstance(right_value, (int, float, Decimal)) and \
+                not isinstance(left_value, bool) and not isinstance(right_value, bool):
+            return float(left_value) == float(right_value)
+        return left == right
+    return left == right
+
+
+def _compare(left, right, operator: str) -> bool:
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        left_value = to_python_value(left)
+        right_value = to_python_value(right)
+        left_numeric = isinstance(left_value, (int, float, Decimal)) and \
+            not isinstance(left_value, bool)
+        right_numeric = isinstance(right_value, (int, float, Decimal)) and \
+            not isinstance(right_value, bool)
+        if left_numeric and right_numeric:
+            left_value, right_value = float(left_value), float(right_value)
+        elif isinstance(left_value, str) and isinstance(right_value, str):
+            pass
+        elif type(left_value) is type(right_value):
+            # dates, times and other comparable values of the same type
+            pass
+        else:
+            # incompatible operand types: a SPARQL type error
+            raise _ExpressionError(
+                f"cannot compare {left_value!r} with {right_value!r}"
+            )
+        if operator == "<":
+            return left_value < right_value
+        if operator == ">":
+            return left_value > right_value
+        if operator == "<=":
+            return left_value <= right_value
+        return left_value >= right_value
+    raise _ExpressionError("comparison of non-literal terms")
+
+
+def _to_term(value) -> ObjectTerm:
+    if isinstance(value, (IRI, BNode, Literal)):
+        return value
+    if isinstance(value, bool):
+        return Literal(value)
+    if isinstance(value, (int, float)):
+        return Literal(value)
+    if isinstance(value, str):
+        return Literal(value)
+    raise SparqlEvaluationError(f"cannot convert {value!r} to an RDF term")
+
+
+def _contains_aggregate(expression: Optional[Expression]) -> bool:
+    if expression is None:
+        return False
+    if isinstance(expression, Aggregate):
+        return True
+    if isinstance(expression, UnaryOp):
+        return _contains_aggregate(expression.operand)
+    if isinstance(expression, BinaryOp):
+        return _contains_aggregate(expression.left) or _contains_aggregate(expression.right)
+    if isinstance(expression, FunctionCall):
+        return any(_contains_aggregate(argument) for argument in expression.arguments)
+    return False

@@ -1,0 +1,509 @@
+"""Recursive-descent parser for the SPARQL subset.
+
+Grammar (informal)::
+
+    Query        := Prologue (SelectQuery | AskQuery)
+    Prologue     := (PREFIX pname: <iri> | BASE <iri>)*
+    SelectQuery  := SELECT DISTINCT? (Var | '(' Expr AS Var ')' | '*')+
+                    WHERE? GroupGraphPattern Modifiers
+    AskQuery     := ASK GroupGraphPattern
+    Modifiers    := (GROUP BY Var+)? (HAVING Constraint+)?
+                    (ORDER BY OrderCondition+)? (LIMIT n)? (OFFSET n)?
+    GroupGraphPattern := '{' (SubSelect | TriplesBlock | Filter | Optional |
+                              GroupOrUnion)* '}'
+
+Expressions implement the usual SPARQL precedence:
+``||`` < ``&&`` < comparisons < additive < multiplicative < unary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..rdf.namespaces import RDF, XSD, NamespaceManager
+from ..rdf.ntriples import unescape_string
+from ..rdf.terms import BNode, IRI, Literal
+from .ast_nodes import (
+    Aggregate,
+    AskQuery,
+    BGP,
+    BinaryOp,
+    Expression,
+    FilterPattern,
+    FunctionCall,
+    GroupPattern,
+    OptionalPattern,
+    Pattern,
+    Projection,
+    Query,
+    SelectQuery,
+    SubSelectPattern,
+    TermExpr,
+    TriplePattern,
+    UnaryOp,
+    UnionPattern,
+    Variable,
+    VariableExpr,
+)
+from .errors import SparqlParseError
+from .tokenizer import Token, tokenize
+
+__all__ = ["parse_query", "SparqlParser"]
+
+_BUILTIN_FUNCTIONS = {
+    "BOUND", "ISLITERAL", "ISIRI", "ISURI", "ISBLANK", "ISNUMERIC",
+    "DATATYPE", "STR", "LANG", "LANGMATCHES", "REGEX", "STRLEN",
+    "STRSTARTS", "STRENDS", "CONTAINS", "ABS", "SAMETERM", "IF", "COALESCE",
+}
+
+_AGGREGATES = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+
+
+class SparqlParser:
+    """Parser producing :mod:`repro.sparql.ast_nodes` trees."""
+
+    def __init__(self, text: str):
+        self._tokens = tokenize(text)
+        self._index = 0
+        self._namespaces = NamespaceManager(bind_defaults=False)
+        self._base = ""
+
+    # -- token helpers -------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            expected = value or kind
+            raise SparqlParseError(
+                f"expected {expected}, found {token.value!r}", token.line, token.column
+            )
+        return self._next()
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        return self._expect("KEYWORD", keyword)
+
+    def _at_keyword(self, keyword: str, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return token.kind == "KEYWORD" and token.value == keyword
+
+    def _error(self, message: str) -> SparqlParseError:
+        token = self._peek()
+        return SparqlParseError(f"{message} (found {token.value!r})",
+                                token.line, token.column)
+
+    # -- entry point ----------------------------------------------------------
+    def parse(self) -> Query:
+        """Parse a complete query."""
+        self._parse_prologue()
+        if self._at_keyword("SELECT"):
+            query = self._parse_select()
+        elif self._at_keyword("ASK"):
+            query = self._parse_ask()
+        else:
+            raise self._error("expected SELECT or ASK")
+        self._expect("EOF")
+        return query
+
+    # -- prologue ----------------------------------------------------------------
+    def _parse_prologue(self) -> None:
+        while True:
+            if self._at_keyword("PREFIX"):
+                self._next()
+                pname = self._expect("PNAME")
+                iri = self._expect("IRIREF")
+                self._namespaces.bind(pname.value[:-1], iri.value[1:-1])
+            elif self._at_keyword("BASE"):
+                self._next()
+                iri = self._expect("IRIREF")
+                self._base = iri.value[1:-1]
+            else:
+                return
+
+    # -- query forms ------------------------------------------------------------
+    def _parse_select(self) -> SelectQuery:
+        self._expect_keyword("SELECT")
+        distinct = False
+        if self._at_keyword("DISTINCT"):
+            self._next()
+            distinct = True
+        projections: List[Projection] = []
+        select_all = False
+        while True:
+            token = self._peek()
+            if token.kind == "STAR":
+                self._next()
+                select_all = True
+            elif token.kind == "VAR":
+                self._next()
+                projections.append(Projection(Variable(token.value[1:])))
+            elif token.kind == "LPAREN":
+                self._next()
+                expression = self._parse_expression()
+                self._expect_keyword("AS")
+                var_token = self._expect("VAR")
+                self._expect("RPAREN")
+                projections.append(Projection(Variable(var_token.value[1:]), expression))
+            else:
+                break
+        if not projections and not select_all:
+            raise self._error("SELECT needs at least one variable, expression or '*'")
+        if self._at_keyword("WHERE"):
+            self._next()
+        where = self._parse_group_graph_pattern()
+        group_by: Tuple[Variable, ...] = ()
+        having: Tuple[Expression, ...] = ()
+        order_by: Tuple[Tuple[Expression, bool], ...] = ()
+        limit = offset = None
+        if self._at_keyword("GROUP"):
+            self._next()
+            self._expect_keyword("BY")
+            variables = []
+            while self._peek().kind == "VAR":
+                variables.append(Variable(self._next().value[1:]))
+            if not variables:
+                raise self._error("GROUP BY needs at least one variable")
+            group_by = tuple(variables)
+        if self._at_keyword("HAVING"):
+            self._next()
+            constraints = [self._parse_bracketted_expression()]
+            while self._peek().kind == "LPAREN":
+                constraints.append(self._parse_bracketted_expression())
+            having = tuple(constraints)
+        if self._at_keyword("ORDER"):
+            self._next()
+            self._expect_keyword("BY")
+            conditions: List[Tuple[Expression, bool]] = []
+            while True:
+                token = self._peek()
+                if self._at_keyword("ASC") or self._at_keyword("DESC"):
+                    ascending = token.value == "ASC"
+                    self._next()
+                    conditions.append((self._parse_bracketted_expression(), ascending))
+                elif token.kind == "VAR":
+                    self._next()
+                    conditions.append((VariableExpr(Variable(token.value[1:])), True))
+                else:
+                    break
+            if not conditions:
+                raise self._error("ORDER BY needs at least one condition")
+            order_by = tuple(conditions)
+        if self._at_keyword("LIMIT"):
+            self._next()
+            limit = int(self._expect("INTEGER").value)
+        if self._at_keyword("OFFSET"):
+            self._next()
+            offset = int(self._expect("INTEGER").value)
+        return SelectQuery(
+            projections=tuple(projections), where=where, distinct=distinct,
+            group_by=group_by, having=having, order_by=order_by,
+            limit=limit, offset=offset,
+        )
+
+    def _parse_ask(self) -> AskQuery:
+        self._expect_keyword("ASK")
+        if self._at_keyword("WHERE"):
+            self._next()
+        return AskQuery(self._parse_group_graph_pattern())
+
+    # -- graph patterns ------------------------------------------------------------
+    def _parse_group_graph_pattern(self) -> GroupPattern:
+        self._expect("LBRACE")
+        elements: List[Pattern] = []
+        filters: List[Expression] = []
+        triples: List[TriplePattern] = []
+
+        def flush_triples() -> None:
+            if triples:
+                elements.append(BGP(tuple(triples)))
+                triples.clear()
+
+        while True:
+            token = self._peek()
+            if token.kind == "RBRACE":
+                self._next()
+                break
+            if token.kind == "LBRACE":
+                flush_triples()
+                elements.append(self._parse_group_or_union())
+                self._consume_optional_dot()
+                continue
+            if self._at_keyword("FILTER"):
+                self._next()
+                filters.append(self._parse_constraint())
+                self._consume_optional_dot()
+                continue
+            if self._at_keyword("OPTIONAL"):
+                flush_triples()
+                self._next()
+                elements.append(OptionalPattern(self._parse_group_graph_pattern()))
+                self._consume_optional_dot()
+                continue
+            if self._at_keyword("SELECT"):
+                flush_triples()
+                elements.append(SubSelectPattern(self._parse_select()))
+                self._consume_optional_dot()
+                continue
+            # otherwise: a triples block entry
+            flush = self._parse_triples_same_subject(triples)
+            if flush:
+                flush_triples()
+            if self._peek().kind == "DOT":
+                self._next()
+        flush_triples()
+        return GroupPattern(tuple(elements), tuple(filters))
+
+    def _parse_group_or_union(self) -> Pattern:
+        first = self._parse_group_graph_pattern_or_subselect()
+        branches = [first]
+        while self._at_keyword("UNION"):
+            self._next()
+            branches.append(self._parse_group_graph_pattern_or_subselect())
+        if len(branches) == 1:
+            return branches[0]
+        return UnionPattern(tuple(
+            branch if isinstance(branch, GroupPattern) else GroupPattern((branch,), ())
+            for branch in branches
+        ))
+
+    def _parse_group_graph_pattern_or_subselect(self) -> Pattern:
+        # a '{' may open either a plain group or a sub-select
+        if self._peek().kind == "LBRACE" and self._at_keyword("SELECT", offset=1):
+            self._expect("LBRACE")
+            query = self._parse_select()
+            self._expect("RBRACE")
+            return GroupPattern((SubSelectPattern(query),), ())
+        return self._parse_group_graph_pattern()
+
+    def _consume_optional_dot(self) -> None:
+        if self._peek().kind == "DOT":
+            self._next()
+
+    def _parse_triples_same_subject(self, accumulator: List[TriplePattern]) -> bool:
+        """Parse ``subject predicate object (';' predicate object)* (',' object)*``."""
+        subject = self._parse_term(position="subject")
+        while True:
+            predicate = self._parse_term(position="predicate")
+            while True:
+                obj = self._parse_term(position="object")
+                accumulator.append(TriplePattern(subject, predicate, obj))
+                if self._peek().kind == "COMMA":
+                    self._next()
+                    continue
+                break
+            if self._peek().kind == "SEMICOLON":
+                self._next()
+                if self._peek().kind in ("DOT", "RBRACE"):
+                    break
+                continue
+            break
+        return False
+
+    def _parse_term(self, position: str):
+        token = self._peek()
+        if token.kind == "VAR":
+            self._next()
+            return Variable(token.value[1:])
+        if token.kind == "IRIREF":
+            self._next()
+            return IRI(self._resolve_iri(unescape_string(token.value[1:-1])))
+        if token.kind == "PNAME":
+            self._next()
+            return self._expand_pname(token)
+        if token.kind == "KEYWORD" and token.value == "A" and position == "predicate":
+            self._next()
+            return RDF.type
+        if token.kind == "BNODE_LABEL":
+            self._next()
+            return BNode(token.value[2:])
+        if position == "object":
+            if token.kind in ("STRING", "INTEGER", "DECIMAL", "DOUBLE") or \
+                    (token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE")):
+                return self._parse_literal()
+        raise self._error(f"expected a {position}")
+
+    def _parse_literal(self) -> Literal:
+        token = self._next()
+        if token.kind == "INTEGER":
+            return Literal(token.value, datatype=XSD.integer)
+        if token.kind == "DECIMAL":
+            return Literal(token.value, datatype=XSD.decimal)
+        if token.kind == "DOUBLE":
+            return Literal(token.value, datatype=XSD.double)
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            return Literal(token.value.lower(), datatype=XSD.boolean)
+        lexical = unescape_string(token.value[1:-1])
+        nxt = self._peek()
+        if nxt.kind == "LANGTAG":
+            self._next()
+            return Literal(lexical, lang=nxt.value[1:])
+        if nxt.kind == "DOUBLE_CARET":
+            self._next()
+            datatype_token = self._peek()
+            if datatype_token.kind == "IRIREF":
+                self._next()
+                return Literal(lexical, datatype=IRI(
+                    self._resolve_iri(unescape_string(datatype_token.value[1:-1]))
+                ))
+            if datatype_token.kind == "PNAME":
+                self._next()
+                return Literal(lexical, datatype=self._expand_pname(datatype_token))
+            raise self._error("expected datatype IRI after '^^'")
+        return Literal(lexical)
+
+    # -- expressions -----------------------------------------------------------------
+    def _parse_constraint(self) -> Expression:
+        token = self._peek()
+        if token.kind == "LPAREN":
+            return self._parse_bracketted_expression()
+        if token.kind in ("NAME",) or (token.kind == "KEYWORD" and token.value in _AGGREGATES):
+            return self._parse_primary_expression()
+        raise self._error("expected a FILTER constraint")
+
+    def _parse_bracketted_expression(self) -> Expression:
+        self._expect("LPAREN")
+        expression = self._parse_expression()
+        self._expect("RPAREN")
+        return expression
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or_expression()
+
+    def _parse_or_expression(self) -> Expression:
+        left = self._parse_and_expression()
+        while self._peek().kind == "OR":
+            self._next()
+            right = self._parse_and_expression()
+            left = BinaryOp("||", left, right)
+        return left
+
+    def _parse_and_expression(self) -> Expression:
+        left = self._parse_relational_expression()
+        while self._peek().kind == "AND":
+            self._next()
+            right = self._parse_relational_expression()
+            left = BinaryOp("&&", left, right)
+        return left
+
+    _COMPARISONS = {"EQ": "=", "NEQ": "!=", "LT": "<", "GT": ">", "LE": "<=", "GE": ">="}
+
+    def _parse_relational_expression(self) -> Expression:
+        left = self._parse_additive_expression()
+        token = self._peek()
+        if token.kind in self._COMPARISONS:
+            self._next()
+            right = self._parse_additive_expression()
+            return BinaryOp(self._COMPARISONS[token.kind], left, right)
+        return left
+
+    def _parse_additive_expression(self) -> Expression:
+        left = self._parse_multiplicative_expression()
+        while self._peek().kind in ("PLUS", "MINUS"):
+            operator = "+" if self._next().kind == "PLUS" else "-"
+            right = self._parse_multiplicative_expression()
+            left = BinaryOp(operator, left, right)
+        return left
+
+    def _parse_multiplicative_expression(self) -> Expression:
+        left = self._parse_unary_expression()
+        while self._peek().kind in ("STAR", "SLASH"):
+            operator = "*" if self._next().kind == "STAR" else "/"
+            right = self._parse_unary_expression()
+            left = BinaryOp(operator, left, right)
+        return left
+
+    def _parse_unary_expression(self) -> Expression:
+        token = self._peek()
+        if token.kind == "BANG":
+            self._next()
+            return UnaryOp("!", self._parse_unary_expression())
+        if token.kind == "MINUS":
+            self._next()
+            return UnaryOp("-", self._parse_unary_expression())
+        if token.kind == "PLUS":
+            self._next()
+            return UnaryOp("+", self._parse_unary_expression())
+        return self._parse_primary_expression()
+
+    def _parse_primary_expression(self) -> Expression:
+        token = self._peek()
+        if token.kind == "LPAREN":
+            return self._parse_bracketted_expression()
+        if token.kind == "VAR":
+            self._next()
+            return VariableExpr(Variable(token.value[1:]))
+        if token.kind in ("STRING", "INTEGER", "DECIMAL", "DOUBLE"):
+            return TermExpr(self._parse_literal())
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            return TermExpr(self._parse_literal())
+        if token.kind == "KEYWORD" and token.value in _AGGREGATES:
+            return self._parse_aggregate()
+        if token.kind == "IRIREF":
+            self._next()
+            return TermExpr(IRI(self._resolve_iri(unescape_string(token.value[1:-1]))))
+        if token.kind == "PNAME":
+            # either a prefixed IRI constant or a prefixed function call
+            iri = self._expand_pname(self._next())
+            return TermExpr(iri)
+        if token.kind == "NAME":
+            return self._parse_function_call()
+        raise self._error("expected an expression")
+
+    def _parse_aggregate(self) -> Aggregate:
+        name = self._next().value
+        self._expect("LPAREN")
+        distinct = False
+        if self._at_keyword("DISTINCT"):
+            self._next()
+            distinct = True
+        if self._peek().kind == "STAR":
+            self._next()
+            argument: Optional[Expression] = None
+        else:
+            argument = self._parse_expression()
+        self._expect("RPAREN")
+        return Aggregate(name, argument, distinct)
+
+    def _parse_function_call(self) -> Expression:
+        token = self._next()
+        name = token.value.upper()
+        if name not in _BUILTIN_FUNCTIONS:
+            raise SparqlParseError(f"unknown function {token.value!r}",
+                                   token.line, token.column)
+        self._expect("LPAREN")
+        arguments: List[Expression] = []
+        if self._peek().kind != "RPAREN":
+            arguments.append(self._parse_expression())
+            while self._peek().kind == "COMMA":
+                self._next()
+                arguments.append(self._parse_expression())
+        self._expect("RPAREN")
+        return FunctionCall(name, tuple(arguments))
+
+    # -- names ----------------------------------------------------------------------
+    def _expand_pname(self, token: Token) -> IRI:
+        prefix, _, local = token.value.partition(":")
+        try:
+            namespace = self._namespaces.namespace(prefix)
+        except Exception:
+            raise SparqlParseError(f"unknown prefix {prefix!r}",
+                                   token.line, token.column) from None
+        return IRI(namespace.base + local)
+
+    def _resolve_iri(self, value: str) -> str:
+        import re as _re
+
+        if not self._base or _re.match(r"^[A-Za-z][A-Za-z0-9+.-]*:", value):
+            return value
+        return self._base + value
+
+
+def parse_query(text: str) -> Query:
+    """Parse a SPARQL query string into an AST."""
+    return SparqlParser(text).parse()

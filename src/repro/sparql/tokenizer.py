@@ -1,0 +1,100 @@
+"""Tokenizer for the SPARQL subset grammar."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .errors import SparqlParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+#: keywords recognised case-insensitively; the tokenizer upper-cases them.
+KEYWORDS = {
+    "SELECT", "ASK", "WHERE", "FILTER", "OPTIONAL", "UNION", "GROUP", "BY",
+    "HAVING", "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "DISTINCT", "AS",
+    "PREFIX", "BASE", "COUNT", "SUM", "MIN", "MAX", "AVG", "NOT", "IN",
+    "EXISTS", "TRUE", "FALSE", "UNDEF", "VALUES", "BIND", "A",
+}
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"#[^\n]*"),
+    ("WS", r"[ \t\r\n]+"),
+    ("IRIREF", r"<[^\x00-\x20<>\"{}|^`\\]*>"),
+    ("VAR", r"[?$][A-Za-z_][A-Za-z_0-9]*"),
+    ("STRING", r'"(?:[^"\\\n\r]|\\.)*"' + r"|'(?:[^'\\\n\r]|\\.)*'"),
+    ("LANGTAG", r"@[a-zA-Z]{1,8}(?:-[a-zA-Z0-9]{1,8})*"),
+    ("DOUBLE_CARET", r"\^\^"),
+    ("DOUBLE", r"[+-]?(?:\d+\.\d*[eE][+-]?\d+|\.?\d+[eE][+-]?\d+)"),
+    ("DECIMAL", r"[+-]?\d*\.\d+"),
+    ("INTEGER", r"[+-]?\d+"),
+    ("BNODE_LABEL", r"_:[A-Za-z0-9][A-Za-z0-9_.-]*"),
+    ("PNAME", r"(?:[A-Za-z][\w.-]*)?:[\w.-]*(?<!\.)|(?:[A-Za-z][\w.-]*)?:"),
+    ("NAME", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("NEQ", r"!="),
+    ("LE", r"<="),
+    ("GE", r">="),
+    ("AND", r"&&"),
+    ("OR", r"\|\|"),
+    ("BANG", r"!"),
+    ("EQ", r"="),
+    ("LT", r"<"),
+    ("GT", r">"),
+    ("PLUS", r"\+"),
+    ("MINUS", r"-"),
+    ("STAR", r"\*"),
+    ("SLASH", r"/"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("SEMICOLON", r";"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+class Token:
+    """One lexical token with position information."""
+
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind: str, value: str, line: int, column: int):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Token({self.kind}, {self.value!r}, line={self.line})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into tokens, raising :class:`SparqlParseError` on junk."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+    while pos < length:
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise SparqlParseError(f"unexpected character {text[pos]!r}",
+                                   line, pos - line_start + 1)
+        kind = match.lastgroup
+        value = match.group()
+        column = pos - line_start + 1
+        if kind == "NAME" and value.upper() in KEYWORDS:
+            tokens.append(Token("KEYWORD", value.upper(), line, column))
+        elif kind == "IRIREF" and value == "<":  # pragma: no cover - defensive
+            raise SparqlParseError("unterminated IRI", line, column)
+        elif kind not in ("WS", "COMMENT"):
+            tokens.append(Token(kind, value, line, column))
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + value.rfind("\n") + 1
+        pos = match.end()
+    tokens.append(Token("EOF", "", line, pos - line_start + 1))
+    return tokens

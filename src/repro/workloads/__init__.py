@@ -1,0 +1,55 @@
+"""Synthetic workloads: graphs and schemas with known ground truth.
+
+The paper evaluates its algorithm on RDF data it does not publish (and its
+benchmark suite is listed as future work), so this package provides the
+synthetic equivalents used by the examples, tests and benchmarks:
+
+* :mod:`repro.workloads.people` — the Example 1/2 Person workload at scale,
+  plus chains, cycles and trees of ``foaf:knows`` for recursion benchmarks,
+* :mod:`repro.workloads.scaling` — parameterised neighbourhood/expression
+  pairs (star, interleave width, balanced alternation, cardinality ranges)
+  with known verdicts, driving the engine-comparison benchmarks,
+* :mod:`repro.workloads.portal` — a DCAT-like linked-data portal with three
+  mutually referencing shapes and controlled violations.
+"""
+
+from .people import (
+    PAPER_EXAMPLE_TURTLE,
+    PERSON_SCHEMA_SHEXC,
+    PersonWorkload,
+    generate_person_workload,
+    knows_chain_graph,
+    knows_cycle_graph,
+    knows_tree_graph,
+    paper_example_graph,
+    person_schema,
+)
+from .portal import (
+    DCAT,
+    PORTAL_SCHEMA_SHEXC,
+    PortalWorkload,
+    generate_portal_workload,
+    portal_schema,
+)
+from .scaling import (
+    NeighbourhoodCase,
+    balanced_alternation_case,
+    cardinality_case,
+    interleave_width_case,
+    mixed_portal_case,
+    paper_interleave_case,
+    shuffled,
+    star_case,
+)
+
+__all__ = [
+    "PAPER_EXAMPLE_TURTLE", "PERSON_SCHEMA_SHEXC",
+    "paper_example_graph", "person_schema",
+    "PersonWorkload", "generate_person_workload",
+    "knows_chain_graph", "knows_cycle_graph", "knows_tree_graph",
+    "DCAT", "PORTAL_SCHEMA_SHEXC", "portal_schema",
+    "PortalWorkload", "generate_portal_workload",
+    "NeighbourhoodCase", "star_case", "paper_interleave_case",
+    "interleave_width_case", "balanced_alternation_case", "cardinality_case",
+    "mixed_portal_case", "shuffled",
+]

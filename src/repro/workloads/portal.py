@@ -1,0 +1,178 @@
+"""Linked-data-portal workload: a multi-shape, cross-referencing schema.
+
+The paper motivates Shape Expressions with the validation of linked data
+portals (Section 1 and reference [16]).  This module models a small DCAT-like
+portal: datasets that reference distributions and a publisher, with literal
+constraints on titles, dates and byte sizes.  It produces graphs whose ground
+truth (which records conform) is known by construction, and is used by the
+``linked_data_portal`` example and by integration tests/benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import DCTERMS, EX, FOAF, Namespace, XSD
+from ..rdf.terms import IRI, Literal, Triple
+from ..shex.schema import Schema
+from ..shex.shexc import parse_shexc
+
+__all__ = [
+    "DCAT",
+    "PORTAL_SCHEMA_SHEXC",
+    "portal_schema",
+    "PortalWorkload",
+    "generate_portal_workload",
+]
+
+#: minimal DCAT namespace used by the workload.
+DCAT = Namespace("http://www.w3.org/ns/dcat#")
+
+#: the portal schema: three mutually referencing shapes.
+PORTAL_SCHEMA_SHEXC = """\
+PREFIX dcat:    <http://www.w3.org/ns/dcat#>
+PREFIX dcterms: <http://purl.org/dc/terms/>
+PREFIX foaf:    <http://xmlns.com/foaf/0.1/>
+PREFIX xsd:     <http://www.w3.org/2001/XMLSchema#>
+
+<Dataset> {
+  dcterms:title       xsd:string ,
+  dcterms:issued      xsd:date ? ,
+  dcterms:publisher   @<Publisher> ,
+  dcat:theme          IRI * ,
+  dcat:distribution   @<Distribution> +
+}
+
+<Distribution> {
+  dcterms:title       xsd:string ? ,
+  dcat:downloadURL    IRI ,
+  dcat:mediaType      xsd:string ,
+  dcat:byteSize       xsd:integer MININCLUSIVE 0 ?
+}
+
+<Publisher> {
+  foaf:name           xsd:string ,
+  foaf:homepage       IRI ?
+}
+"""
+
+
+def portal_schema() -> Schema:
+    """Return the portal schema (Dataset / Distribution / Publisher)."""
+    return parse_shexc(PORTAL_SCHEMA_SHEXC)
+
+
+@dataclass
+class PortalWorkload:
+    """A generated portal graph together with its ground truth."""
+
+    graph: Graph
+    schema: Schema
+    valid_datasets: List[IRI] = field(default_factory=list)
+    invalid_datasets: Dict[IRI, str] = field(default_factory=dict)
+    publishers: List[IRI] = field(default_factory=list)
+    distributions: List[IRI] = field(default_factory=list)
+
+    @property
+    def datasets(self) -> List[IRI]:
+        """Every generated dataset node."""
+        return sorted(set(self.valid_datasets) | set(self.invalid_datasets),
+                      key=lambda term: term.value)
+
+
+_MEDIA_TYPES = ["text/csv", "application/json", "application/rdf+xml", "text/turtle"]
+_THEMES = ["economy", "education", "energy", "environment", "health", "transport"]
+
+
+def generate_portal_workload(
+    num_datasets: int = 30,
+    num_publishers: int = 5,
+    invalid_fraction: float = 0.25,
+    max_distributions: int = 3,
+    seed: int = 0,
+) -> PortalWorkload:
+    """Generate a portal graph with a controlled share of broken datasets.
+
+    Violations cover the interesting failure modes of the schema: a missing
+    publisher, a distribution without a ``dcat:downloadURL``, a negative
+    ``dcat:byteSize`` (facet violation), a non-IRI theme and a dataset with
+    no distribution at all.
+    """
+    if not 0 <= invalid_fraction <= 1:
+        raise ValueError("invalid_fraction must be between 0 and 1")
+    rng = random.Random(seed)
+    graph = Graph()
+    graph.namespaces.bind("dcat", DCAT.base)
+    graph.namespaces.bind("dcterms", DCTERMS.base)
+    graph.namespaces.bind("foaf", FOAF.base)
+    graph.namespaces.bind("ex", EX.base)
+
+    workload = PortalWorkload(graph=graph, schema=portal_schema())
+
+    publishers = []
+    for index in range(num_publishers):
+        publisher = EX[f"publisher{index}"]
+        graph.add(Triple(publisher, FOAF.name, Literal(f"Agency {index}")))
+        if index % 2 == 0:
+            graph.add(Triple(publisher, FOAF.homepage, EX[f"homepage{index}"]))
+        publishers.append(publisher)
+    workload.publishers = publishers
+
+    num_invalid = round(num_datasets * invalid_fraction)
+    invalid_indices = set(rng.sample(range(num_datasets), num_invalid)) if num_invalid else set()
+    violations = ["missing_publisher", "broken_distribution", "negative_byte_size",
+                  "literal_theme", "no_distribution"]
+    distribution_counter = 0
+
+    for index in range(num_datasets):
+        dataset = EX[f"dataset{index}"]
+        violation = violations[index % len(violations)] if index in invalid_indices else None
+        graph.add(Triple(dataset, DCTERMS.title, Literal(f"Dataset {index}")))
+        if rng.random() < 0.7:
+            graph.add(Triple(dataset, DCTERMS.issued,
+                             Literal(f"20{10 + index % 15:02d}-01-0{1 + index % 9}",
+                                     datatype=XSD.date)))
+        if violation != "missing_publisher":
+            graph.add(Triple(dataset, DCTERMS.publisher, rng.choice(publishers)))
+        num_themes = rng.randint(0, 2)
+        if violation == "literal_theme":
+            num_themes = max(1, num_themes)
+        for _ in range(num_themes):
+            if violation == "literal_theme":
+                graph.add(Triple(dataset, DCAT.theme, Literal(rng.choice(_THEMES))))
+            else:
+                graph.add(Triple(dataset, DCAT.theme, EX["theme/" + rng.choice(_THEMES)]))
+
+        if violation != "no_distribution":
+            for _ in range(rng.randint(1, max_distributions)):
+                distribution = EX[f"distribution{distribution_counter}"]
+                distribution_counter += 1
+                workload.distributions.append(distribution)
+                graph.add(Triple(dataset, DCAT.distribution, distribution))
+                if rng.random() < 0.5:
+                    graph.add(Triple(distribution, DCTERMS.title,
+                                     Literal(f"Download {distribution_counter}")))
+                broken = violation == "broken_distribution"
+                if not broken:
+                    graph.add(Triple(distribution, DCAT.downloadURL,
+                                     EX[f"files/file{distribution_counter}.csv"]))
+                graph.add(Triple(distribution, DCAT.mediaType,
+                                 Literal(rng.choice(_MEDIA_TYPES))))
+                size = rng.randint(100, 10_000_000)
+                if violation == "negative_byte_size":
+                    size = -size
+                if rng.random() < 0.8 or violation == "negative_byte_size":
+                    graph.add(Triple(distribution, DCAT.byteSize, Literal(size)))
+                if broken or violation == "negative_byte_size":
+                    # only one distribution needed to break the dataset
+                    violation = violation if violation == "no_distribution" else violation
+                    break
+
+        if violation is None:
+            workload.valid_datasets.append(dataset)
+        else:
+            workload.invalid_datasets[dataset] = violation
+    return workload

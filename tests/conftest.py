@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf import EX, Graph
+from repro.shex import BacktrackingEngine, DerivativeEngine, Schema
+from repro.workloads import paper_example_graph, person_schema
+
+
+@pytest.fixture
+def example_graph() -> Graph:
+    """The graph of Example 2 (:john, :bob, :mary)."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def person_shape_schema() -> Schema:
+    """The Person schema of Example 1."""
+    return person_schema()
+
+
+@pytest.fixture
+def john():
+    return EX.john
+
+
+@pytest.fixture
+def bob():
+    return EX.bob
+
+
+@pytest.fixture
+def mary():
+    return EX.mary
+
+
+@pytest.fixture(params=["derivatives", "backtracking"])
+def engine_name(request) -> str:
+    """Parametrised over the two complete matching engines."""
+    return request.param
+
+
+@pytest.fixture
+def engine(engine_name):
+    """An engine instance for each complete matching engine."""
+    if engine_name == "derivatives":
+        return DerivativeEngine()
+    return BacktrackingEngine()

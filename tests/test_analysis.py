@@ -1,0 +1,211 @@
+"""Tests for the static analysis of expressions and schemas."""
+
+import pytest
+
+from repro.rdf import EX, FOAF, XSD
+from repro.shex import (
+    EMPTY,
+    EPSILON,
+    Arc,
+    PredicateSet,
+    Schema,
+    ShapeLabel,
+    ShapeRef,
+    arc,
+    datatype,
+    interleave,
+    interleave_all,
+    optional,
+    plus,
+    repeat,
+    star,
+    value_set,
+)
+from repro.shex.analysis import (
+    analyze_schema,
+    cardinality_bounds,
+    is_deterministic,
+    is_empty,
+    is_single_occurrence,
+    is_universal,
+    predicate_occurrences,
+    recursive_labels,
+    schema_dependency_graph,
+    stratify_schema,
+)
+from repro.workloads import person_schema, portal_schema
+
+
+def reference(predicate, label):
+    return Arc(PredicateSet.single(predicate), ShapeRef(ShapeLabel(label)))
+
+
+class TestEmptiness:
+    def test_empty_expression(self):
+        assert is_empty(EMPTY)
+        assert not is_empty(EPSILON)
+        assert not is_empty(arc(EX.p))
+
+    def test_interleave_with_empty_is_empty(self):
+        assert is_empty(interleave(arc(EX.p), EMPTY, simplify=False))
+
+    def test_alternative_is_empty_only_if_both_are(self):
+        from repro.shex.expressions import Or
+
+        assert not is_empty(Or(EMPTY, arc(EX.p)))
+        assert is_empty(Or(EMPTY, EMPTY))
+
+    def test_star_is_never_empty(self):
+        assert not is_empty(star(arc(EX.p)))
+
+    def test_universal_accepts_only_empty_neighbourhood(self):
+        assert is_universal(EPSILON)
+        assert not is_universal(arc(EX.p))
+        assert not is_universal(optional(arc(EX.p)))
+        assert is_universal(star(EPSILON))
+        from repro.shex.expressions import Or
+
+        assert is_universal(Or(EMPTY, EPSILON))
+
+
+class TestSingleOccurrence:
+    def test_person_schema_is_single_occurrence(self):
+        for _, expr in person_schema().items():
+            assert is_single_occurrence(expr)
+
+    def test_duplicate_predicate_with_different_constraints(self):
+        expr = interleave(arc(EX.p, value_set(1)), arc(EX.p, value_set(2)))
+        assert not is_single_occurrence(expr)
+
+    def test_plus_expansion_still_counts_once(self):
+        # E+ duplicates the arc syntactically but with an identical constraint
+        assert is_single_occurrence(plus(arc(EX.p, value_set(1))))
+
+    def test_wildcard_predicates_are_not_single_occurrence(self):
+        expr = Arc(PredicateSet(any_predicate=True), value_set(1))
+        assert not is_single_occurrence(expr)
+
+    def test_occurrence_counter(self):
+        expr = interleave_all(arc(EX.a, value_set(1)), arc(EX.b, value_set(1)),
+                              arc(EX.a, value_set(2)))
+        occurrences = predicate_occurrences(expr)
+        assert occurrences[EX.a] == 2
+        assert occurrences[EX.b] == 1
+
+
+class TestDeterminism:
+    def test_distinct_predicates_are_deterministic(self):
+        expr = interleave(arc(EX.a, value_set(1)), arc(EX.b, value_set(1)))
+        assert is_deterministic(expr)
+
+    def test_same_predicate_different_constraints_is_not(self):
+        expr = interleave(arc(EX.a, value_set(1)), arc(EX.a, value_set(2)))
+        assert not is_deterministic(expr)
+
+    def test_wildcard_overlaps_everything(self):
+        expr = interleave(arc(EX.a, value_set(1)),
+                          Arc(PredicateSet(any_predicate=True), value_set(1)))
+        assert not is_deterministic(expr)
+
+    def test_stem_overlap(self):
+        stem_arc = Arc(PredicateSet(stem="http://example.org/"), value_set(1))
+        expr = interleave(arc(EX.a, value_set(2)), stem_arc)
+        assert not is_deterministic(expr)
+        foreign = Arc(PredicateSet(stem="http://other.org/"), value_set(1))
+        assert is_deterministic(interleave(arc(EX.a, value_set(2)), foreign))
+
+    def test_identical_arcs_do_not_break_determinism(self):
+        assert is_deterministic(plus(arc(EX.a, value_set(1))))
+
+
+class TestCardinalityBounds:
+    def test_single_arc(self):
+        bounds = cardinality_bounds(arc(EX.p, value_set(1)))
+        assert (bounds[EX.p].minimum, bounds[EX.p].maximum) == (1, 1)
+
+    def test_star_plus_optional(self):
+        expr = interleave_all(
+            star(arc(EX.a)), plus(arc(EX.b)), optional(arc(EX.c)),
+        )
+        bounds = cardinality_bounds(expr)
+        assert (bounds[EX.a].minimum, bounds[EX.a].maximum) == (0, None)
+        assert (bounds[EX.b].minimum, bounds[EX.b].maximum) == (1, None)
+        assert (bounds[EX.c].minimum, bounds[EX.c].maximum) == (0, 1)
+
+    def test_repeat_range(self):
+        bounds = cardinality_bounds(repeat(arc(EX.p, value_set(1, 2, 3, 4)), 2, 4))
+        assert (bounds[EX.p].minimum, bounds[EX.p].maximum) == (2, 4)
+
+    def test_alternative_takes_min_and_max(self):
+        expr = plus(arc(EX.p)) | arc(EX.p)
+        bounds = cardinality_bounds(expr)
+        assert (bounds[EX.p].minimum, bounds[EX.p].maximum) == (1, None)
+
+    def test_person_schema_bounds(self):
+        bounds = cardinality_bounds(person_schema().expression("Person"))
+        assert (bounds[FOAF.age].minimum, bounds[FOAF.age].maximum) == (1, 1)
+        assert (bounds[FOAF.name].minimum, bounds[FOAF.name].maximum) == (1, None)
+        assert (bounds[FOAF.knows].minimum, bounds[FOAF.knows].maximum) == (0, None)
+
+    def test_render(self):
+        bounds = cardinality_bounds(plus(arc(EX.p)))
+        assert bounds[EX.p].render() == "{1,∞}"
+
+
+class TestSchemaStructure:
+    def test_dependency_graph_of_portal_schema(self):
+        graph = schema_dependency_graph(portal_schema())
+        assert graph.has_edge(ShapeLabel("Dataset"), ShapeLabel("Publisher"))
+        assert graph.has_edge(ShapeLabel("Dataset"), ShapeLabel("Distribution"))
+        assert not graph.has_edge(ShapeLabel("Publisher"), ShapeLabel("Dataset"))
+
+    def test_recursive_labels(self):
+        assert recursive_labels(person_schema()) == {ShapeLabel("Person")}
+        assert recursive_labels(portal_schema()) == frozenset()
+
+    def test_mutual_recursion(self):
+        schema = Schema({
+            "A": reference(EX.toB, "B"),
+            "B": reference(EX.toA, "A"),
+            "C": arc(EX.leaf),
+        })
+        assert recursive_labels(schema) == {ShapeLabel("A"), ShapeLabel("B")}
+
+    def test_stratification_orders_dependencies_first(self):
+        strata = stratify_schema(portal_schema())
+        flat = [label for stratum in strata for label in stratum]
+        assert flat.index(ShapeLabel("Publisher")) < flat.index(ShapeLabel("Dataset"))
+        assert flat.index(ShapeLabel("Distribution")) < flat.index(ShapeLabel("Dataset"))
+
+    def test_stratification_groups_cycles_together(self):
+        schema = Schema({
+            "A": reference(EX.toB, "B"),
+            "B": reference(EX.toA, "A"),
+        })
+        strata = stratify_schema(schema)
+        assert len(strata) == 1
+        assert set(strata[0]) == {ShapeLabel("A"), ShapeLabel("B")}
+
+
+class TestSchemaReport:
+    def test_person_schema_report(self):
+        report = analyze_schema(person_schema())
+        assert report.shape_count == 1
+        assert report.recursive == {ShapeLabel("Person")}
+        assert report.is_sorbe
+        assert not report.empty_shapes
+        assert "Person" in report.summary()
+
+    def test_portal_schema_report(self):
+        report = analyze_schema(portal_schema())
+        assert report.shape_count == 3
+        assert not report.recursive
+        assert report.is_sorbe
+        assert len(report.strata) == 3
+
+    def test_non_sorbe_schema(self):
+        schema = Schema.single(
+            "S", interleave(arc(EX.p, value_set(1)), arc(EX.p, value_set(2))))
+        report = analyze_schema(schema)
+        assert not report.is_sorbe
+        assert not report.deterministic[ShapeLabel("S")]

@@ -1,0 +1,178 @@
+"""Unit tests for XSD datatype validation and value mapping."""
+
+from datetime import date, datetime, time
+from decimal import Decimal
+
+import pytest
+
+from repro.rdf import IRI, Literal, RDF, XSD
+from repro.rdf.datatypes import (
+    canonical_lexical,
+    datatype_matches,
+    derived_numeric_types,
+    is_valid_lexical,
+    registered_datatypes,
+    to_python_value,
+)
+
+
+class TestLexicalValidation:
+    @pytest.mark.parametrize("lexical", ["0", "42", "-7", "+13", "00012"])
+    def test_valid_integers(self, lexical):
+        assert is_valid_lexical(lexical, XSD.integer)
+
+    @pytest.mark.parametrize("lexical", ["", "4.2", "abc", "1e3", "--2", "4 2"])
+    def test_invalid_integers(self, lexical):
+        assert not is_valid_lexical(lexical, XSD.integer)
+
+    @pytest.mark.parametrize("lexical", ["1.5", "-0.25", ".5", "3.", "+2.0"])
+    def test_valid_decimals(self, lexical):
+        assert is_valid_lexical(lexical, XSD.decimal)
+
+    @pytest.mark.parametrize("lexical", ["1,5", "abc", "1.2.3"])
+    def test_invalid_decimals(self, lexical):
+        assert not is_valid_lexical(lexical, XSD.decimal)
+
+    @pytest.mark.parametrize("lexical", ["1.5e3", "-2E-4", "INF", "-INF", "NaN", "42"])
+    def test_valid_doubles(self, lexical):
+        assert is_valid_lexical(lexical, XSD.double)
+
+    @pytest.mark.parametrize("lexical", ["true", "false", "0", "1"])
+    def test_valid_booleans(self, lexical):
+        assert is_valid_lexical(lexical, XSD.boolean)
+
+    @pytest.mark.parametrize("lexical", ["True", "yes", "2", ""])
+    def test_invalid_booleans(self, lexical):
+        assert not is_valid_lexical(lexical, XSD.boolean)
+
+    @pytest.mark.parametrize("lexical", ["2021-01-31", "1999-12-01", "2021-01-31Z"])
+    def test_valid_dates(self, lexical):
+        assert is_valid_lexical(lexical, XSD.date)
+
+    @pytest.mark.parametrize("lexical", ["2021-13-01", "2021-02-30", "01-01-2021", "2021/01/01"])
+    def test_invalid_dates(self, lexical):
+        assert not is_valid_lexical(lexical, XSD.date)
+
+    @pytest.mark.parametrize("lexical", ["2021-01-31T10:20:30", "2021-01-31T10:20:30.5Z",
+                                         "2021-01-31T10:20:30+02:00"])
+    def test_valid_datetimes(self, lexical):
+        assert is_valid_lexical(lexical, XSD.dateTime)
+
+    @pytest.mark.parametrize("lexical", ["2021-01-31", "2021-01-31T25:00:00"])
+    def test_invalid_datetimes(self, lexical):
+        assert not is_valid_lexical(lexical, XSD.dateTime)
+
+    @pytest.mark.parametrize("lexical", ["10:20:30", "23:59:59.999", "00:00:00Z"])
+    def test_valid_times(self, lexical):
+        assert is_valid_lexical(lexical, XSD.time)
+
+    def test_bounded_integer_types(self):
+        assert is_valid_lexical("2147483647", XSD.int)
+        assert not is_valid_lexical("2147483648", XSD.int)
+        assert is_valid_lexical("255", XSD.byte) is False
+        assert is_valid_lexical("127", XSD.byte)
+
+    def test_sign_constrained_integer_types(self):
+        assert is_valid_lexical("0", XSD.nonNegativeInteger)
+        assert not is_valid_lexical("-1", XSD.nonNegativeInteger)
+        assert is_valid_lexical("1", XSD.positiveInteger)
+        assert not is_valid_lexical("0", XSD.positiveInteger)
+        assert is_valid_lexical("-5", XSD.negativeInteger)
+        assert not is_valid_lexical("5", XSD.negativeInteger)
+
+    def test_unknown_datatype_is_permissive(self):
+        custom = IRI("http://example.org/mytype")
+        assert is_valid_lexical("anything at all", custom)
+
+    def test_language_datatype(self):
+        assert is_valid_lexical("en-GB", XSD.language)
+        assert not is_valid_lexical("not a language tag", XSD.language)
+
+    def test_duration(self):
+        assert is_valid_lexical("P1Y2M3DT4H5M6S", XSD.duration)
+        assert is_valid_lexical("PT5M", XSD.duration)
+        assert not is_valid_lexical("P", XSD.duration)
+
+
+class TestPythonValues:
+    def test_integer(self):
+        assert to_python_value(Literal("42", datatype=XSD.integer)) == 42
+
+    def test_decimal(self):
+        value = to_python_value(Literal("3.14", datatype=XSD.decimal))
+        assert value == Decimal("3.14")
+
+    def test_double_special_values(self):
+        assert to_python_value(Literal("INF", datatype=XSD.double)) == float("inf")
+
+    def test_boolean(self):
+        assert to_python_value(Literal("true", datatype=XSD.boolean)) is True
+        assert to_python_value(Literal("0", datatype=XSD.boolean)) is False
+
+    def test_date(self):
+        assert to_python_value(Literal("2021-05-06", datatype=XSD.date)) == date(2021, 5, 6)
+
+    def test_datetime(self):
+        value = to_python_value(Literal("2021-05-06T07:08:09", datatype=XSD.dateTime))
+        assert value == datetime(2021, 5, 6, 7, 8, 9)
+
+    def test_time(self):
+        assert to_python_value(Literal("07:08:09", datatype=XSD.time)) == time(7, 8, 9)
+
+    def test_invalid_lexical_falls_back_to_string(self):
+        assert to_python_value(Literal("not a number", datatype=XSD.integer)) == "not a number"
+
+    def test_unknown_datatype_falls_back_to_string(self):
+        literal = Literal("raw", datatype=IRI("http://example.org/custom"))
+        assert to_python_value(literal) == "raw"
+
+
+class TestCanonicalLexical:
+    def test_numeric_literals_are_canonicalised(self):
+        assert canonical_lexical(Literal("042", datatype=XSD.integer)) == "42"
+        assert canonical_lexical(Literal("+7", datatype=XSD.integer)) == "7"
+
+    def test_non_numeric_literals_keep_lexical_form(self):
+        assert canonical_lexical(Literal("hello")) == "hello"
+        assert canonical_lexical(Literal("2021-01-01", datatype=XSD.date)) == "2021-01-01"
+
+
+class TestDatatypeMatches:
+    def test_exact_match(self):
+        assert datatype_matches(Literal(42), XSD.integer)
+        assert datatype_matches(Literal("text"), XSD.string)
+
+    def test_derived_integer_types_satisfy_integer(self):
+        assert datatype_matches(Literal("5", datatype=XSD.int), XSD.integer)
+        assert datatype_matches(Literal("5", datatype=XSD.nonNegativeInteger), XSD.integer)
+
+    def test_integer_satisfies_decimal(self):
+        assert datatype_matches(Literal("5", datatype=XSD.integer), XSD.decimal)
+
+    def test_string_does_not_satisfy_integer(self):
+        assert not datatype_matches(Literal("5"), XSD.integer)
+
+    def test_invalid_lexical_never_matches(self):
+        assert not datatype_matches(Literal("five", datatype=XSD.integer), XSD.integer)
+
+    def test_langstring_does_not_satisfy_plain_string(self):
+        assert not datatype_matches(Literal("chat", lang="fr"), XSD.string)
+
+    def test_integer_does_not_satisfy_string(self):
+        assert not datatype_matches(Literal(5), XSD.string)
+
+
+class TestRegistry:
+    def test_registry_is_a_copy(self):
+        registry = registered_datatypes()
+        registry.clear()
+        assert registered_datatypes()  # original is untouched
+
+    def test_integer_family_is_registered(self):
+        family = derived_numeric_types()
+        assert XSD.integer.value in family
+        assert XSD.int.value in family
+        assert XSD.string.value not in family
+
+    def test_langstring_registered(self):
+        assert RDF.langString.value in registered_datatypes()

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs end to end without errors.
+
+The examples double as documentation; if one of them breaks, the README's
+promises break with it.  The scripts are imported from the ``examples/``
+directory and their ``main()`` functions executed with output captured.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import an example script as a module without polluting sys.path."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "derivative_traces",
+    "recursive_shapes",
+    "linked_data_portal",
+    "sparql_baseline",
+])
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip(), f"example {name} produced no output"
+
+
+def test_quickstart_reports_the_paper_verdicts(capsys):
+    load_example("quickstart").main()
+    output = capsys.readouterr().out
+    assert "john" in output and "bob" in output
+    assert "does NOT conform" in output  # :mary
+
+def test_engine_comparison_with_reduced_budget(capsys):
+    module = load_example("engine_comparison")
+    # shrink the budget so the exponential rows stop early in CI
+    module.BACKTRACKING_BUDGET = 20_000
+    module.main()
+    output = capsys.readouterr().out
+    assert "Accepting neighbourhoods" in output
+    assert "> budget" in output  # the exponential rows were cut off
+
+
+def test_examples_directory_is_complete():
+    present = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart", "derivative_traces", "recursive_shapes",
+            "linked_data_portal", "sparql_baseline", "engine_comparison"} <= present

@@ -1,0 +1,149 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test exercises a realistic pipeline: serialise data, re-parse it, load a
+schema from ShExC, select nodes with a shape map, validate with different
+engines, render reports and check that every layer agrees with the workload
+generator's ground truth.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.rdf import EX, Graph
+from repro.shex import (
+    BacktrackingEngine,
+    DerivativeEngine,
+    Schema,
+    Validator,
+    parse_shape_map,
+    report_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+    serialize_shexc,
+    summarize,
+)
+from repro.shex.analysis import analyze_schema
+from repro.shex.sparql_gen import SparqlEngine
+from repro.workloads import (
+    generate_person_workload,
+    generate_portal_workload,
+    person_schema,
+)
+
+
+class TestPersonPipeline:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return generate_person_workload(num_people=24, invalid_fraction=0.35,
+                                        knows_probability=0.15, seed=21)
+
+    def test_turtle_round_trip_preserves_verdicts(self, workload):
+        text = workload.graph.serialize("turtle")
+        reparsed = Graph.parse(text)
+        validator = Validator(reparsed, workload.schema)
+        assert set(validator.conforming_nodes("Person")) == set(workload.valid_nodes)
+
+    def test_schema_round_trips_through_shexc_and_json(self, workload):
+        schema = workload.schema
+        via_shexc = Schema.from_shexc(serialize_shexc(schema))
+        via_json = schema_from_dict(schema_to_dict(schema))
+        for restored in (via_shexc, via_json):
+            validator = Validator(workload.graph, restored)
+            assert set(validator.conforming_nodes("Person")) == set(workload.valid_nodes)
+
+    def test_both_complete_engines_agree_on_every_node(self, workload):
+        derivative = Validator(workload.graph, workload.schema, engine=DerivativeEngine())
+        backtracking = Validator(workload.graph, workload.schema,
+                                 engine=BacktrackingEngine(budget=2_000_000))
+        for node in workload.all_nodes:
+            assert derivative.validate_node(node, "Person").conforms == \
+                backtracking.validate_node(node, "Person").conforms, node
+
+    def test_shape_map_plus_report_pipeline(self, workload):
+        shape_map = parse_shape_map("{FOCUS foaf:age _}@<Person>")
+        validator = Validator(workload.graph, workload.schema)
+        report = validator.validate_map(shape_map.resolve(workload.graph))
+        data = report_to_dict(report)
+        conforming = {entry["node"] for entry in data["entries"] if entry["conforms"]}
+        assert conforming == {node.n3() for node in workload.valid_nodes}
+        assert summarize(report).endswith(")") or "conform" in summarize(report)
+
+
+class TestPortalPipeline:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return generate_portal_workload(num_datasets=18, invalid_fraction=0.3, seed=8)
+
+    def test_schema_analysis_matches_structure(self, workload):
+        report = analyze_schema(workload.schema)
+        assert report.shape_count == 3
+        assert not report.recursive
+        assert report.is_sorbe
+
+    def test_validation_of_all_shape_kinds(self, workload):
+        validator = Validator(workload.graph, workload.schema)
+        typing = validator.infer_typing(labels=["Dataset", "Publisher", "Distribution"])
+        for dataset in workload.valid_datasets:
+            assert typing.has(dataset, "Dataset")
+        for publisher in workload.publishers:
+            assert typing.has(publisher, "Publisher")
+        for dataset in workload.invalid_datasets:
+            assert not typing.has(dataset, "Dataset")
+
+    def test_failure_reasons_are_informative(self, workload):
+        validator = Validator(workload.graph, workload.schema)
+        for dataset, injected in workload.invalid_datasets.items():
+            entry = validator.validate_node(dataset, "Dataset")
+            assert not entry.conforms
+            assert entry.reason, f"no reason reported for {dataset} ({injected})"
+
+
+class TestCliPipeline:
+    def test_generate_then_validate_via_cli(self, tmp_path, capsys):
+        data_path = tmp_path / "people.ttl"
+        schema_path = tmp_path / "person.shex"
+        exit_code = cli_main(["generate-workload", "--kind", "person", "--size", "12",
+                              "--invalid-fraction", "0.25", "--seed", "5",
+                              "--output", str(data_path)])
+        assert exit_code == 0
+        capsys.readouterr()
+        schema_path.write_text(person_schema().to_shexc(), encoding="utf-8")
+
+        exit_code = cli_main(["validate", "--data", str(data_path),
+                              "--schema", str(schema_path),
+                              "--shape", "Person", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 1  # the generator injected invalid people
+        conforming = sum(1 for entry in payload["entries"] if entry["conforms"])
+        workload = generate_person_workload(num_people=12, invalid_fraction=0.25, seed=5)
+        assert conforming == len(workload.valid_nodes)
+
+    def test_cli_engines_agree(self, tmp_path, capsys):
+        data_path = tmp_path / "people.ttl"
+        schema_path = tmp_path / "person.shex"
+        workload = generate_person_workload(num_people=10, invalid_fraction=0.3,
+                                            knows_probability=0.1, seed=9)
+        data_path.write_text(workload.graph.serialize("turtle"), encoding="utf-8")
+        schema_path.write_text(person_schema().to_shexc(), encoding="utf-8")
+        summaries = {}
+        for engine in ("derivatives", "backtracking"):
+            cli_main(["validate", "--data", str(data_path), "--schema", str(schema_path),
+                      "--shape", "Person", "--engine", engine, "--format", "summary"])
+            summaries[engine] = capsys.readouterr().out.strip()
+        assert summaries["derivatives"] == summaries["backtracking"]
+
+
+class TestSparqlEngineConsistency:
+    def test_sparql_engine_matches_derivatives_on_non_recursive_portal_shapes(self):
+        workload = generate_portal_workload(num_datasets=12, invalid_fraction=0.25, seed=4)
+        # Distribution and Publisher are non-recursive and reference-free,
+        # so the SPARQL engine must agree exactly with the derivative engine.
+        derivative = Validator(workload.graph, workload.schema)
+        sparql = Validator(workload.graph, workload.schema, engine=SparqlEngine())
+        for label in ("Distribution", "Publisher"):
+            nodes = workload.distributions if label == "Distribution" else workload.publishers
+            for node in nodes:
+                assert derivative.validate_node(node, label).conforms == \
+                    sparql.validate_node(node, label).conforms, (node, label)

@@ -1,0 +1,152 @@
+"""Tests for the declarative semantics Sₙ[[e]] (language enumeration)."""
+
+import pytest
+
+from repro.rdf import EX, Literal, Triple
+from repro.shex import (
+    EMPTY,
+    EPSILON,
+    Arc,
+    LanguageEnumerationError,
+    PredicateSet,
+    ShapeRef,
+    arc,
+    datatype,
+    enumerate_language,
+    interleave,
+    language_size,
+    optional,
+    plus,
+    star,
+    value_set,
+)
+from repro.rdf import XSD
+from repro.shex.typing import ShapeLabel
+
+NODE = EX.n
+
+
+def t(predicate, value) -> Triple:
+    return Triple(NODE, predicate, Literal(value))
+
+
+class TestBaseCases:
+    def test_empty_has_no_graphs(self):
+        assert enumerate_language(EMPTY, NODE) == frozenset()
+
+    def test_epsilon_accepts_exactly_the_empty_graph(self):
+        assert enumerate_language(EPSILON, NODE) == frozenset({frozenset()})
+
+    def test_single_arc(self):
+        language = enumerate_language(arc(EX.a, value_set(1)), NODE)
+        assert language == frozenset({frozenset({t(EX.a, 1)})})
+
+    def test_arc_with_several_values(self):
+        language = enumerate_language(arc(EX.a, value_set(1, 2)), NODE)
+        assert language == frozenset({
+            frozenset({t(EX.a, 1)}),
+            frozenset({t(EX.a, 2)}),
+        })
+
+    def test_arc_with_several_predicates(self):
+        expression = Arc(PredicateSet([EX.a, EX.b]), value_set(1))
+        language = enumerate_language(expression, NODE)
+        assert language == frozenset({
+            frozenset({t(EX.a, 1)}),
+            frozenset({t(EX.b, 1)}),
+        })
+
+
+class TestCompositeCases:
+    def test_example_7(self):
+        """Example 7: Sₙ[[a→1 ‖ (b→{1,2})*]] has exactly four graphs."""
+        expression = interleave(arc(EX.a, value_set(1)), star(arc(EX.b, value_set(1, 2))))
+        language = enumerate_language(expression, NODE)
+        assert language == frozenset({
+            frozenset({t(EX.a, 1)}),
+            frozenset({t(EX.a, 1), t(EX.b, 1)}),
+            frozenset({t(EX.a, 1), t(EX.b, 2)}),
+            frozenset({t(EX.a, 1), t(EX.b, 1), t(EX.b, 2)}),
+        })
+        assert language_size(expression, NODE) == 4
+
+    def test_alternative(self):
+        expression = arc(EX.a, value_set(1)) | arc(EX.b, value_set(1))
+        language = enumerate_language(expression, NODE)
+        assert language == frozenset({
+            frozenset({t(EX.a, 1)}),
+            frozenset({t(EX.b, 1)}),
+        })
+
+    def test_optional(self):
+        language = enumerate_language(optional(arc(EX.a, value_set(1))), NODE)
+        assert frozenset() in language
+        assert frozenset({t(EX.a, 1)}) in language
+        assert len(language) == 2
+
+    def test_plus_requires_at_least_one(self):
+        language = enumerate_language(plus(arc(EX.a, value_set(1, 2))), NODE)
+        assert frozenset() not in language
+        assert frozenset({t(EX.a, 1)}) in language
+        assert frozenset({t(EX.a, 1), t(EX.a, 2)}) in language
+
+    def test_star_includes_empty_graph(self):
+        language = enumerate_language(star(arc(EX.a, value_set(1))), NODE)
+        assert frozenset() in language
+        assert frozenset({t(EX.a, 1)}) in language
+        assert len(language) == 2
+
+    def test_star_stabilises_because_graphs_are_sets(self):
+        """A starred arc over k values accepts exactly 2^k graphs."""
+        expression = star(arc(EX.a, value_set(1, 2, 3)))
+        assert language_size(expression, NODE, max_star_unroll=10) == 8
+
+    def test_unrolling_bound_truncates(self):
+        expression = star(arc(EX.a, value_set(1, 2, 3)))
+        truncated = enumerate_language(expression, NODE, max_star_unroll=1)
+        # only zero or one repetition enumerated: 1 + 3 graphs
+        assert len(truncated) == 4
+
+
+class TestResourceSensitivity:
+    """The ‖ operator consumes each triple once (see the module docstring)."""
+
+    def test_duplicated_arc_requires_two_distinct_triples(self):
+        expression = interleave(arc(EX.a, value_set(1, 2)), arc(EX.a, value_set(1, 2)),)
+        language = enumerate_language(expression, NODE)
+        # the singleton graphs are NOT accepted: both branches need an arc
+        assert frozenset({t(EX.a, 1)}) not in language
+        assert frozenset({t(EX.a, 1), t(EX.a, 2)}) in language
+
+    def test_enumeration_agrees_with_both_matchers_on_the_overlap_case(self):
+        from repro.shex import matches, matches_backtracking
+
+        expression = interleave(arc(EX.a, value_set(1)), arc(EX.a, value_set(1)))
+        singleton = [t(EX.a, 1)]
+        assert not matches(expression, singleton)
+        assert not matches_backtracking(expression, singleton)
+        assert frozenset(singleton) not in enumerate_language(expression, NODE)
+
+
+class TestErrors:
+    def test_datatype_arcs_are_not_enumerable(self):
+        with pytest.raises(LanguageEnumerationError):
+            enumerate_language(arc(EX.a, datatype(XSD.integer)), NODE)
+
+    def test_wildcard_arcs_are_not_enumerable(self):
+        with pytest.raises(LanguageEnumerationError):
+            enumerate_language(arc(EX.a), NODE)
+
+    def test_shape_reference_arcs_are_not_enumerable(self):
+        expression = Arc(PredicateSet.single(EX.a), ShapeRef(ShapeLabel("S")))
+        with pytest.raises(LanguageEnumerationError):
+            enumerate_language(expression, NODE)
+
+    def test_wildcard_predicates_are_not_enumerable(self):
+        expression = Arc(PredicateSet(any_predicate=True), value_set(1))
+        with pytest.raises(LanguageEnumerationError):
+            enumerate_language(expression, NODE)
+
+    def test_negative_unroll_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_language(EPSILON, NODE, max_star_unroll=-1)

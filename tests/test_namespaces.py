@@ -1,0 +1,120 @@
+"""Unit tests for namespaces and the prefix manager."""
+
+import pytest
+
+from repro.rdf import FOAF, IRI, Namespace, NamespaceManager, RDF, XSD
+from repro.rdf.errors import NamespaceError
+
+
+class TestNamespace:
+    def test_attribute_access_builds_iris(self):
+        ns = Namespace("http://example.org/vocab#")
+        assert ns.thing == IRI("http://example.org/vocab#thing")
+
+    def test_item_access_builds_iris(self):
+        ns = Namespace("http://example.org/vocab#")
+        assert ns["has-dash"] == IRI("http://example.org/vocab#has-dash")
+
+    def test_well_known_vocabularies(self):
+        assert FOAF.name == IRI("http://xmlns.com/foaf/0.1/name")
+        assert XSD.integer == IRI("http://www.w3.org/2001/XMLSchema#integer")
+        assert RDF.type == IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+    def test_containment(self):
+        assert FOAF.knows in FOAF
+        assert XSD.integer not in FOAF
+
+    def test_local_name(self):
+        assert FOAF.local_name(FOAF.knows) == "knows"
+        with pytest.raises(NamespaceError):
+            FOAF.local_name(XSD.integer)
+
+    def test_equality(self):
+        assert Namespace("http://a/") == Namespace("http://a/")
+        assert Namespace("http://a/") != Namespace("http://b/")
+
+    def test_rejects_empty_base(self):
+        with pytest.raises(NamespaceError):
+            Namespace("")
+
+    def test_private_attribute_access_raises(self):
+        with pytest.raises(AttributeError):
+            FOAF._private
+
+
+class TestNamespaceManager:
+    def test_bind_and_expand(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://example.org/")
+        assert manager.expand("ex:thing") == IRI("http://example.org/thing")
+
+    def test_expand_unknown_prefix(self):
+        manager = NamespaceManager()
+        with pytest.raises(NamespaceError):
+            manager.expand("nope:thing")
+
+    def test_expand_requires_colon(self):
+        manager = NamespaceManager()
+        with pytest.raises(NamespaceError):
+            manager.expand("no-colon")
+
+    def test_empty_prefix(self):
+        manager = NamespaceManager()
+        manager.bind("", "http://example.org/")
+        assert manager.expand(":thing") == IRI("http://example.org/thing")
+
+    def test_compact_prefers_longest_base(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://example.org/")
+        manager.bind("sub", "http://example.org/sub/")
+        assert manager.compact(IRI("http://example.org/sub/item")) == "sub:item"
+        assert manager.compact(IRI("http://example.org/item")) == "ex:item"
+
+    def test_compact_returns_none_when_no_prefix_matches(self):
+        manager = NamespaceManager()
+        assert manager.compact(IRI("http://elsewhere.org/x")) is None
+
+    def test_compact_skips_unsafe_local_names(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://example.org/")
+        assert manager.compact(IRI("http://example.org/path/with/slashes")) is None
+
+    def test_defaults_include_common_vocabularies(self):
+        manager = NamespaceManager(bind_defaults=True)
+        assert manager.expand("foaf:name") == FOAF.name
+        assert manager.compact(XSD.integer) == "xsd:integer"
+
+    def test_rebind_replaces_by_default(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://one.org/")
+        manager.bind("ex", "http://two.org/")
+        assert manager.expand("ex:x") == IRI("http://two.org/x")
+
+    def test_rebind_with_replace_false_raises(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://one.org/")
+        with pytest.raises(NamespaceError):
+            manager.bind("ex", "http://two.org/", replace=False)
+
+    def test_copy_is_independent(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://one.org/")
+        clone = manager.copy()
+        clone.bind("other", "http://other.org/")
+        assert "other" in clone
+        assert "other" not in manager
+
+    def test_len_and_contains(self):
+        manager = NamespaceManager()
+        assert len(manager) == 0
+        manager.bind("ex", "http://one.org/")
+        assert len(manager) == 1
+        assert "ex" in manager
+        assert "nope" not in manager
+
+    def test_namespace_lookup(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://one.org/")
+        assert manager.namespace("ex").base == "http://one.org/"
+        with pytest.raises(NamespaceError):
+            manager.namespace("missing")

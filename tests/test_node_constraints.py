@@ -1,0 +1,250 @@
+"""Unit tests for node constraints (value sets, datatypes, node kinds, facets…)."""
+
+import pytest
+
+from repro.rdf import BNode, EX, FOAF, IRI, Literal, XSD
+from repro.shex import (
+    AnyValue,
+    ConstraintAnd,
+    ConstraintNot,
+    ConstraintOr,
+    DatatypeConstraint,
+    Facets,
+    IRIStem,
+    LanguageTag,
+    NodeKind,
+    NodeKindConstraint,
+    PredicateSet,
+    ShapeRef,
+    ValueSet,
+    datatype,
+    value_set,
+)
+from repro.shex.typing import ShapeLabel
+
+
+class TestAnyValue:
+    def test_matches_every_term_kind(self):
+        constraint = AnyValue()
+        assert constraint.matches(EX.thing)
+        assert constraint.matches(BNode("b"))
+        assert constraint.matches(Literal("x"))
+
+    def test_describe(self):
+        assert AnyValue().describe() == "."
+
+
+class TestValueSet:
+    def test_matches_members_only(self):
+        constraint = value_set(1, 2)
+        assert constraint.matches(Literal(1))
+        assert constraint.matches(Literal(2))
+        assert not constraint.matches(Literal(3))
+        assert not constraint.matches(Literal("1"))  # xsd:string ≠ xsd:integer
+
+    def test_mixed_term_kinds(self):
+        constraint = ValueSet([EX.red, Literal("green")])
+        assert constraint.matches(EX.red)
+        assert constraint.matches(Literal("green"))
+        assert not constraint.matches(EX.green)
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            ValueSet([object()])
+
+    def test_equality_and_iteration(self):
+        assert value_set(1, 2) == value_set(2, 1)
+        assert len(value_set(1, 2)) == 2
+        assert list(value_set(2, 1))[0] == Literal(1)  # deterministic order
+
+    def test_describe_lists_members(self):
+        assert "1" in value_set(1).describe()
+
+
+class TestDatatypeConstraint:
+    def test_matching_datatype(self):
+        constraint = DatatypeConstraint(XSD.integer)
+        assert constraint.matches(Literal(42))
+        assert not constraint.matches(Literal("42"))
+        assert not constraint.matches(EX.iri)
+
+    def test_derived_types_accepted(self):
+        constraint = DatatypeConstraint(XSD.integer)
+        assert constraint.matches(Literal("7", datatype=XSD.int))
+
+    def test_invalid_lexical_rejected(self):
+        constraint = DatatypeConstraint(XSD.integer)
+        assert not constraint.matches(Literal("seven", datatype=XSD.integer))
+
+    def test_numeric_facets(self):
+        constraint = datatype(XSD.integer, min_inclusive=0, max_inclusive=120)
+        assert constraint.matches(Literal(30))
+        assert not constraint.matches(Literal(-1))
+        assert not constraint.matches(Literal(121))
+
+    def test_exclusive_facets(self):
+        constraint = datatype(XSD.integer, min_exclusive=0, max_exclusive=10)
+        assert constraint.matches(Literal(5))
+        assert not constraint.matches(Literal(0))
+        assert not constraint.matches(Literal(10))
+
+    def test_string_facets(self):
+        constraint = datatype(XSD.string, min_length=2, max_length=4)
+        assert constraint.matches(Literal("abc"))
+        assert not constraint.matches(Literal("a"))
+        assert not constraint.matches(Literal("abcde"))
+
+    def test_length_facet(self):
+        constraint = datatype(XSD.string, length=3)
+        assert constraint.matches(Literal("abc"))
+        assert not constraint.matches(Literal("ab"))
+
+    def test_pattern_facet(self):
+        constraint = datatype(XSD.string, pattern=r"^[A-Z][a-z]+$")
+        assert constraint.matches(Literal("Hello"))
+        assert not constraint.matches(Literal("hello"))
+
+    def test_numeric_facet_on_non_numeric_literal_fails(self):
+        constraint = datatype(XSD.string, min_inclusive=1)
+        assert not constraint.matches(Literal("text"))
+
+    def test_describe_mentions_facets(self):
+        constraint = datatype(XSD.integer, min_inclusive=0)
+        assert "min_inclusive" in constraint.describe()
+
+
+class TestFacets:
+    def test_trivial_facets(self):
+        assert Facets().is_trivial()
+        assert not Facets(min_length=1).is_trivial()
+
+    def test_check_combines_all_conditions(self):
+        facets = Facets(min_length=2, pattern="a")
+        assert facets.check(Literal("abc"))
+        assert not facets.check(Literal("a"))      # too short
+        assert not facets.check(Literal("bcd"))    # pattern missing
+
+
+class TestNodeKinds:
+    def test_iri_kind(self):
+        constraint = NodeKindConstraint(NodeKind.IRI)
+        assert constraint.matches(EX.thing)
+        assert not constraint.matches(BNode("b"))
+        assert not constraint.matches(Literal("x"))
+
+    def test_bnode_kind(self):
+        constraint = NodeKindConstraint(NodeKind.BNODE)
+        assert constraint.matches(BNode("b"))
+        assert not constraint.matches(EX.thing)
+
+    def test_literal_kind(self):
+        constraint = NodeKindConstraint(NodeKind.LITERAL)
+        assert constraint.matches(Literal("x"))
+        assert not constraint.matches(EX.thing)
+
+    def test_nonliteral_kind(self):
+        constraint = NodeKindConstraint(NodeKind.NONLITERAL)
+        assert constraint.matches(EX.thing)
+        assert constraint.matches(BNode("b"))
+        assert not constraint.matches(Literal("x"))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            NodeKindConstraint("resource")
+
+    def test_literal_kind_with_facets(self):
+        constraint = NodeKindConstraint(NodeKind.LITERAL, Facets(min_length=3))
+        assert constraint.matches(Literal("abc"))
+        assert not constraint.matches(Literal("ab"))
+
+    def test_iri_kind_with_pattern_facet(self):
+        constraint = NodeKindConstraint(NodeKind.IRI, Facets(pattern="example"))
+        assert constraint.matches(EX.thing)
+        assert not constraint.matches(IRI("http://other.org/x"))
+
+
+class TestStemAndLanguage:
+    def test_iri_stem(self):
+        constraint = IRIStem("http://example.org/")
+        assert constraint.matches(EX.anything)
+        assert not constraint.matches(IRI("http://other.org/x"))
+        assert not constraint.matches(Literal("http://example.org/x"))
+
+    def test_language_tag(self):
+        constraint = LanguageTag("en")
+        assert constraint.matches(Literal("colour", lang="en"))
+        assert constraint.matches(Literal("color", lang="en-US"))
+        assert not constraint.matches(Literal("couleur", lang="fr"))
+        assert not constraint.matches(Literal("plain"))
+
+
+class TestBooleanCombinators:
+    def test_and(self):
+        constraint = ConstraintAnd([DatatypeConstraint(XSD.integer),
+                                    datatype(XSD.integer, min_inclusive=0)])
+        assert constraint.matches(Literal(5))
+        assert not constraint.matches(Literal(-5))
+
+    def test_or(self):
+        constraint = ConstraintOr([value_set(1), value_set(2)])
+        assert constraint.matches(Literal(1))
+        assert constraint.matches(Literal(2))
+        assert not constraint.matches(Literal(3))
+
+    def test_not(self):
+        constraint = ConstraintNot(value_set(1))
+        assert not constraint.matches(Literal(1))
+        assert constraint.matches(Literal(2))
+
+    def test_describe(self):
+        assert "AND" in ConstraintAnd([AnyValue(), AnyValue()]).describe()
+        assert "OR" in ConstraintOr([AnyValue(), AnyValue()]).describe()
+        assert "NOT" in ConstraintNot(AnyValue()).describe()
+
+
+class TestShapeRef:
+    def test_cannot_be_matched_locally(self):
+        constraint = ShapeRef(ShapeLabel("Person"))
+        with pytest.raises(TypeError):
+            constraint.matches(EX.bob)
+
+    def test_describe(self):
+        assert ShapeRef(ShapeLabel("Person")).describe() == "@Person"
+
+
+class TestPredicateSet:
+    def test_single(self):
+        predicates = PredicateSet.single(FOAF.name)
+        assert predicates.matches(FOAF.name)
+        assert not predicates.matches(FOAF.age)
+        assert predicates.sample() == FOAF.name
+
+    def test_multiple(self):
+        predicates = PredicateSet([FOAF.name, FOAF.age])
+        assert predicates.matches(FOAF.name)
+        assert predicates.matches(FOAF.age)
+        assert not predicates.matches(FOAF.knows)
+
+    def test_stem(self):
+        predicates = PredicateSet(stem="http://xmlns.com/foaf/0.1/")
+        assert predicates.matches(FOAF.name)
+        assert not predicates.matches(EX.other)
+        assert predicates.sample() is None
+
+    def test_any(self):
+        predicates = PredicateSet(any_predicate=True)
+        assert predicates.matches(EX.whatever)
+        assert predicates.describe() == "<any>"
+
+    def test_needs_at_least_one_specification(self):
+        with pytest.raises(ValueError):
+            PredicateSet()
+
+    def test_rejects_non_iri_predicates(self):
+        with pytest.raises(TypeError):
+            PredicateSet([Literal("not an IRI")])
+
+    def test_equality_and_hash(self):
+        assert PredicateSet([FOAF.name]) == PredicateSet.single(FOAF.name)
+        assert hash(PredicateSet([FOAF.name])) == hash(PredicateSet.single(FOAF.name))
+        assert PredicateSet([FOAF.name]) != PredicateSet([FOAF.age])

@@ -1,0 +1,131 @@
+"""Unit tests for the N-Triples parser and serialiser."""
+
+import pytest
+
+from repro.rdf import BNode, EX, Graph, IRI, Literal, Triple, XSD
+from repro.rdf.errors import ParseError
+from repro.rdf.ntriples import (
+    escape_string,
+    iter_ntriples,
+    parse_ntriples,
+    serialize_ntriples,
+    unescape_string,
+)
+
+
+class TestEscaping:
+    def test_round_trip_simple(self):
+        assert unescape_string(escape_string('say "hi"\n')) == 'say "hi"\n'
+
+    def test_unicode_escapes(self):
+        assert unescape_string("caf\\u00e9") == "café"
+        assert unescape_string("\\U0001F600") == "😀"
+
+    def test_invalid_escape_raises(self):
+        with pytest.raises(ParseError):
+            unescape_string("\\q")
+        with pytest.raises(ParseError):
+            unescape_string("dangling\\")
+
+    def test_tab_and_backslash(self):
+        assert escape_string("a\tb\\c") == "a\\tb\\\\c"
+
+
+class TestParsing:
+    def test_simple_triple(self):
+        graph = parse_ntriples(
+            '<http://example.org/s> <http://example.org/p> "hello" .\n'
+        )
+        assert Triple(EX.s, EX.p, Literal("hello")) in graph
+
+    def test_iri_object(self):
+        graph = parse_ntriples("<http://example.org/s> <http://example.org/p> <http://example.org/o> .")
+        assert Triple(EX.s, EX.p, EX.o) in graph
+
+    def test_blank_nodes(self):
+        graph = parse_ntriples("_:a <http://example.org/p> _:b .")
+        triple = next(iter(graph))
+        assert triple.subject == BNode("a")
+        assert triple.object == BNode("b")
+
+    def test_typed_literal(self):
+        graph = parse_ntriples(
+            '<http://example.org/s> <http://example.org/p> '
+            '"42"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        )
+        triple = next(iter(graph))
+        assert triple.object == Literal("42", datatype=XSD.integer)
+
+    def test_language_tagged_literal(self):
+        graph = parse_ntriples('<http://example.org/s> <http://example.org/p> "chat"@fr .')
+        assert next(iter(graph)).object == Literal("chat", lang="fr")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = """
+        # a comment
+        <http://example.org/s> <http://example.org/p> "x" .
+
+        # another
+        """
+        assert len(parse_ntriples(text)) == 1
+
+    def test_escaped_literal_content(self):
+        graph = parse_ntriples(
+            '<http://example.org/s> <http://example.org/p> "line1\\nline2\\t\\"q\\"" .'
+        )
+        assert next(iter(graph)).object.lexical == 'line1\nline2\t"q"'
+
+    def test_trailing_comment_after_dot(self):
+        graph = parse_ntriples('<http://example.org/s> <http://example.org/p> "x" . # trailing')
+        assert len(graph) == 1
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples('<http://example.org/s> <http://example.org/p> "x"')
+
+    def test_literal_subject_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples('"literal" <http://example.org/p> "x" .')
+
+    def test_bnode_predicate_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples('<http://example.org/s> _:p "x" .')
+
+    def test_error_reports_line_number(self):
+        text = '<http://example.org/s> <http://example.org/p> "ok" .\nbroken line .'
+        with pytest.raises(ParseError) as info:
+            parse_ntriples(text)
+        assert info.value.line == 2
+
+    def test_iter_ntriples_is_lazy(self):
+        text = '<http://example.org/s> <http://example.org/p> "x" .\n' * 3
+        iterator = iter_ntriples(text)
+        assert next(iterator).object == Literal("x")
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        graph = Graph([
+            Triple(EX.s, EX.p, Literal("hello\nworld")),
+            Triple(EX.s, EX.p, Literal(42)),
+            Triple(EX.s, EX.q, Literal("chat", lang="fr")),
+            Triple(BNode("b1"), EX.p, EX.o),
+        ])
+        text = serialize_ntriples(graph)
+        assert parse_ntriples(text) == graph
+
+    def test_output_is_sorted_and_terminated(self):
+        graph = Graph([
+            Triple(EX.b, EX.p, Literal(1)),
+            Triple(EX.a, EX.p, Literal(1)),
+        ])
+        lines = serialize_ntriples(graph).strip().splitlines()
+        assert lines[0].startswith("<http://example.org/a>")
+        assert all(line.endswith(" .") for line in lines)
+
+    def test_empty_graph_serialises_to_empty_string(self):
+        assert serialize_ntriples(Graph()) == ""
+
+    def test_plain_string_has_no_datatype_suffix(self):
+        graph = Graph([Triple(EX.s, EX.p, Literal("plain"))])
+        assert "^^" not in serialize_ntriples(graph)

@@ -1,0 +1,227 @@
+"""Property-based tests (hypothesis) for the core invariants of the paper.
+
+The central theorems the implementation relies on are checked on randomly
+generated expressions and neighbourhoods:
+
+* **engine agreement** — the derivative matcher and the backtracking matcher
+  accept exactly the same neighbourhoods (Section 7: ``e ≃ Σgₙ`` iff
+  ``Σgₙ ∈ Sₙ[[e]]``),
+* **language soundness/completeness** — for enumerable expressions, the
+  matchers accept precisely the graphs in ``Sₙ[[e]]``,
+* **derivative laws** — ``ν(∂t(e))`` equals "``{t}`` plus-some-rest matches",
+  simplification preserves the accepted language, and consumption order does
+  not change the verdict,
+* **typing algebra** — ``⊎`` is commutative, associative and idempotent.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import EX, Graph, Literal, Triple
+from repro.shex import (
+    BacktrackingEngine,
+    DerivativeEngine,
+    ShapeTyping,
+    arc,
+    derivative_graph,
+    enumerate_language,
+    expression_size,
+    matches,
+    matches_backtracking,
+    nullable,
+    value_set,
+)
+from repro.shex.expressions import And, Or, ShapeExpr, Star, alternative, interleave
+
+NODE = EX.n
+
+#: the finite universe the random expressions and graphs draw from.
+PREDICATES = [EX.a, EX.b, EX.c]
+VALUES = [1, 2]
+UNIVERSE = [Triple(NODE, predicate, Literal(value))
+            for predicate in PREDICATES for value in VALUES]
+
+
+# --------------------------------------------------------------------- strategies
+def arcs() -> st.SearchStrategy[ShapeExpr]:
+    return st.builds(
+        lambda predicate, values: arc(predicate, value_set(*values)),
+        st.sampled_from(PREDICATES),
+        st.lists(st.sampled_from(VALUES), min_size=1, max_size=2, unique=True),
+    )
+
+
+def expressions(max_depth: int = 3) -> st.SearchStrategy[ShapeExpr]:
+    """Random regular shape expressions over the finite universe."""
+    return st.recursive(
+        arcs(),
+        lambda children: st.one_of(
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+            st.builds(Star, children),
+        ),
+        max_leaves=6,
+    )
+
+
+def neighbourhoods() -> st.SearchStrategy[frozenset]:
+    return st.frozensets(st.sampled_from(UNIVERSE), max_size=4)
+
+
+# ------------------------------------------------------------------ engine agreement
+class TestEngineAgreement:
+    @settings(max_examples=150, deadline=None)
+    @given(expression=expressions(), triples=neighbourhoods())
+    def test_derivatives_and_backtracking_agree(self, expression, triples):
+        assert matches(expression, triples) == matches_backtracking(expression, triples)
+
+    @settings(max_examples=100, deadline=None)
+    @given(expression=expressions(), triples=neighbourhoods())
+    def test_engine_objects_agree_with_module_functions(self, expression, triples):
+        derivative_result = DerivativeEngine().match_neighbourhood(expression, triples)
+        backtracking_result = BacktrackingEngine().match_neighbourhood(expression, triples)
+        assert derivative_result.matched == backtracking_result.matched
+        assert derivative_result.matched == matches(expression, triples)
+
+    @settings(max_examples=100, deadline=None)
+    @given(expression=expressions(), triples=neighbourhoods())
+    def test_simplification_does_not_change_the_verdict(self, expression, triples):
+        plain = DerivativeEngine(simplify=True).match_neighbourhood(expression, triples)
+        raw = DerivativeEngine(simplify=False).match_neighbourhood(expression, triples)
+        assert plain.matched == raw.matched
+
+    @settings(max_examples=100, deadline=None)
+    @given(expression=expressions(), triples=neighbourhoods(), seed=st.integers(0, 1000))
+    def test_consumption_order_does_not_change_the_verdict(self, expression, triples, seed):
+        import random
+
+        ordered = sorted(triples, key=Triple.sort_key)
+        shuffled = list(ordered)
+        random.Random(seed).shuffle(shuffled)
+        assert nullable(derivative_graph(expression, ordered)) == \
+            nullable(derivative_graph(expression, shuffled))
+
+
+# ------------------------------------------------------------- language correspondence
+class TestLanguageCorrespondence:
+    @settings(max_examples=80, deadline=None)
+    @given(expression=expressions(max_depth=2), triples=neighbourhoods())
+    def test_matchers_accept_exactly_the_enumerated_language(self, expression, triples):
+        language = enumerate_language(expression, NODE, max_star_unroll=len(UNIVERSE))
+        expected = frozenset(triples) in language
+        assert matches(expression, triples) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(expression=expressions(max_depth=2))
+    def test_every_enumerated_graph_is_accepted(self, expression):
+        language = enumerate_language(expression, NODE, max_star_unroll=len(UNIVERSE))
+        for graph in list(language)[:20]:
+            assert matches(expression, graph)
+
+    @settings(max_examples=80, deadline=None)
+    @given(expression=expressions(max_depth=2))
+    def test_nullability_iff_empty_graph_in_language(self, expression):
+        language = enumerate_language(expression, NODE, max_star_unroll=len(UNIVERSE))
+        assert nullable(expression) == (frozenset() in language)
+
+
+# --------------------------------------------------------------------- derivative laws
+class TestDerivativeLaws:
+    @settings(max_examples=100, deadline=None)
+    @given(expression=expressions(), triple=st.sampled_from(UNIVERSE),
+           rest=neighbourhoods())
+    def test_derivative_step_law(self, expression, triple, rest):
+        """e ≃ {t} ∪ ts  ⇔  ∂t(e) ≃ ts (for t ∉ ts)."""
+        if triple in rest:
+            rest = rest - {triple}
+        whole = frozenset(rest) | {triple}
+        from repro.shex import derivative
+
+        assert matches(expression, whole) == matches(derivative(expression, triple), rest)
+
+    @settings(max_examples=100, deadline=None)
+    @given(expression=expressions())
+    def test_derivative_by_empty_graph_is_identity(self, expression):
+        assert derivative_graph(expression, []) == expression
+
+    @settings(max_examples=100, deadline=None)
+    @given(expression=expressions(), triples=neighbourhoods())
+    def test_match_iff_nullable_after_consuming_everything(self, expression, triples):
+        ordered = sorted(triples, key=Triple.sort_key)
+        assert matches(expression, triples) == nullable(derivative_graph(expression, ordered))
+
+    @settings(max_examples=100, deadline=None)
+    @given(left=expressions(max_depth=2), right=expressions(max_depth=2),
+           triples=neighbourhoods())
+    def test_smart_constructors_preserve_semantics(self, left, right, triples):
+        assert matches(alternative(left, right), triples) == \
+            matches(Or(left, right), triples)
+        assert matches(interleave(left, right), triples) == \
+            matches(And(left, right), triples)
+
+    @settings(max_examples=50, deadline=None)
+    @given(expression=expressions(), triples=neighbourhoods())
+    def test_simplified_derivatives_never_grow_faster_than_raw(self, expression, triples):
+        ordered = sorted(triples, key=Triple.sort_key)
+        simplified = derivative_graph(expression, ordered, simplify=True)
+        raw = derivative_graph(expression, ordered, simplify=False)
+        assert expression_size(simplified) <= expression_size(raw)
+
+
+# -------------------------------------------------------------------------- typing laws
+_nodes = st.sampled_from([EX.n1, EX.n2, EX.n3])
+_labels = st.sampled_from(["S1", "S2", "S3"])
+
+
+def typings() -> st.SearchStrategy[ShapeTyping]:
+    return st.lists(st.tuples(_nodes, _labels), max_size=5).map(
+        lambda pairs: ShapeTyping({}) if not pairs else _build_typing(pairs)
+    )
+
+
+def _build_typing(pairs) -> ShapeTyping:
+    typing = ShapeTyping.empty()
+    for node, label in pairs:
+        typing = typing.add(node, label)
+    return typing
+
+
+class TestTypingAlgebra:
+    @settings(max_examples=100, deadline=None)
+    @given(left=typings(), right=typings())
+    def test_combine_commutative(self, left, right):
+        assert left | right == right | left
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=typings(), b=typings(), c=typings())
+    def test_combine_associative(self, a, b, c):
+        assert (a | b) | c == a | (b | c)
+
+    @settings(max_examples=100, deadline=None)
+    @given(typing=typings())
+    def test_combine_idempotent_and_identity(self, typing):
+        assert typing | typing == typing
+        assert typing | ShapeTyping.empty() == typing
+
+
+# ----------------------------------------------------------------------- graph algebra
+class TestGraphProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(triples=st.frozensets(st.sampled_from(UNIVERSE), max_size=6))
+    def test_turtle_round_trip(self, triples):
+        graph = Graph(triples)
+        assert Graph.parse(graph.serialize("turtle")) == graph
+
+    @settings(max_examples=60, deadline=None)
+    @given(triples=st.frozensets(st.sampled_from(UNIVERSE), max_size=6))
+    def test_ntriples_round_trip(self, triples):
+        graph = Graph(triples)
+        assert Graph.parse(graph.serialize("ntriples"), format="ntriples") == graph
+
+    @settings(max_examples=60, deadline=None)
+    @given(left=st.frozensets(st.sampled_from(UNIVERSE), max_size=4),
+           right=st.frozensets(st.sampled_from(UNIVERSE), max_size=4))
+    def test_union_is_set_union(self, left, right):
+        assert (Graph(left) | Graph(right)).to_set() == left | right

@@ -1,0 +1,155 @@
+"""Tests for shape maps (fixed and query-based node selection)."""
+
+import pytest
+
+from repro.rdf import BNode, EX, FOAF, Graph, IRI, Literal, RDF, Triple
+from repro.rdf.errors import ParseError
+from repro.shex import (
+    FixedEntry,
+    QueryEntry,
+    ShapeLabel,
+    ShapeMap,
+    Validator,
+    parse_shape_map,
+)
+from repro.workloads import paper_example_graph, person_schema
+
+
+class TestFixedEntries:
+    def test_resolution(self):
+        entry = FixedEntry(EX.john, ShapeLabel("Person"))
+        assert list(entry.resolve(Graph())) == [(EX.john, ShapeLabel("Person"))]
+
+    def test_text_rendering(self):
+        entry = FixedEntry(EX.john, ShapeLabel("Person"))
+        assert str(entry) == "<http://example.org/john>@<Person>"
+
+    def test_from_dict(self):
+        shape_map = ShapeMap.from_dict({EX.john: "Person", EX.bob: ShapeLabel("Person")})
+        resolved = shape_map.resolve(Graph())
+        assert resolved == {EX.john: ShapeLabel("Person"), EX.bob: ShapeLabel("Person")}
+
+    def test_later_entries_win(self):
+        shape_map = ShapeMap([
+            FixedEntry(EX.john, ShapeLabel("A")),
+            FixedEntry(EX.john, ShapeLabel("B")),
+        ])
+        assert shape_map.resolve(Graph()) == {EX.john: ShapeLabel("B")}
+
+    def test_add_rejects_non_entries(self):
+        with pytest.raises(TypeError):
+            ShapeMap().add("not an entry")
+
+
+class TestQueryEntries:
+    @pytest.fixture
+    def graph(self):
+        graph = paper_example_graph()
+        graph.add(Triple(EX.john, RDF.type, FOAF.Person))
+        graph.add(Triple(EX.bob, RDF.type, FOAF.Person))
+        return graph
+
+    def test_focus_in_subject_position(self, graph):
+        entry = QueryEntry(label=ShapeLabel("Person"), focus_position="subject",
+                           predicate=RDF.type, other=FOAF.Person)
+        nodes = {node for node, _ in entry.resolve(graph)}
+        assert nodes == {EX.john, EX.bob}
+
+    def test_focus_in_object_position(self, graph):
+        entry = QueryEntry(label=ShapeLabel("Person"), focus_position="object",
+                           predicate=FOAF.knows)
+        nodes = {node for node, _ in entry.resolve(graph)}
+        assert nodes == {EX.bob}
+
+    def test_wildcard_predicate(self, graph):
+        entry = QueryEntry(label=ShapeLabel("Anything"), focus_position="subject")
+        nodes = {node for node, _ in entry.resolve(graph)}
+        assert nodes == set(graph.nodes())
+
+    def test_literal_focus_nodes_are_skipped(self, graph):
+        entry = QueryEntry(label=ShapeLabel("X"), focus_position="object",
+                           predicate=FOAF.name)
+        assert list(entry.resolve(graph)) == []
+
+    def test_invalid_focus_position(self):
+        with pytest.raises(ValueError):
+            QueryEntry(label=ShapeLabel("X"), focus_position="predicate")
+
+    def test_text_rendering(self):
+        entry = QueryEntry(label=ShapeLabel("Person"), focus_position="subject",
+                           predicate=FOAF.knows)
+        assert str(entry) == "{FOCUS <http://xmlns.com/foaf/0.1/knows> _}@<Person>"
+
+
+class TestTextSyntax:
+    def test_fixed_entry_with_full_iri(self):
+        shape_map = parse_shape_map("<http://example.org/john>@<Person>")
+        assert len(shape_map) == 1
+        assert shape_map.resolve(Graph()) == {EX.john: ShapeLabel("Person")}
+
+    def test_fixed_entry_with_prefixed_names(self):
+        from repro.rdf import NamespaceManager
+
+        namespaces = NamespaceManager(bind_defaults=True)
+        namespaces.bind("ex", "http://example.org/")
+        shape_map = parse_shape_map("ex:john@ex:PersonShape", namespaces)
+        resolved = shape_map.resolve(Graph())
+        assert resolved == {EX.john: ShapeLabel("http://example.org/PersonShape")}
+
+    def test_blank_node_entry(self):
+        shape_map = parse_shape_map("_:b1@<Person>")
+        assert shape_map.resolve(Graph()) == {BNode("b1"): ShapeLabel("Person")}
+
+    def test_multiple_entries_with_commas_and_newlines(self):
+        shape_map = parse_shape_map(
+            "<http://example.org/john>@<Person>,\n<http://example.org/bob>@<Person>"
+        )
+        assert len(shape_map) == 2
+
+    def test_query_entry_focus_subject(self):
+        graph = paper_example_graph()
+        shape_map = parse_shape_map("{FOCUS foaf:knows _}@<Person>")
+        resolved = shape_map.resolve(graph)
+        assert resolved == {EX.john: ShapeLabel("Person")}
+
+    def test_query_entry_focus_object(self):
+        graph = paper_example_graph()
+        shape_map = parse_shape_map("{_ foaf:knows FOCUS}@<Person>")
+        resolved = shape_map.resolve(graph)
+        assert resolved == {EX.bob: ShapeLabel("Person")}
+
+    def test_round_trip_through_str(self):
+        shape_map = parse_shape_map("<http://example.org/john>@<Person>")
+        assert parse_shape_map(str(shape_map)).resolve(Graph()) == \
+            shape_map.resolve(Graph())
+
+    @pytest.mark.parametrize("bad", [
+        "just-nonsense",
+        "<http://example.org/x>",            # missing @shape
+        "{FOCUS FOCUS _}@<S>",               # FOCUS in predicate position
+        "{_ foaf:knows _}@<S>",              # no FOCUS at all
+        "{FOCUS foaf:knows FOCUS}@<S>",      # two FOCUS positions
+    ])
+    def test_parse_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_shape_map(bad)
+
+
+class TestIntegrationWithValidator:
+    def test_validate_via_shape_map(self):
+        graph = paper_example_graph()
+        shape_map = parse_shape_map(
+            "<http://example.org/john>@<Person>, <http://example.org/mary>@<Person>"
+        )
+        validator = Validator(graph, person_schema())
+        report = validator.validate_map(shape_map.resolve(graph))
+        assert report.entry_for(EX.john).conforms
+        assert not report.entry_for(EX.mary).conforms
+
+    def test_query_shape_map_selects_and_validates_everything(self):
+        graph = paper_example_graph()
+        shape_map = parse_shape_map("{FOCUS foaf:age _}@<Person>")
+        validator = Validator(graph, person_schema())
+        report = validator.validate_map(shape_map.resolve(graph))
+        assert len(report) == 3
+        assert not report.conforms  # :mary is selected and fails

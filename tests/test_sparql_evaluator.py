@@ -1,0 +1,307 @@
+"""Tests for the SPARQL evaluator (solution mappings, joins, filters, aggregates)."""
+
+import pytest
+
+from repro.rdf import EX, FOAF, Graph, IRI, Literal, Triple, XSD
+from repro.sparql import SparqlEvaluationError, ask, evaluate_query, select
+from repro.workloads import paper_example_graph
+
+
+@pytest.fixture
+def graph() -> Graph:
+    return paper_example_graph()
+
+
+def names(solutions, variable="s"):
+    return sorted(solution[variable].n3() for solution in solutions if variable in solution)
+
+
+class TestBasicGraphPatterns:
+    def test_single_pattern(self, graph):
+        solutions = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?s { ?s foaf:age ?age }
+        """)
+        assert names(solutions) == [
+            "<http://example.org/bob>", "<http://example.org/john>",
+            "<http://example.org/mary>", "<http://example.org/mary>",
+        ]
+
+    def test_join_on_shared_variable(self, graph):
+        solutions = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?s ?friendname {
+                ?s foaf:knows ?friend .
+                ?friend foaf:name ?friendname .
+            }
+        """)
+        assert {solution["friendname"].lexical for solution in solutions} == {"Bob", "Robert"}
+
+    def test_constant_subject(self, graph):
+        solutions = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            PREFIX : <http://example.org/>
+            SELECT ?o { :john foaf:name ?o }
+        """)
+        assert [solution["o"].lexical for solution in solutions] == ["John"]
+
+    def test_no_match_returns_empty(self, graph):
+        assert select(graph, "SELECT ?s { ?s <http://example.org/nothing> ?o }") == []
+
+    def test_ask_true_false(self, graph):
+        assert ask(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            ASK { ?s foaf:knows ?o }
+        """)
+        assert not ask(graph, "ASK { ?s <http://example.org/nothing> ?o }")
+
+    def test_select_on_ask_raises(self, graph):
+        with pytest.raises(SparqlEvaluationError):
+            select(graph, "ASK { ?s ?p ?o }")
+        with pytest.raises(SparqlEvaluationError):
+            ask(graph, "SELECT ?s { ?s ?p ?o }")
+
+    def test_same_variable_twice_in_a_pattern(self, graph):
+        graph.add(Triple(EX.loop, EX.p, EX.loop))
+        solutions = select(graph, "SELECT ?x { ?x <http://example.org/p> ?x }")
+        assert names(solutions, "x") == ["<http://example.org/loop>"]
+
+
+class TestFiltersAndFunctions:
+    def test_numeric_comparison(self, graph):
+        solutions = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?s { ?s foaf:age ?age FILTER (?age > 30) }
+        """)
+        assert "<http://example.org/john>" not in names(solutions)
+        assert "<http://example.org/bob>" in names(solutions)
+
+    def test_is_literal_and_datatype(self, graph):
+        solutions = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            PREFIX xsd:  <http://www.w3.org/2001/XMLSchema#>
+            SELECT ?s { ?s foaf:name ?name
+                        FILTER (isLiteral(?name) && datatype(?name) = xsd:string) }
+        """)
+        assert "<http://example.org/john>" in names(solutions)
+
+    def test_is_iri_and_is_blank(self, graph):
+        solutions = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?s { ?s foaf:knows ?o FILTER isIRI(?o) }
+        """)
+        assert names(solutions) == ["<http://example.org/john>"]
+        assert not select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?s { ?s foaf:knows ?o FILTER isBlank(?o) }
+        """)
+
+    def test_negation_and_bound(self, graph):
+        solutions = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?s { ?s foaf:age ?age
+                        OPTIONAL { ?s foaf:knows ?friend }
+                        FILTER (!bound(?friend)) }
+        """)
+        assert "<http://example.org/john>" not in names(solutions)
+        assert "<http://example.org/bob>" in names(solutions)
+
+    def test_string_functions(self, graph):
+        assert ask(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            ASK { ?s foaf:name ?n FILTER (strlen(?n) = 6 && strstarts(?n, "Rob")) }
+        """)
+        assert ask(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            ASK { ?s foaf:name ?n FILTER regex(?n, "^jo", "i") }
+        """)
+
+    def test_arithmetic_in_filters(self, graph):
+        assert ask(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            ASK { ?s foaf:age ?age FILTER (?age * 2 = 46) }
+        """)
+
+    def test_type_error_makes_filter_fail_not_crash(self, graph):
+        solutions = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?s { ?s foaf:name ?name FILTER (?name > 100) }
+        """)
+        assert solutions == []
+
+    def test_sameterm_and_str(self, graph):
+        assert ask(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            PREFIX : <http://example.org/>
+            ASK { ?s foaf:knows ?o FILTER sameTerm(?o, :bob) }
+        """)
+        assert ask(graph, """
+            PREFIX : <http://example.org/>
+            ASK { ?s ?p ?o FILTER (str(?p) = "http://xmlns.com/foaf/0.1/age") }
+        """)
+
+
+class TestOptionalAndUnion:
+    def test_optional_keeps_unmatched_solutions(self, graph):
+        solutions = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?s ?friend { ?s foaf:age ?age OPTIONAL { ?s foaf:knows ?friend } }
+        """)
+        by_subject = {}
+        for solution in solutions:
+            by_subject.setdefault(solution["s"], []).append(solution)
+        assert any("friend" in s for s in by_subject[EX.john])
+        assert all("friend" not in s for s in by_subject[EX.bob])
+
+    def test_union_combines_branches(self, graph):
+        solutions = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?who { { ?who foaf:knows ?x } UNION { ?x foaf:knows ?who } }
+        """)
+        assert names(solutions, "who") == [
+            "<http://example.org/bob>", "<http://example.org/john>",
+        ]
+
+
+class TestAggregation:
+    def test_count_star_group_by(self, graph):
+        solutions = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?s (COUNT(*) AS ?c) { ?s foaf:age ?o } GROUP BY ?s
+        """)
+        counts = {solution["s"]: solution["c"].to_python() for solution in solutions}
+        assert counts[EX.mary] == 2
+        assert counts[EX.john] == 1
+
+    def test_having_filters_groups(self, graph):
+        solutions = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?s { ?s foaf:age ?o } GROUP BY ?s HAVING (COUNT(*) = 1)
+        """)
+        assert names(solutions) == ["<http://example.org/bob>", "<http://example.org/john>"]
+
+    def test_count_over_empty_match_is_zero(self, graph):
+        solutions = select(graph, """
+            PREFIX : <http://example.org/>
+            SELECT (COUNT(*) AS ?c) { :john :nothing ?o }
+        """)
+        assert len(solutions) == 1
+        assert solutions[0]["c"].to_python() == 0
+
+    def test_count_distinct(self, graph):
+        solutions = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT (COUNT(DISTINCT ?s) AS ?c) { ?s foaf:name ?n }
+        """)
+        assert solutions[0]["c"].to_python() == 2
+
+    def test_sum_min_max_avg(self, graph):
+        solutions = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT (SUM(?age) AS ?total) (MIN(?age) AS ?low)
+                   (MAX(?age) AS ?high) (AVG(?age) AS ?mean)
+            { <http://example.org/mary> foaf:age ?age }
+        """)
+        row = solutions[0]
+        assert row["total"].to_python() == 115
+        assert row["low"].to_python() == 50
+        assert row["high"].to_python() == 65
+        assert row["mean"].to_python() == 57.5
+
+    def test_sub_select_joined_with_outer_pattern(self, graph):
+        solutions = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?s ?c {
+                ?s foaf:name ?name .
+                { SELECT ?s (COUNT(*) AS ?c) { ?s foaf:age ?o } GROUP BY ?s }
+            }
+        """)
+        counts = {solution["s"]: solution["c"].to_python() for solution in solutions}
+        assert counts == {EX.john: 1, EX.bob: 1}
+
+
+class TestSolutionModifiers:
+    def test_distinct(self, graph):
+        plain = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?s { ?s foaf:name ?n }
+        """)
+        distinct = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT DISTINCT ?s { ?s foaf:name ?n }
+        """)
+        assert len(plain) == 3
+        assert len(distinct) == 2
+
+    def test_order_by_limit_offset(self, graph):
+        solutions = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?age { ?s foaf:age ?age } ORDER BY ?age LIMIT 2 OFFSET 1
+        """)
+        assert [solution["age"].to_python() for solution in solutions] == [34, 50]
+
+    def test_order_by_desc(self, graph):
+        solutions = select(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?age { ?s foaf:age ?age } ORDER BY DESC(?age) LIMIT 1
+        """)
+        assert solutions[0]["age"].to_python() == 65
+
+    def test_query_result_helpers(self, graph):
+        result = evaluate_query(graph, """
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?s ?age { ?s foaf:age ?age }
+        """)
+        assert result.kind == "select"
+        assert len(result) == 4
+        assert set(result.variables) == {"s", "age"}
+        assert len(result.bindings_for("age")) == 4
+        ask_result = evaluate_query(graph, "ASK { ?s ?p ?o }")
+        assert ask_result.kind == "ask" and bool(ask_result)
+
+
+class TestPaperExample4:
+    """A faithful rendition of the paper's Example 4 query, evaluated end-to-end."""
+
+    QUERY_TEMPLATE = """
+    PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+    PREFIX xsd:  <http://www.w3.org/2001/XMLSchema#>
+    ASK {{
+      {{ SELECT (COUNT(*) AS ?age_total) {{ <{node}> foaf:age ?o . }} }}
+      FILTER (?age_total = 1)
+      {{ SELECT (COUNT(*) AS ?age_ok) {{
+           <{node}> foaf:age ?o .
+           FILTER ( isLiteral(?o) && datatype(?o) = xsd:integer )
+      }} }}
+      FILTER (?age_ok = 1)
+      {{ SELECT (COUNT(*) AS ?name_total) {{ <{node}> foaf:name ?o . }} }}
+      FILTER (?name_total >= 1)
+      {{ SELECT (COUNT(*) AS ?name_ok) {{
+           <{node}> foaf:name ?o .
+           FILTER (isLiteral(?o) && datatype(?o) = xsd:string)
+      }} }}
+      FILTER (?name_total = ?name_ok)
+      {{
+        {{ SELECT (COUNT(*) AS ?knows_total) {{ <{node}> foaf:knows ?o . }} }}
+        {{ SELECT (COUNT(*) AS ?knows_ok) {{
+             <{node}> foaf:knows ?o .
+             FILTER ((isIRI(?o) || isBlank(?o)))
+        }} }}
+        FILTER (?knows_total = ?knows_ok && ?knows_total >= 1)
+      }} UNION {{
+        {{ SELECT (1 AS ?noknows) {{
+             OPTIONAL {{ <{node}> foaf:knows ?o }}
+             FILTER (!bound(?o))
+        }} }}
+      }}
+    }}
+    """
+
+    @pytest.mark.parametrize("node, expected", [
+        ("http://example.org/john", True),
+        ("http://example.org/bob", True),
+        ("http://example.org/mary", False),
+    ])
+    def test_verdicts_match_the_paper(self, graph, node, expected):
+        query = self.QUERY_TEMPLATE.format(node=node)
+        assert ask(graph, query) is expected

@@ -1,0 +1,214 @@
+"""Tests for the ShEx → SPARQL compiler and the SPARQL validation engine."""
+
+import pytest
+
+from repro.rdf import EX, FOAF, Graph, IRI, Literal, Triple, XSD
+from repro.shex import (
+    DerivativeEngine,
+    NodeKind,
+    NodeKindConstraint,
+    Schema,
+    Validator,
+    arc,
+    datatype,
+    interleave,
+    interleave_all,
+    optional,
+    plus,
+    repeat,
+    star,
+    value_set,
+)
+from repro.shex.node_constraints import IRIStem, LanguageTag
+from repro.shex.sparql_gen import (
+    PredicateSpec,
+    SparqlCompilationError,
+    SparqlEngine,
+    flatten_expression,
+    shape_to_sparql_ask,
+    shape_to_sparql_select,
+)
+from repro.sparql import ask, select
+from repro.workloads import (
+    generate_person_workload,
+    paper_example_graph,
+    person_schema,
+)
+
+
+class TestFlattening:
+    def test_single_arc(self):
+        specs = flatten_expression(arc(FOAF.age, datatype(XSD.integer)))
+        assert len(specs) == 1
+        assert specs[0].predicate == FOAF.age
+        assert (specs[0].min_count, specs[0].max_count) == (1, 1)
+
+    def test_star_plus_optional(self):
+        expression = interleave_all(
+            star(arc(EX.a, value_set(1))),
+            plus(arc(EX.b, value_set(1))),
+            optional(arc(EX.c, value_set(1))),
+        )
+        bounds = {spec.predicate: (spec.min_count, spec.max_count)
+                  for spec in flatten_expression(expression)}
+        assert bounds[EX.a] == (0, None)
+        assert bounds[EX.b] == (1, None)
+        assert bounds[EX.c] == (0, 1)
+
+    def test_repeat_ranges(self):
+        expression = repeat(arc(EX.p, value_set(1, 2, 3, 4)), 2, 4)
+        (spec,) = flatten_expression(expression)
+        assert (spec.min_count, spec.max_count) == (2, 4)
+
+    def test_epsilon_flattens_to_nothing(self):
+        from repro.shex import EPSILON
+
+        assert flatten_expression(EPSILON) == []
+
+    def test_person_shape_flattens(self):
+        specs = flatten_expression(person_schema().expression("Person"))
+        assert {spec.predicate for spec in specs} == {FOAF.age, FOAF.name, FOAF.knows}
+
+    def test_alternative_between_predicates_rejected(self):
+        expression = arc(EX.a, value_set(1)) | arc(EX.b, value_set(1))
+        with pytest.raises(SparqlCompilationError):
+            flatten_expression(expression)
+
+    def test_star_over_group_rejected(self):
+        expression = star(interleave(arc(EX.a, value_set(1)), arc(EX.b, value_set(1))))
+        with pytest.raises(SparqlCompilationError):
+            flatten_expression(expression)
+
+    def test_conflicting_constraints_for_same_predicate_rejected(self):
+        expression = interleave(arc(EX.a, value_set(1)), arc(EX.a, value_set(2)))
+        with pytest.raises(SparqlCompilationError):
+            flatten_expression(expression)
+
+    def test_empty_shape_rejected(self):
+        from repro.shex import EMPTY
+
+        with pytest.raises(SparqlCompilationError):
+            flatten_expression(EMPTY)
+
+    def test_merge_same_constraint_adds_bounds(self):
+        spec = PredicateSpec(EX.a, value_set(1), 1, 1)
+        merged = spec.merge_sequential(PredicateSpec(EX.a, value_set(1), 0, 2))
+        assert (merged.min_count, merged.max_count) == (1, 3)
+
+
+class TestAskGeneration:
+    def test_john_and_mary_verdicts(self):
+        graph = paper_example_graph()
+        expression = person_schema().expression("Person")
+        assert ask(graph, shape_to_sparql_ask(expression, EX.john,
+                                              approximate_references=True))
+        assert ask(graph, shape_to_sparql_ask(expression, EX.bob,
+                                              approximate_references=True))
+        assert not ask(graph, shape_to_sparql_ask(expression, EX.mary,
+                                                  approximate_references=True))
+
+    def test_closedness_is_enforced(self):
+        graph = paper_example_graph()
+        graph.add(Triple(EX.john, EX.undeclared, Literal("extra")))
+        expression = person_schema().expression("Person")
+        closed_query = shape_to_sparql_ask(expression, EX.john,
+                                           approximate_references=True, closed=True)
+        open_query = shape_to_sparql_ask(expression, EX.john,
+                                         approximate_references=True, closed=False)
+        assert not ask(graph, closed_query)
+        assert ask(graph, open_query)
+
+    def test_recursion_not_expressible_without_approximation(self):
+        expression = person_schema().expression("Person")
+        with pytest.raises(SparqlCompilationError):
+            shape_to_sparql_ask(expression, EX.john, approximate_references=False)
+
+    def test_blank_focus_node_rejected(self):
+        from repro.rdf import BNode
+
+        expression = arc(EX.a, value_set(1))
+        with pytest.raises(SparqlCompilationError):
+            shape_to_sparql_ask(expression, BNode("b"))
+
+    def test_facets_become_filters(self):
+        graph = Graph()
+        graph.add(Triple(EX.n, EX.size, Literal(-5)))
+        expression = arc(EX.size, datatype(XSD.integer, min_inclusive=0))
+        query = shape_to_sparql_ask(expression, EX.n)
+        assert ">= 0" in query
+        assert not ask(graph, query)
+        graph2 = Graph([Triple(EX.n, EX.size, Literal(5))])
+        assert ask(graph2, query)
+
+    def test_node_kind_and_stem_and_language_filters(self):
+        graph = Graph()
+        graph.add(Triple(EX.n, EX.link, EX.target))
+        graph.add(Triple(EX.n, EX.colour, IRI("http://example.org/colours/red")))
+        graph.add(Triple(EX.n, EX.label, Literal("colour", lang="en")))
+        expression = interleave_all(
+            arc(EX.link, NodeKindConstraint(NodeKind.IRI)),
+            arc(EX.colour, IRIStem("http://example.org/colours/")),
+            arc(EX.label, LanguageTag("en")),
+        )
+        assert ask(graph, shape_to_sparql_ask(expression, EX.n))
+
+    def test_value_set_filter(self):
+        graph = Graph([Triple(EX.n, EX.status, Literal("active"))])
+        expression = arc(EX.status, value_set("active", "inactive"))
+        assert ask(graph, shape_to_sparql_ask(expression, EX.n))
+        bad_graph = Graph([Triple(EX.n, EX.status, Literal("broken"))])
+        assert not ask(bad_graph, shape_to_sparql_ask(expression, EX.n))
+
+
+class TestSelectGeneration:
+    def test_select_returns_conforming_nodes(self):
+        graph = paper_example_graph()
+        expression = person_schema().expression("Person")
+        query = shape_to_sparql_select(expression, approximate_references=True)
+        nodes = sorted(solution["node"] for solution in select(graph, query))
+        assert nodes == [EX.bob, EX.john]
+
+    def test_select_with_custom_variable(self):
+        expression = arc(FOAF.name, datatype(XSD.string))
+        query = shape_to_sparql_select(expression, var="who")
+        assert "?who" in query
+
+    def test_empty_shape_rejected(self):
+        from repro.shex import EPSILON
+
+        with pytest.raises(SparqlCompilationError):
+            shape_to_sparql_select(EPSILON)
+
+
+class TestSparqlEngine:
+    def test_engine_agrees_with_derivatives_on_non_recursive_shapes(self):
+        # a non-recursive variant of the Person shape, where SPARQL is exact
+        schema = Schema.single("Person", interleave_all(
+            arc(FOAF.age, datatype(XSD.integer)),
+            plus(arc(FOAF.name, datatype(XSD.string))),
+            star(arc(FOAF.knows, NodeKindConstraint(NodeKind.NONLITERAL))),
+        ))
+        workload = generate_person_workload(num_people=25, invalid_fraction=0.4, seed=3)
+        derivative_nodes = Validator(workload.graph, schema).conforming_nodes("Person")
+        sparql_nodes = Validator(workload.graph, schema,
+                                 engine=SparqlEngine()).conforming_nodes("Person")
+        assert derivative_nodes == sparql_nodes
+
+    def test_empty_neighbourhood_uses_nullability(self):
+        engine = SparqlEngine()
+        assert engine.match_neighbourhood(star(arc(EX.p)), frozenset()).matched
+        assert not engine.match_neighbourhood(arc(EX.p), frozenset()).matched
+
+    def test_uncompilable_expression_reports_failure(self):
+        engine = SparqlEngine()
+        expression = star(interleave(arc(EX.a, value_set(1)), arc(EX.b, value_set(1))))
+        triples = frozenset({Triple(EX.n, EX.a, Literal(1)), Triple(EX.n, EX.b, Literal(1))})
+        result = engine.match_neighbourhood(expression, triples)
+        assert not result.matched
+        assert "not SPARQL-compilable" in result.reason
+
+    def test_conforming_nodes_via_single_select(self):
+        graph = paper_example_graph()
+        expression = person_schema().expression("Person")
+        engine = SparqlEngine()
+        assert engine.conforming_nodes(graph, expression) == [EX.bob, EX.john]

@@ -1,0 +1,217 @@
+"""Tests for the SPARQL tokenizer and parser."""
+
+import pytest
+
+from repro.rdf import FOAF, IRI, Literal, RDF, XSD
+from repro.sparql import (
+    Aggregate,
+    AskQuery,
+    BGP,
+    BinaryOp,
+    FunctionCall,
+    OptionalPattern,
+    SelectQuery,
+    SparqlParseError,
+    SubSelectPattern,
+    TriplePattern,
+    UnaryOp,
+    UnionPattern,
+    Variable,
+    VariableExpr,
+    parse_query,
+)
+from repro.sparql.tokenizer import tokenize
+
+
+class TestTokenizer:
+    def test_keywords_are_case_insensitive(self):
+        kinds = [token.kind for token in tokenize("select Select SELECT")]
+        assert kinds[:3] == ["KEYWORD"] * 3
+
+    def test_variables(self):
+        tokens = tokenize("?x $y")
+        assert [token.kind for token in tokens[:2]] == ["VAR", "VAR"]
+
+    def test_operators(self):
+        kinds = [token.kind for token in tokenize("!= <= >= && || ! = < >")]
+        assert kinds[:9] == ["NEQ", "LE", "GE", "AND", "OR", "BANG", "EQ", "LT", "GT"]
+
+    def test_iri_vs_less_than(self):
+        tokens = tokenize("?x < 5 . ?s <http://example.org/p> ?o")
+        kinds = [token.kind for token in tokens]
+        assert "LT" in kinds
+        assert "IRIREF" in kinds
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("SELECT # comment\n ?x")
+        assert [token.kind for token in tokens[:2]] == ["KEYWORD", "VAR"]
+
+    def test_error_position(self):
+        with pytest.raises(SparqlParseError) as info:
+            tokenize("SELECT ?x ~")
+        assert info.value.line == 1
+
+
+class TestParserForms:
+    def test_simple_select(self):
+        query = parse_query("SELECT ?s WHERE { ?s ?p ?o }")
+        assert isinstance(query, SelectQuery)
+        assert query.projections[0].variable == Variable("s")
+        bgp = query.where.elements[0]
+        assert isinstance(bgp, BGP)
+        assert bgp.patterns[0] == TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+
+    def test_select_star(self):
+        query = parse_query("SELECT * WHERE { ?s ?p ?o }")
+        assert query.select_all
+
+    def test_select_distinct(self):
+        assert parse_query("SELECT DISTINCT ?s { ?s ?p ?o }").distinct
+
+    def test_where_keyword_is_optional(self):
+        query = parse_query("SELECT ?s { ?s ?p ?o }")
+        assert isinstance(query, SelectQuery)
+
+    def test_ask(self):
+        query = parse_query("ASK { ?s ?p ?o }")
+        assert isinstance(query, AskQuery)
+
+    def test_prefixes_are_expanded(self):
+        query = parse_query("""
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            SELECT ?name { ?person foaf:name ?name }
+        """)
+        pattern = query.where.elements[0].patterns[0]
+        assert pattern.predicate == FOAF.name
+
+    def test_a_keyword_expands_to_rdf_type(self):
+        query = parse_query("SELECT ?s { ?s a <http://example.org/T> }")
+        assert query.where.elements[0].patterns[0].predicate == RDF.type
+
+    def test_literals_in_object_position(self):
+        query = parse_query('SELECT ?s { ?s ?p "text" . ?s ?q 42 . ?s ?r true }')
+        objects = [pattern.object for pattern in query.where.elements[0].patterns]
+        assert Literal("text") in objects
+        assert Literal("42", datatype=XSD.integer) in objects
+        assert Literal("true", datatype=XSD.boolean) in objects
+
+    def test_typed_and_language_literals(self):
+        query = parse_query("""
+            PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+            SELECT ?s { ?s ?p "2021-01-01"^^xsd:date . ?s ?q "chat"@fr }
+        """)
+        objects = [pattern.object for pattern in query.where.elements[0].patterns]
+        assert Literal("2021-01-01", datatype=XSD.date) in objects
+        assert Literal("chat", lang="fr") in objects
+
+    def test_predicate_object_and_object_lists(self):
+        query = parse_query("SELECT ?s { ?s <http://e.org/p> 1, 2 ; <http://e.org/q> 3 }")
+        patterns = query.where.elements[0].patterns
+        assert len(patterns) == 3
+
+    def test_missing_projection_raises(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT WHERE { ?s ?p ?o }")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("ASK { ?s ?p ?o } garbage")
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT ?s { ?s foaf:name ?n }")
+
+
+class TestPatterns:
+    def test_filter_collected_at_group_level(self):
+        query = parse_query("SELECT ?s { ?s ?p ?o FILTER (?o > 5) }")
+        assert len(query.where.filters) == 1
+        assert isinstance(query.where.filters[0], BinaryOp)
+
+    def test_filter_with_function_call(self):
+        query = parse_query("SELECT ?s { ?s ?p ?o FILTER isLiteral(?o) }")
+        assert isinstance(query.where.filters[0], FunctionCall)
+
+    def test_optional(self):
+        query = parse_query("SELECT ?s { ?s ?p ?o OPTIONAL { ?s ?q ?r } }")
+        optional = [element for element in query.where.elements
+                    if isinstance(element, OptionalPattern)]
+        assert len(optional) == 1
+        # the base BGP stays before the OPTIONAL
+        assert isinstance(query.where.elements[0], BGP)
+
+    def test_union(self):
+        query = parse_query("SELECT ?s { { ?s ?p 1 } UNION { ?s ?p 2 } UNION { ?s ?p 3 } }")
+        union = query.where.elements[0]
+        assert isinstance(union, UnionPattern)
+        assert len(union.branches) == 3
+
+    def test_sub_select(self):
+        query = parse_query("""
+            SELECT ?s { { SELECT ?s (COUNT(*) AS ?c) { ?s ?p ?o } GROUP BY ?s } }
+        """)
+        sub = query.where.elements[0].elements[0]
+        assert isinstance(sub, SubSelectPattern)
+        assert sub.query.group_by == (Variable("s"),)
+
+    def test_group_by_having_limit_offset_order(self):
+        query = parse_query("""
+            SELECT ?s (COUNT(*) AS ?c) { ?s ?p ?o }
+            GROUP BY ?s HAVING (COUNT(*) >= 2)
+            ORDER BY ?s LIMIT 5 OFFSET 1
+        """)
+        assert query.group_by == (Variable("s"),)
+        assert len(query.having) == 1
+        assert query.limit == 5
+        assert query.offset == 1
+        assert len(query.order_by) == 1
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT ?s { ?s ?p ?o FILTER mystery(?o) }")
+
+
+class TestExpressions:
+    def extract_filter(self, text: str):
+        return parse_query(f"SELECT ?s {{ ?s ?p ?o FILTER ({text}) }}").where.filters[0]
+
+    def test_precedence_of_and_or(self):
+        expression = self.extract_filter("?a = 1 || ?b = 2 && ?c = 3")
+        assert isinstance(expression, BinaryOp)
+        assert expression.operator == "||"
+        assert expression.right.operator == "&&"
+
+    def test_not_binds_tightly(self):
+        expression = self.extract_filter("!bound(?x) && ?y = 1")
+        assert expression.operator == "&&"
+        assert isinstance(expression.left, UnaryOp)
+
+    def test_arithmetic(self):
+        expression = self.extract_filter("?a + 2 * 3 = 7")
+        assert expression.operator == "="
+        assert expression.left.operator == "+"
+        assert expression.left.right.operator == "*"
+
+    def test_comparison_operators(self):
+        for operator in ("=", "!=", "<", ">", "<=", ">="):
+            expression = self.extract_filter(f"?a {operator} 1")
+            assert expression.operator == operator
+
+    def test_aggregate_in_projection(self):
+        query = parse_query("SELECT (COUNT(DISTINCT ?o) AS ?c) { ?s ?p ?o }")
+        aggregate = query.projections[0].expression
+        assert isinstance(aggregate, Aggregate)
+        assert aggregate.distinct
+        assert isinstance(aggregate.argument, VariableExpr)
+
+    def test_count_star(self):
+        query = parse_query("SELECT (COUNT(*) AS ?c) { ?s ?p ?o }")
+        assert query.projections[0].expression.argument is None
+
+    def test_nested_parentheses(self):
+        expression = self.extract_filter("((?a = 1))")
+        assert isinstance(expression, BinaryOp)
+
+    def test_iri_constant_in_expression(self):
+        expression = self.extract_filter("datatype(?o) = <http://www.w3.org/2001/XMLSchema#integer>")
+        assert expression.right.term == IRI("http://www.w3.org/2001/XMLSchema#integer")

@@ -1,0 +1,236 @@
+"""Unit tests for the RDF term model (IRI, BNode, Literal, Triple)."""
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    IRI,
+    Literal,
+    Triple,
+    XSD,
+    is_object_term,
+    is_predicate_term,
+    is_subject_term,
+)
+
+
+class TestIRI:
+    def test_value_round_trip(self):
+        iri = IRI("http://example.org/thing")
+        assert iri.value == "http://example.org/thing"
+        assert str(iri) == "http://example.org/thing"
+
+    def test_n3_form(self):
+        assert IRI("http://example.org/x").n3() == "<http://example.org/x>"
+
+    def test_equality_and_hash(self):
+        assert IRI("http://example.org/a") == IRI("http://example.org/a")
+        assert IRI("http://example.org/a") != IRI("http://example.org/b")
+        assert hash(IRI("http://example.org/a")) == hash(IRI("http://example.org/a"))
+        assert len({IRI("http://e.org/a"), IRI("http://e.org/a")}) == 1
+
+    def test_not_equal_to_other_kinds(self):
+        assert IRI("http://example.org/a") != BNode("a")
+        assert IRI("http://example.org/a") != Literal("http://example.org/a")
+
+    def test_rejects_empty_value(self):
+        with pytest.raises(ValueError):
+            IRI("")
+
+    def test_rejects_illegal_characters(self):
+        with pytest.raises(ValueError):
+            IRI("http://example.org/has space")
+        with pytest.raises(ValueError):
+            IRI("http://example.org/<angle>")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            IRI(42)
+
+    def test_is_immutable(self):
+        iri = IRI("http://example.org/x")
+        with pytest.raises(AttributeError):
+            iri.value = "http://example.org/y"
+
+    def test_concat(self):
+        base = IRI("http://example.org/")
+        assert base.concat("item") == IRI("http://example.org/item")
+
+    def test_ordering(self):
+        assert IRI("http://a.example/") < IRI("http://b.example/")
+        assert not IRI("http://b.example/") < IRI("http://a.example/")
+
+
+class TestBNode:
+    def test_explicit_identifier(self):
+        assert BNode("node1").id == "node1"
+        assert BNode("node1").n3() == "_:node1"
+
+    def test_fresh_identifiers_are_unique(self):
+        generated = {BNode().id for _ in range(100)}
+        assert len(generated) == 100
+
+    def test_equality_by_identifier(self):
+        assert BNode("x") == BNode("x")
+        assert BNode("x") != BNode("y")
+
+    def test_rejects_empty_identifier(self):
+        with pytest.raises(ValueError):
+            BNode("")
+
+    def test_is_immutable(self):
+        node = BNode("x")
+        with pytest.raises(AttributeError):
+            node.id = "y"
+
+    def test_sorts_after_iris(self):
+        assert IRI("http://z.example/") < BNode("a")
+
+
+class TestLiteral:
+    def test_plain_string(self):
+        literal = Literal("hello")
+        assert literal.lexical == "hello"
+        assert literal.datatype == XSD.string
+        assert literal.lang is None
+        assert literal.is_plain
+        assert literal.n3() == '"hello"'
+
+    def test_integer_coercion(self):
+        literal = Literal(23)
+        assert literal.lexical == "23"
+        assert literal.datatype == XSD.integer
+        assert literal.n3() == '"23"^^<http://www.w3.org/2001/XMLSchema#integer>'
+
+    def test_float_coercion(self):
+        literal = Literal(1.5)
+        assert literal.datatype == XSD.double
+        assert literal.to_python() == 1.5
+
+    def test_boolean_coercion(self):
+        assert Literal(True).lexical == "true"
+        assert Literal(False).lexical == "false"
+        assert Literal(True).datatype == XSD.boolean
+
+    def test_bool_is_not_integer(self):
+        # bool is a subclass of int in Python; make sure True maps to xsd:boolean
+        assert Literal(True).datatype == XSD.boolean
+        assert Literal(1).datatype == XSD.integer
+
+    def test_language_tagged(self):
+        literal = Literal("chat", lang="FR")
+        assert literal.lang == "fr"  # normalised to lower case
+        assert literal.n3() == '"chat"@fr'
+        assert not literal.is_plain
+
+    def test_invalid_language_tag(self):
+        with pytest.raises(ValueError):
+            Literal("x", lang="not a tag!")
+
+    def test_explicit_datatype(self):
+        literal = Literal("2021-01-01", datatype=XSD.date)
+        assert literal.datatype == XSD.date
+
+    def test_language_with_wrong_datatype_rejected(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=XSD.string, lang="en")
+
+    def test_rejects_unsupported_python_values(self):
+        with pytest.raises(TypeError):
+            Literal([1, 2, 3])
+
+    def test_equality_includes_datatype_and_language(self):
+        assert Literal("1") != Literal(1)
+        assert Literal("a", lang="en") != Literal("a", lang="de")
+        assert Literal("a", lang="en") == Literal("a", lang="en")
+
+    def test_escaping_in_n3(self):
+        literal = Literal('she said "hi"\nthen left\t.')
+        rendered = literal.n3()
+        assert '\\"hi\\"' in rendered
+        assert "\\n" in rendered
+        assert "\\t" in rendered
+
+    def test_to_python_for_integers(self):
+        assert Literal(23).to_python() == 23
+        assert Literal("23", datatype=XSD.integer).to_python() == 23
+
+    def test_is_immutable(self):
+        literal = Literal("x")
+        with pytest.raises(AttributeError):
+            literal.lexical = "y"
+
+    def test_sorts_after_bnodes(self):
+        assert BNode("zzz") < Literal("aaa")
+
+
+class TestTriple:
+    def test_construction_and_access(self):
+        triple = Triple(IRI("http://e.org/s"), IRI("http://e.org/p"), Literal(1))
+        assert triple.subject == IRI("http://e.org/s")
+        assert triple.predicate == IRI("http://e.org/p")
+        assert triple.object == Literal(1)
+
+    def test_unpacking(self):
+        triple = Triple(IRI("http://e.org/s"), IRI("http://e.org/p"), Literal(1))
+        s, p, o = triple
+        assert (s, p, o) == (triple.subject, triple.predicate, triple.object)
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(Literal("x"), IRI("http://e.org/p"), Literal(1))
+
+    def test_bnode_predicate_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(IRI("http://e.org/s"), BNode("p"), Literal(1))
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(IRI("http://e.org/s"), Literal("p"), Literal(1))
+
+    def test_bnode_subject_and_object_allowed(self):
+        triple = Triple(BNode("s"), IRI("http://e.org/p"), BNode("o"))
+        assert is_subject_term(triple.subject)
+        assert is_object_term(triple.object)
+
+    def test_equality_and_hash(self):
+        a = Triple(IRI("http://e.org/s"), IRI("http://e.org/p"), Literal(1))
+        b = Triple(IRI("http://e.org/s"), IRI("http://e.org/p"), Literal(1))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_n3(self):
+        triple = Triple(IRI("http://e.org/s"), IRI("http://e.org/p"), Literal("x"))
+        assert triple.n3() == '<http://e.org/s> <http://e.org/p> "x" .'
+
+    def test_replace(self):
+        triple = Triple(IRI("http://e.org/s"), IRI("http://e.org/p"), Literal(1))
+        replaced = triple.replace(object=Literal(2))
+        assert replaced.object == Literal(2)
+        assert replaced.subject == triple.subject
+        assert triple.object == Literal(1)  # original unchanged
+
+    def test_sorting_is_deterministic(self):
+        t1 = Triple(IRI("http://e.org/a"), IRI("http://e.org/p"), Literal(1))
+        t2 = Triple(IRI("http://e.org/b"), IRI("http://e.org/p"), Literal(1))
+        t3 = Triple(IRI("http://e.org/a"), IRI("http://e.org/q"), Literal(1))
+        assert sorted([t2, t3, t1], key=Triple.sort_key)[0] == t1
+
+
+class TestVocabularyPredicates:
+    def test_subject_vocabulary(self):
+        assert is_subject_term(IRI("http://e.org/x"))
+        assert is_subject_term(BNode("b"))
+        assert not is_subject_term(Literal("x"))
+
+    def test_predicate_vocabulary(self):
+        assert is_predicate_term(IRI("http://e.org/x"))
+        assert not is_predicate_term(BNode("b"))
+        assert not is_predicate_term(Literal("x"))
+
+    def test_object_vocabulary(self):
+        assert is_object_term(IRI("http://e.org/x"))
+        assert is_object_term(BNode("b"))
+        assert is_object_term(Literal("x"))
+        assert not is_object_term("plain python string")

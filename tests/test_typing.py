@@ -1,0 +1,112 @@
+"""Tests for shape labels and shape typings (the τ objects of Section 8)."""
+
+import pytest
+
+from repro.rdf import EX
+from repro.shex import ShapeLabel, ShapeTyping
+
+
+class TestShapeLabel:
+    def test_equality_by_name(self):
+        assert ShapeLabel("Person") == ShapeLabel("Person")
+        assert ShapeLabel("Person") != ShapeLabel("Company")
+
+    def test_hashable(self):
+        assert len({ShapeLabel("Person"), ShapeLabel("Person")}) == 1
+
+    def test_ordering(self):
+        assert ShapeLabel("A") < ShapeLabel("B")
+
+    def test_str(self):
+        assert str(ShapeLabel("Person")) == "Person"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            ShapeLabel("")
+
+    def test_is_immutable(self):
+        label = ShapeLabel("Person")
+        with pytest.raises(AttributeError):
+            label.name = "Other"
+
+
+class TestShapeTyping:
+    def test_empty_typing(self):
+        typing = ShapeTyping.empty()
+        assert len(typing) == 0
+        assert not typing
+        assert typing.labels_for(EX.john) == frozenset()
+
+    def test_single(self):
+        typing = ShapeTyping.single(EX.john, "Person")
+        assert typing.has(EX.john, "Person")
+        assert typing.has(EX.john, ShapeLabel("Person"))
+        assert not typing.has(EX.john, "Company")
+        assert not typing.has(EX.bob, "Person")
+
+    def test_add_returns_new_typing(self):
+        original = ShapeTyping.empty()
+        extended = original.add(EX.john, "Person")
+        assert not original  # unchanged
+        assert extended.has(EX.john, "Person")
+
+    def test_add_accumulates_labels_per_node(self):
+        typing = ShapeTyping.empty().add(EX.john, "Person").add(EX.john, "Employee")
+        assert typing.labels_for(EX.john) == {ShapeLabel("Person"), ShapeLabel("Employee")}
+        assert len(typing) == 1  # one node
+
+    def test_combine_is_union(self):
+        left = ShapeTyping.single(EX.john, "Person")
+        right = ShapeTyping.single(EX.bob, "Person").add(EX.john, "Employee")
+        combined = left.combine(right)
+        assert combined.has(EX.john, "Person")
+        assert combined.has(EX.john, "Employee")
+        assert combined.has(EX.bob, "Person")
+
+    def test_combine_with_empty_is_identity(self):
+        typing = ShapeTyping.single(EX.john, "Person")
+        assert typing.combine(ShapeTyping.empty()) == typing
+        assert ShapeTyping.empty().combine(typing) == typing
+
+    def test_or_operator(self):
+        combined = ShapeTyping.single(EX.john, "Person") | ShapeTyping.single(EX.bob, "Person")
+        assert len(combined) == 2
+
+    def test_combine_is_commutative_and_associative(self):
+        t1 = ShapeTyping.single(EX.a, "S1")
+        t2 = ShapeTyping.single(EX.b, "S2")
+        t3 = ShapeTyping.single(EX.a, "S3")
+        assert t1 | t2 == t2 | t1
+        assert (t1 | t2) | t3 == t1 | (t2 | t3)
+
+    def test_equality_and_hash(self):
+        t1 = ShapeTyping.single(EX.john, "Person")
+        t2 = ShapeTyping.empty().add(EX.john, ShapeLabel("Person"))
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+    def test_membership_and_iteration(self):
+        typing = ShapeTyping.single(EX.john, "Person")
+        assert EX.john in typing
+        assert EX.bob not in typing
+        assert list(typing.nodes()) == [EX.john]
+        items = dict(typing.items())
+        assert items[EX.john] == {ShapeLabel("Person")}
+
+    def test_to_dict(self):
+        typing = ShapeTyping.single(EX.john, "Person").add(EX.john, "Agent")
+        as_dict = typing.to_dict()
+        assert as_dict == {"<http://example.org/john>": ["Agent", "Person"]}
+
+    def test_empty_label_sets_are_dropped(self):
+        typing = ShapeTyping({EX.john: []})
+        assert len(typing) == 0
+
+    def test_is_immutable(self):
+        typing = ShapeTyping.single(EX.john, "Person")
+        with pytest.raises(AttributeError):
+            typing._assignments = {}
+
+    def test_repr_is_readable(self):
+        text = repr(ShapeTyping.single(EX.john, "Person"))
+        assert "john" in text and "Person" in text

@@ -1,0 +1,162 @@
+"""Tests for the workload generators: ground truth must match the validators."""
+
+import pytest
+
+from repro.rdf import FOAF, Literal, Triple
+from repro.shex import BacktrackingEngine, DerivativeEngine, Validator
+from repro.workloads import (
+    PAPER_EXAMPLE_TURTLE,
+    balanced_alternation_case,
+    cardinality_case,
+    generate_person_workload,
+    generate_portal_workload,
+    interleave_width_case,
+    knows_chain_graph,
+    knows_cycle_graph,
+    knows_tree_graph,
+    mixed_portal_case,
+    paper_example_graph,
+    paper_interleave_case,
+    person_schema,
+    portal_schema,
+    star_case,
+)
+
+
+class TestPaperExampleFixtures:
+    def test_example_graph_has_eight_triples(self):
+        assert len(paper_example_graph()) == 8
+
+    def test_turtle_source_round_trips(self):
+        from repro.rdf import parse_turtle
+
+        assert parse_turtle(PAPER_EXAMPLE_TURTLE) == paper_example_graph()
+
+    def test_person_schema_has_a_start_shape(self):
+        assert str(person_schema().start) == "Person"
+
+
+class TestPersonWorkload:
+    def test_ground_truth_matches_validator(self):
+        workload = generate_person_workload(num_people=30, invalid_fraction=0.3, seed=11)
+        validator = Validator(workload.graph, workload.schema)
+        conforming = set(validator.conforming_nodes("Person"))
+        assert conforming == set(workload.valid_nodes)
+
+    def test_all_violation_kinds_are_exercised(self):
+        workload = generate_person_workload(num_people=40, invalid_fraction=0.5, seed=5)
+        assert {"duplicate_age", "missing_name", "bad_age_type",
+                "extra_predicate", "knows_literal"} <= set(workload.invalid_nodes.values())
+
+    def test_determinism_by_seed(self):
+        first = generate_person_workload(num_people=15, seed=42)
+        second = generate_person_workload(num_people=15, seed=42)
+        assert first.graph == second.graph
+        assert first.valid_nodes == second.valid_nodes
+
+    def test_invalid_fraction_zero_and_one(self):
+        all_valid = generate_person_workload(num_people=10, invalid_fraction=0.0, seed=1)
+        assert not all_valid.invalid_nodes
+        all_invalid = generate_person_workload(num_people=10, invalid_fraction=1.0, seed=1)
+        assert not all_invalid.valid_nodes
+
+    def test_invalid_fraction_out_of_range(self):
+        with pytest.raises(ValueError):
+            generate_person_workload(invalid_fraction=1.5)
+
+    def test_all_nodes_property(self):
+        workload = generate_person_workload(num_people=12, invalid_fraction=0.25, seed=2)
+        assert len(workload.all_nodes) == 12
+
+
+class TestKnowsTopologies:
+    def test_chain_every_member_conforms(self):
+        graph, head = knows_chain_graph(depth=8)
+        validator = Validator(graph, person_schema())
+        typing = validator.infer_typing()
+        assert len(typing) == 9
+
+    def test_chain_with_broken_tail_fails_from_the_head(self):
+        graph, head = knows_chain_graph(depth=4)
+        tail = sorted(graph.nodes(), key=lambda node: node.value)[-1]
+        graph.add(Triple(tail, FOAF.age, Literal(200)))  # duplicate age on the tail
+        assert not Validator(graph, person_schema()).validate_node(head, "Person").conforms
+
+    def test_cycle_conforms_with_both_engines(self, engine_name):
+        graph, start = knows_cycle_graph(length=6)
+        validator = Validator(graph, person_schema(), engine=engine_name)
+        assert validator.validate_node(start, "Person").conforms
+
+    def test_tree_size_and_conformance(self):
+        graph, root = knows_tree_graph(depth=3, fanout=2)
+        # a complete binary tree of depth 3 has 15 nodes
+        assert len(list(graph.nodes())) == 15
+        assert Validator(graph, person_schema()).validate_node(root, "Person").conforms
+
+    def test_degenerate_parameters(self):
+        graph, head = knows_chain_graph(depth=0)
+        assert len(graph) == 2  # age + name only
+        with pytest.raises(ValueError):
+            knows_chain_graph(-1)
+        with pytest.raises(ValueError):
+            knows_cycle_graph(0)
+        with pytest.raises(ValueError):
+            knows_tree_graph(2, fanout=0)
+
+
+class TestPortalWorkload:
+    def test_ground_truth_matches_validator(self):
+        workload = generate_portal_workload(num_datasets=25, invalid_fraction=0.3, seed=9)
+        validator = Validator(workload.graph, workload.schema)
+        conforming = {dataset for dataset in workload.datasets
+                      if validator.validate_node(dataset, "Dataset").conforms}
+        assert conforming == set(workload.valid_datasets)
+
+    def test_publishers_conform(self):
+        workload = generate_portal_workload(num_datasets=10, seed=4)
+        validator = Validator(workload.graph, workload.schema)
+        for publisher in workload.publishers:
+            assert validator.validate_node(publisher, "Publisher").conforms
+
+    def test_schema_shapes(self):
+        schema = portal_schema()
+        assert {str(label) for label in schema.labels()} == \
+            {"Dataset", "Distribution", "Publisher"}
+
+    def test_determinism_by_seed(self):
+        assert generate_portal_workload(num_datasets=8, seed=3).graph == \
+            generate_portal_workload(num_datasets=8, seed=3).graph
+
+    def test_invalid_fraction_out_of_range(self):
+        with pytest.raises(ValueError):
+            generate_portal_workload(invalid_fraction=-0.1)
+
+
+class TestScalingCases:
+    @pytest.mark.parametrize("factory, expected_size", [
+        (lambda: star_case(10), 10),
+        (lambda: paper_interleave_case(6), 7),
+        (lambda: interleave_width_case(4), 4),
+        (lambda: balanced_alternation_case(3), 6),
+        (lambda: cardinality_case(1, 2, 2), 2),
+        (lambda: mixed_portal_case(5), 7),
+    ])
+    def test_case_sizes(self, factory, expected_size):
+        assert factory().size == expected_size
+
+    def test_cases_are_correct_for_both_engines(self):
+        cases = [
+            star_case(6), star_case(6, matching=False),
+            paper_interleave_case(4), paper_interleave_case(4, matching=False),
+            interleave_width_case(3), interleave_width_case(3, matching=False),
+            balanced_alternation_case(2), cardinality_case(1, 3, 2),
+            cardinality_case(2, 3, 1), mixed_portal_case(4),
+        ]
+        for case in cases:
+            for engine in (DerivativeEngine(), BacktrackingEngine()):
+                result = engine.match_neighbourhood(case.expression, case.triples)
+                assert result.matched == case.expected, (case.name, engine.name)
+
+    def test_parameters_are_recorded(self):
+        case = cardinality_case(2, 5, 3)
+        assert case.parameters == {"min": 2, "max": 5, "arcs": 3}

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""B9 — bulk validation: shared context + global derivative cache vs per-node.
+
+The seed implementation rebuilt a fresh ``ValidationContext`` for every
+``(node, label)`` pair, so ``validate_graph`` / ``infer_typing`` re-validated
+shared sub-structures from scratch — exactly the redundancy the Section 8
+typing context was meant to eliminate.  This benchmark measures the bulk
+subsystem introduced on top of it:
+
+* one **shared context** per run (confirmed/failed verdicts propagate),
+* **hash-consed expressions** + the **global cross-node derivative cache**
+  (``DerivativeEngine(cache=True)``),
+* **predicate-indexed cached neighbourhoods** in the graph.
+
+Every configuration is checked against the workload's ground truth and
+against the per-node baseline before any number is reported, so the speedup
+cannot hide a verdict change.  On small sizes the backtracking engine is run
+through the same shared-context bulk path as an engine-agreement check.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_bulk_validation.py          # full
+    PYTHONPATH=src python benchmarks/bench_bulk_validation.py --quick  # CI smoke
+
+Exit status: 0 on success, 1 when any verdict disagrees or the speedup on
+the largest size is below the --min-speedup threshold (default 2.0).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.shex import BacktrackingEngine, Validator
+from repro.workloads import generate_person_workload
+
+# deep knows-chains recurse one Python call stack per hop (engine + context
+# frames); the interpreter default of 1000 is too tight for the large sizes
+sys.setrecursionlimit(100_000)
+
+
+def _verdicts(report):
+    return {(entry.node, str(entry.label)): entry.conforms for entry in report}
+
+
+def run_size(num_people: int, seed: int, check_backtracking: bool) -> dict:
+    """Validate one workload size with every configuration and time it."""
+    workload = generate_person_workload(
+        num_people=num_people, invalid_fraction=0.2, seed=seed)
+    graph, schema = workload.graph, workload.schema
+    expected = {
+        (node, "Person"): node in set(workload.valid_nodes)
+        for node in workload.all_nodes
+    }
+
+    start = time.perf_counter()
+    baseline = Validator(graph, schema, shared_context=False)
+    baseline_report = baseline.validate_graph()
+    baseline_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    bulk = Validator(graph, schema, shared_context=True, cache=True)
+    bulk_report = bulk.validate_graph()
+    bulk_time = time.perf_counter() - start
+
+    baseline_verdicts = _verdicts(baseline_report)
+    bulk_verdicts = _verdicts(bulk_report)
+    agree = baseline_verdicts == bulk_verdicts
+    ground_truth_ok = all(
+        bulk_verdicts[key] == value for key, value in expected.items())
+
+    backtracking_ok = True
+    if check_backtracking:
+        bt = Validator(graph, schema, engine=BacktrackingEngine(budget=5_000_000),
+                       shared_context=True)
+        backtracking_ok = _verdicts(bt.validate_graph()) == bulk_verdicts
+
+    return {
+        "people": num_people,
+        "triples": len(graph),
+        "baseline_s": baseline_time,
+        "bulk_s": bulk_time,
+        "speedup": baseline_time / bulk_time if bulk_time else float("inf"),
+        "cache": bulk.engine.cache.stats(),
+        "agree": agree,
+        "ground_truth_ok": ground_truth_ok,
+        "backtracking_ok": backtracking_ok,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes only (CI smoke run)")
+    parser.add_argument("--sizes", type=int, nargs="*",
+                        help="explicit workload sizes (number of people)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="fail when the largest size is below this speedup")
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes or ([20, 40] if args.quick else [20, 60, 120, 240])
+
+    print(f"{'people':>7} {'triples':>8} {'per-node':>11} {'bulk':>11} "
+          f"{'speedup':>8}  {'cache hit rate':>14}")
+    ok = True
+    last_speedup = 0.0
+    for size in sizes:
+        row = run_size(size, args.seed, check_backtracking=size <= 20)
+        hit = row["cache"]["hits"] / max(1, row["cache"]["hits"] + row["cache"]["misses"])
+        print(f"{row['people']:>7} {row['triples']:>8} "
+              f"{row['baseline_s'] * 1000:>9.1f}ms {row['bulk_s'] * 1000:>9.1f}ms "
+              f"{row['speedup']:>7.1f}x {hit:>13.1%}")
+        if not (row["agree"] and row["ground_truth_ok"] and row["backtracking_ok"]):
+            print(f"  !! verdict mismatch at size {size}: agree={row['agree']} "
+                  f"ground_truth={row['ground_truth_ok']} "
+                  f"backtracking={row['backtracking_ok']}", file=sys.stderr)
+            ok = False
+        last_speedup = row["speedup"]
+
+    if last_speedup < args.min_speedup:
+        print(f"!! speedup {last_speedup:.1f}x below the "
+              f"{args.min_speedup:.1f}x threshold", file=sys.stderr)
+        ok = False
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

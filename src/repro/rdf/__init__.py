@@ -20,7 +20,7 @@ from .datatypes import (
     to_python_value,
 )
 from .errors import DatatypeError, GraphError, NamespaceError, ParseError, RDFError
-from .graph import Graph, NeighbourhoodView, decomposition_count, decompositions
+from .graph import Graph, NeighbourhoodView, OrderedTriples, decomposition_count, decompositions
 from .namespaces import (
     DC,
     DCTERMS,
@@ -55,7 +55,7 @@ __all__ = [
     "Term", "IRI", "BNode", "Literal", "Triple", "SubjectTerm", "ObjectTerm",
     "is_subject_term", "is_predicate_term", "is_object_term",
     # graph
-    "Graph", "NeighbourhoodView", "decompositions", "decomposition_count",
+    "Graph", "NeighbourhoodView", "OrderedTriples", "decompositions", "decomposition_count",
     # namespaces
     "Namespace", "NamespaceManager",
     "RDF", "RDFS", "XSD", "OWL", "FOAF", "SCHEMA", "DC", "DCTERMS", "SHEX", "EX",

@@ -24,6 +24,33 @@ Typical usage::
     graph = Graph.parse(open("people.ttl").read())
     validator = Validator(graph, schema)           # derivative engine
     report = validator.validate_graph()
+
+Engine and caching options
+--------------------------
+
+``Validator(graph, schema, engine=..., **engine_options)`` accepts:
+
+* ``engine="derivatives"`` (default) — the paper's linear derivative
+  matcher.  Options: ``simplify`` (apply the Section 4 rewrite rules,
+  default True), ``order_by_predicate`` (sort neighbourhoods before
+  consuming them, default True), ``memoize`` (per-neighbourhood
+  ``(expression, triple)`` memo, default True) and ``cache`` — pass ``True``
+  or a :class:`DerivativeCache` to enable the **global cross-node
+  derivative cache**: derivative results are keyed by hash-consed
+  expression structure plus constraint-verdict vectors, so they transfer
+  between nodes, labels and whole validation runs.
+* ``engine="backtracking"`` — the exponential inference-rule baseline;
+  option ``budget`` caps rule applications.
+
+``Validator(..., shared_context=True)`` (the default) threads one
+:class:`ValidationContext` through the bulk operations (``validate_graph``,
+``infer_typing``, ``validate_map``, ``conforming_nodes``) so confirmed and
+refuted ``(node, label)`` verdicts propagate across the whole run; context
+caching is sound under recursion because hypothesis-dependent verdicts stay
+provisional until the hypothesis they rest on settles, and recursion-budget
+failures are never cached.  ``shared_context=False`` restores the
+paper-faithful fresh-context-per-node behaviour; the CLI exposes both as
+``--bulk`` / ``--per-node``.
 """
 
 from .backtracking import (
@@ -31,6 +58,7 @@ from .backtracking import (
     BacktrackingEngine,
     matches_backtracking,
 )
+from .cache import DerivativeCache
 from .derivatives import (
     DerivativeEngine,
     derivative,
@@ -52,6 +80,8 @@ from .expressions import (
     alternative,
     alternative_all,
     arc,
+    clear_expression_caches,
+    expression_cache_stats,
     expression_depth,
     expression_size,
     interleave,
@@ -106,6 +136,7 @@ __all__ = [
     "arc", "interleave", "alternative", "interleave_all", "alternative_all",
     "star", "plus", "optional", "repeat",
     "expression_size", "expression_depth", "iter_subexpressions", "referenced_labels",
+    "clear_expression_caches", "expression_cache_stats",
     # node constraints
     "NodeConstraint", "AnyValue", "ValueSet", "DatatypeConstraint", "NodeKind",
     "NodeKindConstraint", "IRIStem", "LanguageTag", "Facets",
@@ -114,7 +145,7 @@ __all__ = [
     # semantics and engines
     "enumerate_language", "language_size", "LanguageEnumerationError",
     "nullable", "derivative", "derivative_graph", "derivative_trace", "matches",
-    "DerivativeEngine",
+    "DerivativeEngine", "DerivativeCache",
     "BacktrackingEngine", "BacktrackingBudgetExceeded", "matches_backtracking",
     # schema layer
     "Schema", "SchemaError", "ValidationContext",

@@ -1,0 +1,134 @@
+"""Cross-node derivative caching for bulk validation.
+
+The derivative engine consumes a neighbourhood one triple at a time, and the
+seed implementation memoised ``(expression, triple)`` pairs *within* one
+neighbourhood only.  That misses the dominant redundancy of whole-graph
+validation: different nodes have structurally identical neighbourhoods
+(every Person has an ``age``, a ``name`` and some ``knows`` arcs), so the
+very same derivative chains are recomputed for every node.
+
+The key observation making a *global* cache sound is that ``∂t(e)`` depends
+on the triple ``t`` only through its **verdict vector**: for each distinct
+``(predicate-set, object-constraint)`` atom occurring in ``e``, whether
+``t``'s predicate is admitted by the predicate set and ``t``'s object
+satisfies the constraint.  Two triples with equal verdict vectors produce
+structurally identical derivatives — regardless of which node they hang off.
+Because expressions are hash-consed (:mod:`repro.shex.expressions`), the
+cache key ``(expression, verdict-vector)`` hashes in O(1).
+
+Shape references (``@label``) stay sound because the verdict for a reference
+atom is obtained through :meth:`ValidationContext.check_reference` *before*
+the cache is consulted: the reference resolution (and its bookkeeping in the
+typing context) happens per triple exactly as in the uncached engine — only
+the purely structural ``verdicts → derivative`` mapping is reused.
+
+The cache also memoises plain constraint verdicts per ``(constraint,
+object)`` pair, which collapses the repeated datatype / value-set checks the
+workloads are full of.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..rdf.terms import ObjectTerm
+from .expressions import Arc, ShapeExpr, iter_subexpressions
+from .node_constraints import NodeConstraint, PredicateSet, ShapeRef
+
+__all__ = ["DerivativeCache"]
+
+#: one ``(predicate-set, object-constraint)`` atom of an expression.
+ArcAtom = Tuple[PredicateSet, NodeConstraint]
+
+
+class DerivativeCache:
+    """Persistent ``(expression, verdict-vector) → derivative`` memo table.
+
+    One instance can be shared by any number of nodes, labels, validation
+    runs and even graphs: every entry is keyed purely by expression structure
+    and constraint verdicts, never by a node or a graph.  Attach it to a
+    :class:`~repro.shex.derivatives.DerivativeEngine` via the ``cache``
+    option (or pass ``cache=True`` to let the engine build a private one).
+    """
+
+    def __init__(self) -> None:
+        #: expression → its distinct arc atoms, in deterministic first-seen order.
+        self._atoms: Dict[ShapeExpr, Tuple[ArcAtom, ...]] = {}
+        #: (expression, verdict vector) → derivative expression.
+        self._derivatives: Dict[Tuple[ShapeExpr, Tuple[bool, ...]], ShapeExpr] = {}
+        #: (constraint, object term) → verdict, for non-reference constraints.
+        self._verdicts: Dict[Tuple[NodeConstraint, ObjectTerm], bool] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- bookkeeping -----------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every cached entry (counters included)."""
+        self._atoms.clear()
+        self._derivatives.clear()
+        self._verdicts.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Return cache sizes and hit/miss counters (for benchmarks)."""
+        return {
+            "expressions": len(self._atoms),
+            "derivatives": len(self._derivatives),
+            "constraint_verdicts": len(self._verdicts),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of derivative lookups answered from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- atoms -----------------------------------------------------------------
+    def atoms_for(self, expr: ShapeExpr) -> Tuple[ArcAtom, ...]:
+        """Return the distinct arc atoms of ``expr`` (computed once per expression)."""
+        atoms = self._atoms.get(expr)
+        if atoms is None:
+            seen: Dict[ArcAtom, None] = {}
+            for sub in iter_subexpressions(expr):
+                if isinstance(sub, Arc):
+                    seen.setdefault((sub.predicate, sub.object), None)
+            atoms = tuple(seen)
+            self._atoms[expr] = atoms
+        return atoms
+
+    # -- verdicts --------------------------------------------------------------
+    def constraint_verdict(self, constraint: NodeConstraint, term: ObjectTerm) -> bool:
+        """Memoised ``constraint.matches(term)`` for non-reference constraints."""
+        if isinstance(constraint, ShapeRef):  # pragma: no cover - guarded by caller
+            raise TypeError("shape-reference verdicts are context-dependent")
+        key = (constraint, term)
+        verdict = self._verdicts.get(key)
+        if verdict is None:
+            verdict = constraint.matches(term)
+            self._verdicts[key] = verdict
+        return verdict
+
+    # -- derivatives -----------------------------------------------------------
+    def lookup(self, expr: ShapeExpr, signature: Tuple[bool, ...]) -> Optional[ShapeExpr]:
+        """Return the cached derivative for ``(expr, signature)``, if any."""
+        cached = self._derivatives.get((expr, signature))
+        if cached is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return cached
+
+    def store(self, expr: ShapeExpr, signature: Tuple[bool, ...],
+              result: ShapeExpr) -> None:
+        """Record the derivative of ``expr`` under the given verdict vector."""
+        self._derivatives[(expr, signature)] = result
+
+    def __len__(self) -> int:
+        return len(self._derivatives)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DerivativeCache({len(self._derivatives)} derivatives, "
+                f"{self.hits} hits / {self.misses} misses)")

@@ -26,10 +26,11 @@ The :class:`DerivativeEngine` adds the engineering the paper alludes to:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
 
-from ..rdf.graph import Graph
+from ..rdf.graph import Graph, OrderedTriples
 from ..rdf.terms import Triple
+from .cache import ArcAtom, DerivativeCache
 from .expressions import (
     EMPTY,
     EPSILON,
@@ -56,6 +57,7 @@ __all__ = [
     "matches",
     "derivative_trace",
     "DerivativeEngine",
+    "DerivativeCache",
 ]
 
 
@@ -81,6 +83,39 @@ def nullable(expr: ShapeExpr) -> bool:
 
 
 # ---------------------------------------------------------------------- derivatives
+def _walk_derivative(expr: ShapeExpr, derive_arc, simplify: bool,
+                     stats: Optional[MatchStats]) -> ShapeExpr:
+    """The Section 6 rule structure, parameterised over the arc case.
+
+    ``derive_arc(arc) -> ShapeExpr`` decides a single arc — against a
+    concrete triple (:func:`derivative`) or from a precomputed verdict
+    vector (:func:`_derivative_by_verdicts`).  Keeping one walker guarantees
+    the cached and uncached paths can never diverge on the other rules.
+    """
+    if stats is not None:
+        stats.derivative_steps += 1
+    if isinstance(expr, (Empty, EmptyTriples)):
+        return EMPTY
+    if isinstance(expr, Arc):
+        return derive_arc(expr)
+    if isinstance(expr, Star):
+        inner = _walk_derivative(expr.expr, derive_arc, simplify, stats)
+        return interleave(inner, expr, simplify=simplify)
+    if isinstance(expr, And):
+        left = _walk_derivative(expr.left, derive_arc, simplify, stats)
+        right = _walk_derivative(expr.right, derive_arc, simplify, stats)
+        return alternative(
+            interleave(left, expr.right, simplify=simplify),
+            interleave(right, expr.left, simplify=simplify),
+            simplify=simplify,
+        )
+    if isinstance(expr, Or):
+        left = _walk_derivative(expr.left, derive_arc, simplify, stats)
+        right = _walk_derivative(expr.right, derive_arc, simplify, stats)
+        return alternative(left, right, simplify=simplify)
+    raise TypeError(f"unknown shape expression: {expr!r}")
+
+
 def derivative(expr: ShapeExpr, triple: Triple,
                context: Optional[ValidationContext] = None,
                simplify: bool = True,
@@ -101,28 +136,10 @@ def derivative(expr: ShapeExpr, triple: Triple,
     against the referenced shape under ``context`` (which must then be
     provided).  Confirmed references are recorded in ``context.typing``.
     """
-    if stats is not None:
-        stats.derivative_steps += 1
-    if isinstance(expr, (Empty, EmptyTriples)):
-        return EMPTY
-    if isinstance(expr, Arc):
-        return _derive_arc(expr, triple, context, stats)
-    if isinstance(expr, Star):
-        inner = derivative(expr.expr, triple, context, simplify, stats)
-        return interleave(inner, expr, simplify=simplify)
-    if isinstance(expr, And):
-        left = derivative(expr.left, triple, context, simplify, stats)
-        right = derivative(expr.right, triple, context, simplify, stats)
-        return alternative(
-            interleave(left, expr.right, simplify=simplify),
-            interleave(right, expr.left, simplify=simplify),
-            simplify=simplify,
-        )
-    if isinstance(expr, Or):
-        left = derivative(expr.left, triple, context, simplify, stats)
-        right = derivative(expr.right, triple, context, simplify, stats)
-        return alternative(left, right, simplify=simplify)
-    raise TypeError(f"unknown shape expression: {expr!r}")
+    return _walk_derivative(
+        expr, lambda arc: _derive_arc(arc, triple, context, stats),
+        simplify, stats,
+    )
 
 
 def _derive_arc(expr: Arc, triple: Triple,
@@ -202,18 +219,49 @@ class DerivativeEngine:
         cache ``(expression, triple) → derivative`` pairs within one
         neighbourhood match.  Only enabled for reference-free expressions
         because reference resolution has side effects on the context.
+    cache:
+        an optional **global** :class:`~repro.shex.cache.DerivativeCache`
+        shared across nodes, labels and validation runs.  Pass a cache
+        instance to share it between engines, or ``True`` to let the engine
+        build a private one.  Unlike ``memoize``, the global cache also
+        handles expressions containing shape references: the per-triple cache
+        key is the vector of constraint/reference *verdicts*, so reference
+        resolution still runs through the context while the structural
+        derivative construction is reused across neighbourhoods.
     """
 
     name = "derivatives"
 
     def __init__(self, simplify: bool = True, order_by_predicate: bool = True,
-                 memoize: bool = True):
+                 memoize: bool = True,
+                 cache: Union[None, bool, DerivativeCache] = None):
         self.simplify = simplify
         self.order_by_predicate = order_by_predicate
         self.memoize = memoize
+        if cache is True:
+            cache = DerivativeCache()
+        elif cache is False:
+            cache = None
+        self.cache: Optional[DerivativeCache] = cache
+
+    @property
+    def wants_ordered_neighbourhoods(self) -> bool:
+        """True when the context should hand this engine predicate-sorted
+        neighbourhoods (:meth:`Graph.neighbourhood_ordered`) instead of raw
+        frozensets — the engine would sort them anyway."""
+        return self.order_by_predicate
 
     def order_triples(self, triples: Iterable[Triple]) -> List[Triple]:
-        """Return the triples in the order the engine will consume them."""
+        """Return the triples in the order the engine will consume them.
+
+        :class:`~repro.rdf.graph.OrderedTriples` carries the promise of
+        already being predicate-sorted (``Graph.neighbourhood_ordered`` hands
+        the engines those, so re-sorting per ``(node, label)`` pair would
+        waste the graph-side cache); any other iterable is sorted by
+        predicate when ``order_by_predicate`` is set.
+        """
+        if self.order_by_predicate and isinstance(triples, OrderedTriples):
+            return list(triples)
         triples = list(triples)
         if self.order_by_predicate:
             triples.sort(key=Triple.sort_key)
@@ -230,12 +278,17 @@ class DerivativeEngine:
         stats = MatchStats()
         stats.observe_expression_size(expression_size(expr))
         ordered = self.order_triples(triples)
+        global_cache = self.cache
         cache: Optional[Dict[Tuple[ShapeExpr, Triple], ShapeExpr]] = (
-            {} if self.memoize and not _has_references(expr) else None
+            {} if global_cache is None and self.memoize and not _has_references(expr)
+            else None
         )
         current = expr
         for triple in ordered:
-            if cache is not None:
+            if global_cache is not None:
+                current = self._cached_derivative(current, triple, context,
+                                                  global_cache, stats)
+            elif cache is not None:
                 key = (current, triple)
                 cached = cache.get(key)
                 if cached is None:
@@ -263,6 +316,61 @@ class DerivativeEngine:
 
     # engines are also used directly as NeighbourhoodMatcher callables
     __call__ = match_neighbourhood
+
+    def _cached_derivative(self, expr: ShapeExpr, triple: Triple,
+                           context: Optional[ValidationContext],
+                           cache: DerivativeCache,
+                           stats: MatchStats) -> ShapeExpr:
+        """One derivative step through the global cross-node cache.
+
+        The triple is first abstracted into its verdict vector over the
+        expression's arc atoms (resolving shape references through the
+        context, with the usual side effects); the structural derivative for
+        that vector is then looked up or computed once.
+        """
+        atoms = cache.atoms_for(expr)
+        verdicts: Dict[ArcAtom, bool] = {}
+        signature: List[bool] = []
+        for atom in atoms:
+            predicate_set, constraint = atom
+            stats.arc_checks += 1
+            if not predicate_set.matches(triple.predicate):
+                verdict = False
+            elif isinstance(constraint, ShapeRef):
+                if context is None:
+                    raise TypeError(
+                        "derivative of a shape-reference arc requires a ValidationContext"
+                    )
+                verdict = context.check_reference(triple.object, constraint.label).matched
+            else:
+                verdict = cache.constraint_verdict(constraint, triple.object)
+            verdicts[atom] = verdict
+            signature.append(verdict)
+        # the simplify flag changes the structural result, so it is part of
+        # the key: one cache can safely serve differently-configured engines
+        key_signature = (self.simplify, *signature)
+        cached = cache.lookup(expr, key_signature)
+        if cached is None:
+            cached = _derivative_by_verdicts(expr, verdicts, self.simplify, stats)
+            cache.store(expr, key_signature, cached)
+        return cached
+
+
+def _derivative_by_verdicts(expr: ShapeExpr, verdicts: Mapping[ArcAtom, bool],
+                            simplify: bool,
+                            stats: Optional[MatchStats] = None) -> ShapeExpr:
+    """``∂t(e)`` where every arc's outcome is given by a precomputed verdict.
+
+    Same walker as :func:`derivative`, but arc atoms are decided by the
+    ``verdicts`` mapping instead of re-checking the triple, which is what
+    makes the result reusable for *any* triple with the same verdict vector
+    (see :class:`~repro.shex.cache.DerivativeCache`).
+    """
+    return _walk_derivative(
+        expr,
+        lambda arc: EPSILON if verdicts[(arc.predicate, arc.object)] else EMPTY,
+        simplify, stats,
+    )
 
 
 def _has_references(expr: ShapeExpr) -> bool:

@@ -21,11 +21,20 @@ apply the simplification rules listed at the end of Section 4 (``∅ | x = x``,
 ``∅ ‖ x = ∅``, ``ε ‖ x = x`` …); these rules are what keeps the derivative
 representation small, and the ablation benchmark B8 switches them off to
 measure their effect.
+
+Expressions are additionally *hash-consed*: every constructor interns the
+node in a module-level table, so structurally-equal expressions are the same
+object.  Hashes are computed once at construction time, which makes
+expressions O(1) dictionary keys — the property the global derivative cache
+(:mod:`repro.shex.cache`) relies on.  :func:`clear_expression_caches` drops
+the interning table (long-lived processes validating many unrelated schemas
+may want to call it between runs); structural equality keeps working across
+a clear because ``__eq__`` falls back to comparing children.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from ..rdf.terms import IRI, Literal, ObjectTerm
 from .node_constraints import (
@@ -59,7 +68,34 @@ __all__ = [
     "expression_depth",
     "iter_subexpressions",
     "referenced_labels",
+    "clear_expression_caches",
+    "expression_cache_stats",
 ]
+
+
+#: interning table: structural key → the canonical instance for that key.
+_INTERN: Dict[tuple, "ShapeExpr"] = {}
+#: memoised AST node counts, keyed by interned expression.
+_SIZE_CACHE: Dict["ShapeExpr", int] = {}
+
+
+def clear_expression_caches() -> None:
+    """Drop the interning table and the memoised size cache.
+
+    Existing expressions stay valid (equality falls back to a structural
+    comparison), but new structurally-equal constructions will no longer be
+    pointer-equal to the old ones.  Any long-lived
+    :class:`~repro.shex.cache.DerivativeCache` should be cleared alongside
+    (``cache.clear()``): its entries keep pre-clear expressions alive and,
+    without pointer equality, every lookup pays a structural comparison.
+    """
+    _INTERN.clear()
+    _SIZE_CACHE.clear()
+
+
+def expression_cache_stats() -> Dict[str, int]:
+    """Return the sizes of the module-level expression caches."""
+    return {"interned": len(_INTERN), "sizes": len(_SIZE_CACHE)}
 
 
 class ShapeExpr:
@@ -164,18 +200,47 @@ EPSILON = EmptyTriples()
 _set_attr = object.__setattr__
 
 
+def _intern(cls, key: tuple, attrs: Tuple[Tuple[str, object], ...]) -> "ShapeExpr":
+    """Look up or build the canonical instance for a structural ``key``.
+
+    The single interning protocol shared by every compound node: find the
+    cached instance, or construct one with the given attributes plus the
+    precomputed ``_hash``, and register it.  A cached instance is only
+    reused for the exact same class — a subclass constructor builds its own
+    (uninterned) instance rather than returning, or shadowing, the base
+    class entry.
+    """
+    cached = _INTERN.get(key)
+    if cached is not None and type(cached) is cls:
+        return cached
+    self = object.__new__(cls)
+    for name, value in attrs:
+        _set_attr(self, name, value)
+    _set_attr(self, "_hash", hash(key))
+    if cached is None:
+        _INTERN[key] = self
+    return self
+
+
 class Arc(ShapeExpr):
-    """``vp → vo`` — one arc with predicate in ``vp`` and object in ``vo``."""
+    """``vp → vo`` — one arc with predicate in ``vp`` and object in ``vo``.
 
-    __slots__ = ("predicate", "object")
+    Instances are hash-consed: constructing the same ``(vp, vo)`` pair twice
+    returns the same object, and the hash is computed once.
+    """
 
-    def __init__(self, predicate: PredicateSet, object: NodeConstraint):
+    __slots__ = ("predicate", "object", "_hash")
+
+    def __new__(cls, predicate: PredicateSet, object: NodeConstraint):
         if not isinstance(predicate, PredicateSet):
             raise TypeError("Arc predicate must be a PredicateSet")
         if not isinstance(object, NodeConstraint):
             raise TypeError("Arc object must be a NodeConstraint")
-        _set_attr(self, "predicate", predicate)
-        _set_attr(self, "object", object)
+        return _intern(cls, ("Arc", predicate, object),
+                       (("predicate", predicate), ("object", object)))
+
+    def __init__(self, predicate: PredicateSet, object: NodeConstraint):
+        pass  # fully constructed (and possibly reused) in __new__
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("Arc is immutable")
@@ -187,6 +252,8 @@ class Arc(ShapeExpr):
         return f"Arc({self.predicate!r}, {self.object!r})"
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, Arc)
             and other.predicate == self.predicate
@@ -194,7 +261,7 @@ class Arc(ShapeExpr):
         )
 
     def __hash__(self) -> int:
-        return hash(("Arc", self.predicate, self.object))
+        return self._hash
 
     @property
     def is_reference(self) -> bool:
@@ -205,12 +272,15 @@ class Arc(ShapeExpr):
 class Star(ShapeExpr):
     """``E*`` — Kleene closure (zero or more occurrences of ``E``)."""
 
-    __slots__ = ("expr",)
+    __slots__ = ("expr", "_hash")
 
-    def __init__(self, expr: ShapeExpr):
+    def __new__(cls, expr: ShapeExpr):
         if not isinstance(expr, ShapeExpr):
             raise TypeError("Star operand must be a ShapeExpr")
-        object.__setattr__(self, "expr", expr)
+        return _intern(cls, ("Star", expr), (("expr", expr),))
+
+    def __init__(self, expr: ShapeExpr):
+        pass  # fully constructed (and possibly reused) in __new__
 
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("Star is immutable")
@@ -225,22 +295,27 @@ class Star(ShapeExpr):
         return f"Star({self.expr!r})"
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Star) and other.expr == self.expr
 
     def __hash__(self) -> int:
-        return hash(("Star", self.expr))
+        return self._hash
 
 
 class And(ShapeExpr):
     """``E ‖ F`` — unordered concatenation (interleave)."""
 
-    __slots__ = ("left", "right")
+    __slots__ = ("left", "right", "_hash")
 
-    def __init__(self, left: ShapeExpr, right: ShapeExpr):
+    def __new__(cls, left: ShapeExpr, right: ShapeExpr):
         if not isinstance(left, ShapeExpr) or not isinstance(right, ShapeExpr):
             raise TypeError("And operands must be ShapeExprs")
-        object.__setattr__(self, "left", left)
-        object.__setattr__(self, "right", right)
+        return _intern(cls, ("And", left, right),
+                       (("left", left), ("right", right)))
+
+    def __init__(self, left: ShapeExpr, right: ShapeExpr):
+        pass  # fully constructed (and possibly reused) in __new__
 
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("And is immutable")
@@ -255,22 +330,27 @@ class And(ShapeExpr):
         return f"And({self.left!r}, {self.right!r})"
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return isinstance(other, And) and other.left == self.left and other.right == self.right
 
     def __hash__(self) -> int:
-        return hash(("And", self.left, self.right))
+        return self._hash
 
 
 class Or(ShapeExpr):
     """``E | F`` — alternative."""
 
-    __slots__ = ("left", "right")
+    __slots__ = ("left", "right", "_hash")
 
-    def __init__(self, left: ShapeExpr, right: ShapeExpr):
+    def __new__(cls, left: ShapeExpr, right: ShapeExpr):
         if not isinstance(left, ShapeExpr) or not isinstance(right, ShapeExpr):
             raise TypeError("Or operands must be ShapeExprs")
-        object.__setattr__(self, "left", left)
-        object.__setattr__(self, "right", right)
+        return _intern(cls, ("Or", left, right),
+                       (("left", left), ("right", right)))
+
+    def __init__(self, left: ShapeExpr, right: ShapeExpr):
+        pass  # fully constructed (and possibly reused) in __new__
 
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("Or is immutable")
@@ -285,10 +365,12 @@ class Or(ShapeExpr):
         return f"Or({self.left!r}, {self.right!r})"
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Or) and other.left == self.left and other.right == self.right
 
     def __hash__(self) -> int:
-        return hash(("Or", self.left, self.right))
+        return self._hash
 
 
 # --------------------------------------------------------------- smart constructors
@@ -431,8 +513,30 @@ def iter_subexpressions(expr: ShapeExpr) -> Iterator[ShapeExpr]:
 
 
 def expression_size(expr: ShapeExpr) -> int:
-    """Return the number of AST nodes in ``expr`` (a proxy for memory use)."""
-    return sum(1 for _ in iter_subexpressions(expr))
+    """Return the number of AST nodes in ``expr`` (a proxy for memory use).
+
+    Sizes are memoised per interned expression: engines call this after every
+    derivative step, and hash-consing makes repeated lookups O(1) instead of
+    a full tree walk.
+    """
+    cached = _SIZE_CACHE.get(expr)
+    if cached is not None:
+        return cached
+    # iterative post-order so deep expressions cannot overflow the stack
+    stack = [(expr, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if current in _SIZE_CACHE:
+            continue
+        if expanded:
+            _SIZE_CACHE[current] = 1 + sum(
+                _SIZE_CACHE[child] for child in current.children()
+            )
+        else:
+            stack.append((current, True))
+            for child in current.children():
+                stack.append((child, False))
+    return _SIZE_CACHE[expr]
 
 
 def expression_depth(expr: ShapeExpr) -> int:

@@ -52,7 +52,11 @@ class MatchStats:
             self.max_expression_size = size
 
     def merge(self, other: "MatchStats") -> "MatchStats":
-        """Accumulate ``other`` into this record and return ``self``."""
+        """Accumulate ``other`` into this record and return ``self``.
+
+        This **mutates** ``self``; use :meth:`combined` for a pure version
+        that leaves both operands untouched.
+        """
         self.derivative_steps += other.derivative_steps
         self.decompositions += other.decompositions
         self.rule_applications += other.rule_applications
@@ -60,6 +64,38 @@ class MatchStats:
         self.reference_checks += other.reference_checks
         self.max_expression_size = max(self.max_expression_size, other.max_expression_size)
         return self
+
+    def copy(self) -> "MatchStats":
+        """Return an independent snapshot of the counters."""
+        return MatchStats(
+            derivative_steps=self.derivative_steps,
+            decompositions=self.decompositions,
+            rule_applications=self.rule_applications,
+            arc_checks=self.arc_checks,
+            reference_checks=self.reference_checks,
+            max_expression_size=self.max_expression_size,
+        )
+
+    def combined(self, other: "MatchStats") -> "MatchStats":
+        """Pure variant of :meth:`merge`: return a new accumulated record."""
+        return self.copy().merge(other)
+
+    def delta_since(self, before: "MatchStats") -> "MatchStats":
+        """Return the work done since the ``before`` snapshot was taken.
+
+        Counters are subtracted; ``max_expression_size`` is a high-water mark
+        and carries over unchanged.  Used by the shared-context bulk path to
+        attribute per-entry statistics without aliasing the accumulated
+        context record.
+        """
+        return MatchStats(
+            derivative_steps=self.derivative_steps - before.derivative_steps,
+            decompositions=self.decompositions - before.decompositions,
+            rule_applications=self.rule_applications - before.rule_applications,
+            arc_checks=self.arc_checks - before.arc_checks,
+            reference_checks=self.reference_checks - before.reference_checks,
+            max_expression_size=self.max_expression_size,
+        )
 
     def as_dict(self) -> dict:
         """Return the counters as a plain dictionary (for benchmark tables)."""
@@ -82,6 +118,11 @@ class MatchResult:
     stats: MatchStats = field(default_factory=MatchStats)
     #: human-readable explanation of a failure (empty on success).
     reason: str = ""
+    #: True when the verdict was forced by resource exhaustion (recursion
+    #: depth budget) rather than derived semantically.  Such outcomes are
+    #: never cached by the validation context: re-validating with a fresh
+    #: budget may well succeed.
+    limit_exceeded: bool = False
 
     def __bool__(self) -> bool:
         return self.matched
@@ -93,9 +134,11 @@ class MatchResult:
         return cls(True, typing or ShapeTyping.empty(), stats or MatchStats())
 
     @classmethod
-    def failure(cls, reason: str = "", stats: Optional[MatchStats] = None) -> "MatchResult":
+    def failure(cls, reason: str = "", stats: Optional[MatchStats] = None,
+                limit_exceeded: bool = False) -> "MatchResult":
         """Build a failed result with an optional explanation."""
-        return cls(False, ShapeTyping.empty(), stats or MatchStats(), reason)
+        return cls(False, ShapeTyping.empty(), stats or MatchStats(), reason,
+                   limit_exceeded)
 
 
 @dataclass
@@ -107,6 +150,9 @@ class ValidationReportEntry:
     conforms: bool
     reason: str = ""
     stats: MatchStats = field(default_factory=MatchStats)
+    #: True when the verdict hit the recursion-depth budget instead of being
+    #: derived semantically (see :attr:`MatchResult.limit_exceeded`).
+    limit_exceeded: bool = False
 
     def __str__(self) -> str:
         verdict = "conforms to" if self.conforms else "does NOT conform to"

@@ -19,7 +19,18 @@ This module provides:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..rdf.graph import Graph
 from ..rdf.terms import IRI, Literal, ObjectTerm, SubjectTerm, Triple
@@ -151,6 +162,31 @@ class Schema:
         return serialize_shexc(self)
 
 
+#: sentinel dependency depth marking an outcome forced by the recursion-depth
+#: budget; it never resolves (no frame ever settles at this depth), so the
+#: poison propagates to every enclosing frame and nothing gets cached.
+_BUDGET_POISON = -1
+
+
+class _Frame:
+    """Bookkeeping for one in-progress ``check_reference`` activation.
+
+    ``deps`` holds the depths of every in-progress hypothesis this frame's
+    outcome consulted (possibly including its own depth — the coinductive
+    knot — and ``_BUDGET_POISON`` when the recursion budget fired in its
+    subtree).  A frame whose deps contain nothing but its own depth is
+    *definitive*; anything else is conditional on enclosing frames.
+    """
+
+    __slots__ = ("node", "label", "depth", "deps")
+
+    def __init__(self, node: ObjectTerm, label: ShapeLabel, depth: int):
+        self.node = node
+        self.label = label
+        self.depth = depth
+        self.deps: Set[int] = set()
+
+
 class ValidationContext:
     """The typing context ``Γ`` threaded through a validation run.
 
@@ -160,6 +196,15 @@ class ValidationContext:
     assumed to hold, which is exactly the coinductive reading of the
     ``MatchShape`` rule and guarantees termination on cyclic data
     (``:alice foaf:knows :bob . :bob foaf:knows :alice .``).
+
+    Verdicts are cached so shared sub-structures are validated once — and so
+    a single context can be reused for a whole-graph bulk run.  Caching is
+    *sound*: a verdict derived while the subtree consulted an in-progress
+    hypothesis from an **enclosing** frame is provisional (the hypothesis may
+    yet be refuted) and is only promoted to the cache once the frame that
+    owns the hypothesis settles successfully; failures with such
+    dependencies, and any outcome forced by the recursion-depth budget, are
+    never cached at all.
 
     The actual neighbourhood matching is delegated to the ``matcher``
     callable so the derivative and backtracking engines can share this class.
@@ -171,12 +216,33 @@ class ValidationContext:
         self.graph = graph
         self.schema = schema
         self._matcher = matcher
-        self._hypotheses: Set[Tuple[ObjectTerm, ShapeLabel]] = set()
+        #: hypothesis → depth of the frame that assumed it.
+        self._hypotheses: Dict[Tuple[ObjectTerm, ShapeLabel], int] = {}
         self._confirmed = ShapeTyping.empty()
         self._failed: Set[Tuple[ObjectTerm, ShapeLabel]] = set()
+        #: provisionally-validated pair → depths of the active frames whose
+        #: hypotheses it rests on (never empty, never containing the poison).
+        #: Consultable like a cache *within* the run (the consumer inherits
+        #: the dependency set); every time a frame settles, entries that
+        #: depended on it are rewritten (success), confirmed (success and no
+        #: dependencies left) or dropped (failure).
+        self._provisional: Dict[Tuple[ObjectTerm, ShapeLabel], Set[int]] = {}
+        #: inverse index: frame depth → pairs depending on it, so settling a
+        #: frame touches only its dependents instead of scanning every entry.
+        self._provisional_by_depth: Dict[int, Set[Tuple[ObjectTerm, ShapeLabel]]] = {}
         self.stats = MatchStats()
         self.max_recursion_depth = max_recursion_depth
         self._depth = 0
+        self._frames: List[_Frame] = []
+        # hand engines that consume triples in predicate order the graph's
+        # cached pre-sorted neighbourhoods; engines that don't (backtracking,
+        # SPARQL, derivative engine with order_by_predicate=False) keep
+        # getting plain frozensets and no sort is paid on their behalf.
+        engine = getattr(matcher, "__self__", None)
+        self._ordered_neighbourhoods = bool(
+            getattr(engine, "wants_ordered_neighbourhoods", False)
+            and hasattr(graph, "neighbourhood_ordered")
+        )
 
     # -- typing bookkeeping -----------------------------------------------------
     @property
@@ -186,15 +252,25 @@ class ValidationContext:
 
     def assume(self, node: ObjectTerm, label: ShapeLabel) -> None:
         """Add the hypothesis ``node → label`` (the ``Γ{n → l}`` operation)."""
-        self._hypotheses.add((node, label))
+        self._hypotheses.setdefault((node, label), self._depth)
 
     def retract(self, node: ObjectTerm, label: ShapeLabel) -> None:
         """Drop a hypothesis after its validation finished."""
-        self._hypotheses.discard((node, label))
+        self._hypotheses.pop((node, label), None)
 
     def is_assumed(self, node: ObjectTerm, label: ShapeLabel) -> bool:
-        """True if ``node → label`` is currently hypothesised."""
-        return (node, label) in self._hypotheses
+        """True if ``node → label`` is currently hypothesised.
+
+        Consulting a hypothesis is recorded as a dependency of the innermost
+        in-progress frame: its verdict now rests on an assumption that may
+        later be retracted, so it must not be cached as definitive.
+        """
+        depth = self._hypotheses.get((node, label))
+        if depth is None:
+            return False
+        if self._frames:
+            self._frames[-1].deps.add(depth)
+        return True
 
     def confirm(self, node: ObjectTerm, label: ShapeLabel) -> None:
         """Record ``node → label`` as definitely established."""
@@ -218,8 +294,8 @@ class ValidationContext:
 
         Implements the ``MatchShape`` / ``Arcref`` rules: extend the context
         with the hypothesis, match ``δ(label)`` against the node's
-        neighbourhood, and cache the verdict so shared sub-structures are
-        validated once.
+        neighbourhood, and cache the verdict (when it is definitive — see the
+        class docstring) so shared sub-structures are validated once.
         """
         if self.schema is None:
             raise SchemaError("shape references need a schema-aware validation context")
@@ -232,31 +308,146 @@ class ValidationContext:
         if self.is_assumed(node, label):
             # coinductive hypothesis: assume the reference holds
             return MatchResult.success(ShapeTyping.single(node, label))
+        provisional_deps = self._provisional.get((node, label))
+        if provisional_deps is not None:
+            # already validated in this run, conditional on in-progress
+            # hypotheses: reuse the verdict and inherit every dependency.
+            if self._frames:
+                self._frames[-1].deps.update(provisional_deps)
+            return MatchResult.success(ShapeTyping.single(node, label))
         if self._depth >= self.max_recursion_depth:
+            # budget exhaustion is not a semantic verdict: poison the
+            # enclosing frames so nothing derived from it gets cached.
+            if self._frames:
+                self._frames[-1].deps.add(_BUDGET_POISON)
             return MatchResult.failure(
                 f"recursion depth limit ({self.max_recursion_depth}) exceeded "
-                f"while validating {node.n3()} against {label}"
+                f"while validating {node.n3()} against {label}",
+                limit_exceeded=True,
             )
         expr = self.schema.expression(label)
         if isinstance(node, Literal):
             # literals have no outgoing arcs; they conform only to shapes
             # accepting the empty neighbourhood
             neighbourhood: FrozenSet[Triple] = frozenset()
+        elif self._ordered_neighbourhoods:
+            neighbourhood = self.graph.neighbourhood_ordered(node)
         else:
             neighbourhood = self.graph.neighbourhood(node)
-        self.assume(node, label)
         self._depth += 1
+        frame = _Frame(node, label, self._depth)
+        self._frames.append(frame)
+        self.assume(node, label)
         try:
             result = self._matcher(expr, neighbourhood, self)
+        except BaseException:
+            # e.g. a backtracking budget exception: the frame disappears
+            # without settling, so everything conditional on it is dropped.
+            self._settle_failure(frame.depth)
+            raise
         finally:
-            self._depth -= 1
             self.retract(node, label)
+            self._frames.pop()
+            self._depth -= 1
+        # the depths of enclosing hypotheses the verdict rests on; consulting
+        # this frame's own hypothesis is fine (the coinductive knot being
+        # tied) and is resolved right here.
+        outer_deps = frame.deps - {frame.depth}
+        definitive = not outer_deps
+        if outer_deps and self._frames:
+            # the verdict leans on assumptions owned by enclosing frames —
+            # propagate the dependencies (and any budget poison) outwards.
+            self._frames[-1].deps.update(outer_deps)
         if result.matched:
-            self.confirm(node, label)
             typing = result.typing.add(node, label)
+            if definitive:
+                self.confirm(node, label)
+                # this frame's hypothesis just proved out: resolve everything
+                # that was conditional on it.
+                for pending in self._settle_success(frame.depth, set()):
+                    typing = typing.add(*pending)
+            else:
+                self._settle_success(frame.depth, outer_deps)
+                if _BUDGET_POISON not in outer_deps:
+                    # provisional: reusable within the run, conditional on
+                    # every enclosing hypothesis it consulted.
+                    self._park_provisional((node, label), set(outer_deps))
+                # else: poisoned by the budget — return the verdict but
+                # cache nothing.
             return MatchResult(True, typing, result.stats)
-        self.record_failure(node, label)
+        # failure: provisional successes that assumed this frame's
+        # hypothesis rested on an assumption that did not prove out.
+        self._settle_failure(frame.depth)
+        if definitive:
+            self.record_failure(node, label)
+        limit_hit = _BUDGET_POISON in outer_deps or result.limit_exceeded
         return MatchResult.failure(
             f"{node.n3()} does not match shape {label}: {result.reason}",
             result.stats,
+            limit_exceeded=limit_hit,
         )
+
+    # -- provisional-entry settlement --------------------------------------------
+    def _park_provisional(self, pair: Tuple[ObjectTerm, ShapeLabel],
+                          deps: Set[int]) -> None:
+        """Record ``pair`` as provisionally valid, conditional on ``deps``."""
+        self._provisional[pair] = deps
+        for dep in deps:
+            self._provisional_by_depth.setdefault(dep, set()).add(pair)
+
+    def _unlink_provisional(self, pair: Tuple[ObjectTerm, ShapeLabel],
+                            deps: Set[int]) -> None:
+        """Remove ``pair`` from the inverse index for every depth in ``deps``."""
+        for dep in deps:
+            bucket = self._provisional_by_depth.get(dep)
+            if bucket is not None:
+                bucket.discard(pair)
+                if not bucket:
+                    del self._provisional_by_depth[dep]
+
+    def _settle_success(self, depth: int,
+                        replacement: Set[int]) -> List[Tuple[ObjectTerm, ShapeLabel]]:
+        """The frame at ``depth`` settled successfully: rewrite dependents.
+
+        Every provisional entry depending on ``depth`` now depends on
+        whatever that frame itself depended on (``replacement``).  Entries
+        left with no dependencies are promoted to the confirmed cache and
+        returned.  Only the frame's dependents are touched, through the
+        inverse index.
+        """
+        promoted: List[Tuple[ObjectTerm, ShapeLabel]] = []
+        dependents = self._provisional_by_depth.pop(depth, None)
+        if not dependents:
+            return promoted
+        poisoned = _BUDGET_POISON in replacement
+        for pair in dependents:
+            deps = self._provisional.get(pair)
+            if deps is None:
+                continue
+            deps.discard(depth)
+            if poisoned:
+                # poison never resolves; the entry can no longer settle.
+                del self._provisional[pair]
+                self._unlink_provisional(pair, deps)
+                continue
+            for dep in replacement:
+                if dep not in deps:
+                    deps.add(dep)
+                    self._provisional_by_depth.setdefault(dep, set()).add(pair)
+            if not deps:
+                del self._provisional[pair]
+                self.confirm(*pair)
+                promoted.append(pair)
+        return promoted
+
+    def _settle_failure(self, depth: int) -> None:
+        """The frame at ``depth`` failed (or vanished): drop its dependents."""
+        dependents = self._provisional_by_depth.pop(depth, None)
+        if not dependents:
+            return
+        for pair in dependents:
+            deps = self._provisional.pop(pair, None)
+            if deps is None:
+                continue
+            deps.discard(depth)
+            self._unlink_provisional(pair, deps)

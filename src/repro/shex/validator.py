@@ -116,20 +116,76 @@ class Validator:
         expression-level matching is needed.
     engine:
         ``"derivatives"`` (default), ``"backtracking"`` or an engine object.
+    shared_context:
+        when True (default) the bulk operations — ``validate_map``,
+        ``validate_graph``, ``infer_typing``, ``conforming_nodes`` — thread
+        **one** :class:`ValidationContext` through the whole run (and keep it
+        across runs), so confirmed/failed ``(node, label)`` verdicts
+        propagate instead of being recomputed per node.  Set to False for the
+        paper-faithful fresh-context-per-node behaviour.  Graph mutations
+        are detected automatically: the shared context is rebuilt on the
+        next call when the graph has changed.
+    max_recursion_depth:
+        recursion budget handed to every context this validator creates.
     engine_options:
-        keyword options forwarded to the engine factory
-        (e.g. ``simplify=False`` or ``budget=10_000``).
+        keyword options forwarded to the engine factory (e.g.
+        ``simplify=False``, ``budget=10_000`` or ``cache=True`` to give the
+        derivative engine a global cross-node derivative cache).
     """
 
     def __init__(self, graph: Graph, schema: Optional[Schema] = None,
-                 engine: Union[str, object, None] = None, **engine_options):
+                 engine: Union[str, object, None] = None,
+                 shared_context: bool = True,
+                 max_recursion_depth: int = 500,
+                 **engine_options):
         self.graph = graph
         self.schema = schema
         self.engine = get_engine(engine, **engine_options)
+        self.shared_context = shared_context
+        self.max_recursion_depth = max_recursion_depth
+        self._context: Optional[ValidationContext] = None
+        self._context_key: Optional[tuple] = None
 
     # -- contexts ---------------------------------------------------------------
     def _new_context(self) -> ValidationContext:
-        return ValidationContext(self.graph, self.schema, self.engine.match_neighbourhood)
+        return ValidationContext(self.graph, self.schema,
+                                 self.engine.match_neighbourhood,
+                                 max_recursion_depth=self.max_recursion_depth)
+
+    def _bulk_context(self) -> Optional[ValidationContext]:
+        """The persistent shared context (None when ``shared_context`` is off).
+
+        The context is rebuilt automatically when anything it was derived
+        from changed: graph mutations (tracked through
+        :attr:`Graph.generation`) or reassignment of ``graph``, ``schema``,
+        ``engine`` or ``max_recursion_depth``.
+        """
+        if not self.shared_context:
+            return None
+        # objects are compared by identity (and kept referenced so their ids
+        # cannot be recycled); the generation captures in-place graph edits.
+        sources = (self.graph, self.schema, self.engine,
+                   self.max_recursion_depth,
+                   getattr(self.graph, "generation", None))
+        stale = (self._context is None or self._context_key is None
+                 or any(new is not old
+                        for new, old in zip(sources[:3], self._context_key[:3]))
+                 or sources[3:] != self._context_key[3:])
+        if stale:
+            self._context = self._new_context()
+            self._context_key = sources
+        return self._context
+
+    def reset_context(self) -> None:
+        """Drop the persistent shared context explicitly.
+
+        Graph mutations and graph/schema/engine reassignment are detected
+        automatically; this is only needed when state the matcher consults
+        changed *behind* one of those objects (e.g. an engine option was
+        flipped in place).
+        """
+        self._context = None
+        self._context_key = None
 
     # -- expression-level API -----------------------------------------------------
     def node_matches_expression(self, node: SubjectTerm, expr: ShapeExpr) -> MatchResult:
@@ -140,23 +196,36 @@ class Validator:
 
     # -- schema-level API ----------------------------------------------------------
     def validate_node(self, node: SubjectTerm,
-                      label: Union[ShapeLabel, str, None] = None) -> ValidationReportEntry:
-        """Validate one node against one shape label (default: the start shape)."""
+                      label: Union[ShapeLabel, str, None] = None,
+                      context: Optional[ValidationContext] = None
+                      ) -> ValidationReportEntry:
+        """Validate one node against one shape label (default: the start shape).
+
+        A fresh context is used unless ``context`` is given (the bulk
+        operations pass their shared context here).  The entry's stats are an
+        independent snapshot of the work done *for this entry* — never an
+        alias of the (possibly shared) context record.
+        """
         label = self._resolve_label(label)
-        context = self._new_context()
+        if context is None:
+            context = self._new_context()
+        before = context.stats.copy()
         result = context.check_reference(node, label)
+        entry_stats = context.stats.delta_since(before).merge(result.stats)
         return ValidationReportEntry(
             node=node, label=label, conforms=result.matched,
-            reason=result.reason, stats=context.stats.merge(result.stats),
+            reason=result.reason, stats=entry_stats,
+            limit_exceeded=result.limit_exceeded,
         )
 
     def validate_map(self, shape_map: Mapping[SubjectTerm, Union[ShapeLabel, str]]
                      ) -> ValidationReport:
         """Validate every ``node → label`` association of a shape map."""
+        context = self._bulk_context()
         report = ValidationReport()
         typing = ShapeTyping.empty()
         for node, label in shape_map.items():
-            entry = self.validate_node(node, label)
+            entry = self.validate_node(node, label, context=context)
             report.entries.append(entry)
             if entry.conforms:
                 typing = typing.add(node, self._resolve_label(label))
@@ -171,6 +240,8 @@ class Validator:
         Tries every combination of the given nodes (default: every subject
         node of the graph) and labels (default: every label of the schema)
         and returns the typing containing the associations that validate.
+        With ``shared_context`` enabled, verdicts established while checking
+        one combination are reused by every later one.
         """
         if self.schema is None:
             raise SchemaError("infer_typing requires a schema")
@@ -179,10 +250,11 @@ class Validator:
         )
         label_list = [self._resolve_label(label) for label in labels] if labels \
             else list(self.schema.labels())
+        context = self._bulk_context()
         typing = ShapeTyping.empty()
         for node in node_list:
             for label in label_list:
-                entry = self.validate_node(node, label)
+                entry = self.validate_node(node, label, context=context)
                 if entry.conforms:
                     typing = typing.add(node, label)
         return typing
@@ -191,8 +263,10 @@ class Validator:
                          ) -> List[SubjectTerm]:
         """Return the subject nodes that conform to ``label`` (Example 2)."""
         label = self._resolve_label(label)
+        context = self._bulk_context()
         nodes = sorted(self.graph.nodes(), key=lambda term: term.sort_key())
-        return [node for node in nodes if self.validate_node(node, label).conforms]
+        return [node for node in nodes
+                if self.validate_node(node, label, context=context).conforms]
 
     def validate_graph(self, labels: Optional[Sequence[Union[ShapeLabel, str]]] = None
                        ) -> ValidationReport:
@@ -201,11 +275,12 @@ class Validator:
             raise SchemaError("validate_graph requires a schema")
         label_list = [self._resolve_label(label) for label in labels] if labels \
             else list(self.schema.labels())
+        context = self._bulk_context()
         report = ValidationReport()
         typing = ShapeTyping.empty()
         for node in sorted(self.graph.nodes(), key=lambda term: term.sort_key()):
             for label in label_list:
-                entry = self.validate_node(node, label)
+                entry = self.validate_node(node, label, context=context)
                 report.entries.append(entry)
                 if entry.conforms:
                     typing = typing.add(node, label)

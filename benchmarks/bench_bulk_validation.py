@@ -29,6 +29,7 @@ the largest size is below the --min-speedup threshold (default 2.0).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -98,6 +99,8 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="fail when the largest size is below this speedup")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the result rows as JSON (CI artifact)")
     args = parser.parse_args(argv)
 
     sizes = args.sizes or ([20, 40] if args.quick else [20, 60, 120, 240])
@@ -105,9 +108,11 @@ def main(argv=None) -> int:
     print(f"{'people':>7} {'triples':>8} {'per-node':>11} {'bulk':>11} "
           f"{'speedup':>8}  {'cache hit rate':>14}")
     ok = True
+    rows = []
     last_speedup = 0.0
     for size in sizes:
         row = run_size(size, args.seed, check_backtracking=size <= 20)
+        rows.append(row)
         hit = row["cache"]["hits"] / max(1, row["cache"]["hits"] + row["cache"]["misses"])
         print(f"{row['people']:>7} {row['triples']:>8} "
               f"{row['baseline_s'] * 1000:>9.1f}ms {row['bulk_s'] * 1000:>9.1f}ms "
@@ -123,6 +128,19 @@ def main(argv=None) -> int:
         print(f"!! speedup {last_speedup:.1f}x below the "
               f"{args.min_speedup:.1f}x threshold", file=sys.stderr)
         ok = False
+
+    if args.json:
+        payload = {
+            "benchmark": "bulk_validation",
+            "quick": args.quick,
+            "min_speedup": args.min_speedup,
+            "results": rows,
+            "ok": ok,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+
     print("OK" if ok else "FAILED")
     return 0 if ok else 1
 

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""B10 — parallel bulk validation: SCC-partitioned scheduling vs the serial bulk path.
+
+PR 1 made whole-graph validation fast inside one process (shared context +
+global derivative cache); this benchmark measures the next multiplier:
+partitioning the node reference graph by strongly-connected component
+(``repro.shex.partition``) and validating independent components across a
+process pool (``Validator(jobs=N)``).
+
+The workload is ``generate_community_workload``: many mutually-independent
+communities, each one SCC of the reference graph, so the condensation's
+first level carries one unit of real work per community.  Every parallel
+configuration is verdict-checked against the serial bulk path and the
+workload's ground truth before any number is reported; on the smallest size
+the backtracking engine is run through the same parallel scheduler as an
+engine-agreement check.  A verdict mismatch fails the run regardless of any
+timing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_validation.py              # full
+    PYTHONPATH=src python benchmarks/bench_parallel_validation.py --quick --jobs 2
+    PYTHONPATH=src python benchmarks/bench_parallel_validation.py --json out.json
+
+Exit status: 0 on success, 1 when any verdict disagrees, or when a full run
+on a machine with enough cores misses the --min-speedup threshold (default
+1.5x) at the highest job count on the largest size.  The speedup check is
+skipped (with a warning) when fewer CPUs than jobs are available — a
+single-core runner cannot exhibit parallel speedup — and on --quick CI
+smoke runs, where verdict agreement is the point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.shex import Validator
+from repro.shex.partition import partition_reference_graph
+from repro.workloads import generate_community_workload
+
+# deep reference chains recurse one Python call stack per hop (engine +
+# context frames); the interpreter default of 1000 is too tight at scale
+sys.setrecursionlimit(100_000)
+
+
+def _verdicts(report):
+    return {(entry.node, str(entry.label)): entry.conforms for entry in report}
+
+
+def run_size(num_communities: int, people_per_community: int, seed: int,
+             jobs_list, check_backtracking: bool) -> dict:
+    """Benchmark one workload size at every requested job count."""
+    workload = generate_community_workload(
+        num_communities=num_communities,
+        people_per_community=people_per_community,
+        seed=seed,
+    )
+    graph, schema = workload.graph, workload.schema
+    expected = {
+        (node, "Person"): node in set(workload.valid_nodes)
+        for node in workload.all_nodes
+    }
+    partition = partition_reference_graph(graph, schema)
+
+    start = time.perf_counter()
+    serial = Validator(graph, schema, shared_context=True, cache=True)
+    serial_report = serial.validate_graph()
+    serial_time = time.perf_counter() - start
+    serial_verdicts = _verdicts(serial_report)
+    ground_truth_ok = all(
+        serial_verdicts[key] == value for key, value in expected.items())
+
+    runs = []
+    for jobs in jobs_list:
+        start = time.perf_counter()
+        parallel = Validator(graph, schema, shared_context=True, cache=True,
+                             jobs=jobs)
+        parallel_report = parallel.validate_graph()
+        elapsed = time.perf_counter() - start
+        runs.append({
+            "jobs": jobs,
+            "seconds": elapsed,
+            "speedup": serial_time / elapsed if elapsed else float("inf"),
+            "agree": _verdicts(parallel_report) == serial_verdicts,
+        })
+
+    backtracking_ok = True
+    if check_backtracking:
+        bt = Validator(graph, schema, engine="backtracking", budget=5_000_000,
+                       shared_context=True, jobs=max(jobs_list))
+        backtracking_ok = _verdicts(bt.validate_graph()) == serial_verdicts
+
+    return {
+        "communities": num_communities,
+        "people": num_communities * people_per_community,
+        "triples": len(graph),
+        "partition": partition.stats(),
+        "serial_s": serial_time,
+        "runs": runs,
+        "ground_truth_ok": ground_truth_ok,
+        "backtracking_ok": backtracking_ok,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes, verdict checks only (CI smoke run)")
+    parser.add_argument("--jobs", type=int, nargs="*", metavar="N",
+                        help="worker counts to benchmark (default: 2 4)")
+    parser.add_argument("--communities", type=int, nargs="*",
+                        help="explicit workload sizes (number of communities)")
+    parser.add_argument("--people", type=int, default=12,
+                        help="people per community (default 12)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="fail a full run below this speedup at the highest "
+                             "job count on the largest size (default 1.5)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the result rows as JSON (CI artifact)")
+    args = parser.parse_args(argv)
+
+    jobs_list = args.jobs or [2, 4]
+    sizes = args.communities or ([6] if args.quick else [16, 48])
+    cpus = os.cpu_count() or 1
+
+    header = f"{'comms':>6} {'people':>7} {'triples':>8} {'comps':>6} {'serial':>9}"
+    for jobs in jobs_list:
+        header += f" {f'jobs={jobs}':>10} {'speedup':>8}"
+    print(header)
+
+    ok = True
+    rows = []
+    for index, size in enumerate(sizes):
+        row = run_size(size, args.people, args.seed, jobs_list,
+                       check_backtracking=index == 0)
+        rows.append(row)
+        line = (f"{row['communities']:>6} {row['people']:>7} {row['triples']:>8} "
+                f"{row['partition']['components']:>6} "
+                f"{row['serial_s'] * 1000:>7.1f}ms")
+        for run in row["runs"]:
+            line += f" {run['seconds'] * 1000:>8.1f}ms {run['speedup']:>7.2f}x"
+        print(line)
+        for run in row["runs"]:
+            if not run["agree"]:
+                print(f"  !! verdict mismatch vs serial bulk at jobs={run['jobs']}",
+                      file=sys.stderr)
+                ok = False
+        if not row["ground_truth_ok"]:
+            print(f"  !! serial verdicts disagree with ground truth at size {size}",
+                  file=sys.stderr)
+            ok = False
+        if not row["backtracking_ok"]:
+            print("  !! backtracking engine disagrees with the derivative engine",
+                  file=sys.stderr)
+            ok = False
+
+    speedup_checked = False
+    if rows and not args.quick:
+        top_jobs = max(jobs_list)
+        final = next(run for run in rows[-1]["runs"] if run["jobs"] == top_jobs)
+        if cpus < top_jobs:
+            print(f"note: only {cpus} CPU(s) available; skipping the "
+                  f"{args.min_speedup:.1f}x speedup check at jobs={top_jobs}")
+        else:
+            speedup_checked = True
+            if final["speedup"] < args.min_speedup:
+                print(f"!! speedup {final['speedup']:.2f}x at jobs={top_jobs} "
+                      f"below the {args.min_speedup:.1f}x threshold",
+                      file=sys.stderr)
+                ok = False
+
+    if args.json:
+        payload = {
+            "benchmark": "parallel_validation",
+            "quick": args.quick,
+            "cpu_count": cpus,
+            "jobs": jobs_list,
+            "min_speedup": args.min_speedup,
+            "speedup_checked": speedup_checked,
+            "results": rows,
+            "ok": ok,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

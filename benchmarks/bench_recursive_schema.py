@@ -45,14 +45,14 @@ def test_knows_chain(benchmark, engine, depth):
 @pytest.mark.parametrize("length", CYCLE_LENGTHS)
 def test_knows_cycle(benchmark, length):
     graph, start = knows_cycle_graph(length)
-    entry = benchmark(validate_head, graph, start, "derivatives")
+    benchmark(validate_head, graph, start, "derivatives")
     benchmark.extra_info["length"] = length
 
 
 @pytest.mark.parametrize("depth", TREE_DEPTHS)
 def test_knows_tree(benchmark, depth):
     graph, root = knows_tree_graph(depth, fanout=2)
-    entry = benchmark(validate_head, graph, root, "derivatives")
+    benchmark(validate_head, graph, root, "derivatives")
     benchmark.extra_info["nodes"] = 2 ** (depth + 1) - 1
 
 

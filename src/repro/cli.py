@@ -29,6 +29,7 @@ from typing import List, Optional
 
 from .rdf import Graph, ParseError
 from .shex import Schema, SchemaError, Validator
+from .shex.cache import DerivativeCache
 from .shex.reporting import format_csv, format_text, report_to_json, summarize
 from .shex.shape_map import parse_shape_map
 from .shex.validator import ValidationReport
@@ -70,6 +71,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="validate every node in a fresh context with no "
                            "cross-node caching (the paper-faithful baseline; "
                            "slower on graphs with shared or recursive structure)")
+    validate.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="validate independent reference-graph components "
+                               "across N worker processes (whole-graph modes "
+                               "--all-nodes/--shape only; default 1: serial). "
+                               "Incompatible with --per-node and the sparql engine")
+    validate.add_argument("--cache-stats", action="store_true",
+                          help="print derivative-cache hit/miss/eviction counters "
+                               "to stderr after validation (enables the global "
+                               "derivative cache like --bulk)")
+    validate.add_argument("--cache-max-entries", type=int, default=None, metavar="N",
+                          help="bound the global derivative cache to N entries "
+                               "with LRU eviction (default: unbounded)")
     validate.add_argument("--format", choices=["text", "json", "csv", "summary"],
                           default="text", dest="output_format")
     validate.add_argument("--include-stats", action="store_true",
@@ -132,14 +145,28 @@ def _render_report(report: ValidationReport, output_format: str,
 
 
 def _command_validate(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        raise SystemExit("error: --jobs must be at least 1")
+    if args.jobs > 1 and args.per_node:
+        raise SystemExit("error: --jobs > 1 shares settled verdicts across "
+                         "components and is incompatible with --per-node")
+    if args.jobs > 1 and args.engine == "sparql":
+        raise SystemExit("error: --jobs > 1 is not supported with the sparql engine")
+    if args.jobs > 1 and (args.shape_map or args.shape_map_file):
+        raise SystemExit("error: --jobs > 1 needs a whole-graph mode "
+                         "(--all-nodes or --shape); shape maps validate serially")
     graph = _load_graph(args.data, args.data_format)
     schema = _load_schema(args.schema)
     engine_options = {}
-    if args.bulk and args.engine == "derivatives":
-        # one global derivative cache shared by every node in the run
-        engine_options["cache"] = True
+    wants_cache = (args.bulk or args.cache_stats
+                   or args.cache_max_entries is not None)
+    if wants_cache and args.engine == "derivatives":
+        # one global derivative cache shared by every node in the run,
+        # optionally bounded for long-running services
+        engine_options["cache"] = DerivativeCache(max_entries=args.cache_max_entries)
     validator = Validator(graph, schema, engine=_build_engine(args.engine),
-                          shared_context=not args.per_node, **engine_options)
+                          shared_context=not args.per_node, jobs=args.jobs,
+                          **engine_options)
 
     if args.shape_map or args.shape_map_file:
         text = args.shape_map or _read_file(args.shape_map_file)
@@ -154,6 +181,25 @@ def _command_validate(args: argparse.Namespace) -> int:
             "error: choose --shape-map/--shape-map-file, --shape or --all-nodes")
 
     sys.stdout.write(_render_report(report, args.output_format, args.include_stats))
+    if args.cache_stats:
+        cache = getattr(validator.engine, "cache", None)
+        if cache is None:
+            print("cache-stats: no derivative cache active "
+                  f"(engine {args.engine!r})", file=sys.stderr)
+        else:
+            stats = cache.stats()
+            bound = stats["max_entries"] or "unbounded"
+            print("cache-stats: "
+                  f"hits={stats['hits']} misses={stats['misses']} "
+                  f"evictions={stats['evictions']} "
+                  f"derivatives={stats['derivatives']} "
+                  f"constraint_verdicts={stats['constraint_verdicts']} "
+                  f"max_entries={bound} "
+                  f"hit_rate={cache.hit_rate:.1%}", file=sys.stderr)
+            if args.jobs > 1:
+                print("cache-stats: note: with --jobs > 1 derivative caches "
+                      "are worker-local; the counters above cover only the "
+                      "coordinating process", file=sys.stderr)
     return 0 if report.conforms else 1
 
 

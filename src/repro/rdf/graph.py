@@ -21,11 +21,12 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tup
 
 from .errors import GraphError
 from .namespaces import NamespaceManager
-from .terms import BNode, IRI, Literal, ObjectTerm, SubjectTerm, Triple
+from .terms import IRI, ObjectTerm, SubjectTerm, Triple
 
 __all__ = [
     "Graph",
     "NeighbourhoodView",
+    "NeighbourhoodSnapshot",
     "OrderedTriples",
     "decompositions",
     "decomposition_count",
@@ -321,6 +322,24 @@ class Graph:
         """Return a :class:`NeighbourhoodView` over ``Σgₙ``."""
         return NeighbourhoodView(node, self.neighbourhood(node))
 
+    def snapshot(self, nodes: Optional[Iterable[SubjectTerm]] = None
+                 ) -> "NeighbourhoodSnapshot":
+        """Return a picklable :class:`NeighbourhoodSnapshot` of ``Σgₙ`` tables.
+
+        ``nodes`` defaults to every subject node.  The snapshot captures the
+        predicate-sorted neighbourhood of each requested node (empty tuples
+        for nodes without outgoing triples are stored explicitly), so worker
+        processes can validate against it without holding the full graph.
+        """
+        if nodes is None:
+            node_list: List[SubjectTerm] = list(self._spo.keys())
+        else:
+            node_list = list(nodes)
+        return NeighbourhoodSnapshot(
+            {node: self.neighbourhood_ordered(node) for node in node_list},
+            generation=self._generation,
+        )
+
     def union(self, other: "Graph") -> "Graph":
         """Return a new graph ``self ⊕ other`` (blank-node identity preserved)."""
         result = Graph(namespaces=self.namespaces.copy())
@@ -375,6 +394,63 @@ class Graph:
 
             return parse_ntriples(data)
         raise GraphError(f"unknown parse format: {format!r}")
+
+
+class NeighbourhoodSnapshot:
+    """A picklable, read-only table of per-subject neighbourhoods.
+
+    Exposes the slice of the :class:`Graph` API a validation context needs —
+    :meth:`neighbourhood`, :meth:`neighbourhood_ordered` and ``generation`` —
+    so it can stand in for the full graph inside worker processes during
+    parallel bulk validation.  Lookups outside the captured node set raise
+    :class:`~repro.rdf.errors.GraphError` instead of silently returning an
+    empty neighbourhood: a miss means the scheduler under-approximated the
+    nodes a worker could touch, which must surface as an error rather than
+    as a wrong verdict.
+    """
+
+    __slots__ = ("_ordered", "_sets", "generation")
+
+    def __init__(self, ordered: Dict[SubjectTerm, "OrderedTriples"],
+                 generation: int = 0):
+        self._ordered = dict(ordered)
+        self._sets: Dict[SubjectTerm, FrozenSet[Triple]] = {}
+        self.generation = generation
+
+    def __reduce__(self):
+        # the lazily-built frozenset cache is rebuilt on demand in the target
+        # process; only the ordered tables travel.
+        return (NeighbourhoodSnapshot, (self._ordered, self.generation))
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._ordered
+
+    def nodes(self) -> Iterator[SubjectTerm]:
+        """Iterate over the captured nodes."""
+        return iter(self._ordered.keys())
+
+    def neighbourhood_ordered(self, node: SubjectTerm) -> "OrderedTriples":
+        """Return the captured predicate-sorted ``Σgₙ`` for ``node``."""
+        try:
+            return self._ordered[node]
+        except KeyError:
+            raise GraphError(
+                f"node {node.n3()} is outside this neighbourhood snapshot"
+            ) from None
+
+    def neighbourhood(self, node: SubjectTerm) -> FrozenSet[Triple]:
+        """Return the captured ``Σgₙ`` for ``node`` as a frozenset."""
+        cached = self._sets.get(node)
+        if cached is None:
+            cached = frozenset(self.neighbourhood_ordered(node))
+            self._sets[node] = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return f"NeighbourhoodSnapshot(<{len(self._ordered)} nodes>)"
 
 
 class NeighbourhoodView:

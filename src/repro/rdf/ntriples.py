@@ -8,7 +8,7 @@ the building block of the Turtle serialiser's escaping rules.
 from __future__ import annotations
 
 import re
-from typing import Iterator, Optional
+from typing import Iterator
 
 from .errors import ParseError
 from .graph import Graph

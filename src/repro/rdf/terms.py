@@ -112,6 +112,11 @@ class IRI(Term):
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("IRI instances are immutable")
 
+    def __reduce__(self):
+        # the immutability guard breaks slot-based pickling; rebuild through
+        # the constructor instead (also re-validates on the way in)
+        return (IRI, (self.value,))
+
     def __eq__(self, other) -> bool:
         return isinstance(other, IRI) and other.value == self.value
 
@@ -164,6 +169,9 @@ class BNode(Term):
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("BNode instances are immutable")
+
+    def __reduce__(self):
+        return (BNode, (self.id,))
 
     def __eq__(self, other) -> bool:
         return isinstance(other, BNode) and other.id == self.id
@@ -257,6 +265,11 @@ class Literal(Term):
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("Literal instances are immutable")
+
+    def __reduce__(self):
+        # lexical + datatype + lang fully determine the literal; the lang-tag
+        # invariant (datatype is rdf:langString) holds by construction
+        return (Literal, (self.lexical, self.datatype, self.lang))
 
     def __eq__(self, other) -> bool:
         return (

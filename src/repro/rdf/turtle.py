@@ -19,7 +19,7 @@ column information.
 from __future__ import annotations
 
 import re
-from typing import Iterator, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from .errors import ParseError
 from .graph import Graph

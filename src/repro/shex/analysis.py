@@ -40,7 +40,6 @@ from .expressions import (
     Star,
     iter_subexpressions,
 )
-from .node_constraints import ShapeRef
 from .schema import Schema
 from .typing import ShapeLabel
 

@@ -29,7 +29,7 @@ workloads are full of.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..rdf.terms import ObjectTerm
 from .expressions import Arc, ShapeExpr, iter_subexpressions
@@ -49,17 +49,29 @@ class DerivativeCache:
     and constraint verdicts, never by a node or a graph.  Attach it to a
     :class:`~repro.shex.derivatives.DerivativeEngine` via the ``cache``
     option (or pass ``cache=True`` to let the engine build a private one).
+
+    ``max_entries`` bounds the two unbounded tables (derivatives and
+    constraint verdicts) for long-running services: when set, the derivative
+    table evicts its least-recently-used entry and the verdict table its
+    oldest entry once the bound is exceeded.  Eviction can only cost
+    recomputation, never correctness — every entry is a pure function of its
+    key.  The default (``None``) keeps today's unbounded behaviour.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1 (or None for unbounded)")
+        self.max_entries = max_entries
         #: expression → its distinct arc atoms, in deterministic first-seen order.
         self._atoms: Dict[ShapeExpr, Tuple[ArcAtom, ...]] = {}
-        #: (expression, verdict vector) → derivative expression.
+        #: (expression, verdict vector) → derivative expression; insertion
+        #: order doubles as the LRU order when ``max_entries`` is set.
         self._derivatives: Dict[Tuple[ShapeExpr, Tuple[bool, ...]], ShapeExpr] = {}
         #: (constraint, object term) → verdict, for non-reference constraints.
         self._verdicts: Dict[Tuple[NodeConstraint, ObjectTerm], bool] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # -- bookkeeping -----------------------------------------------------------
     def clear(self) -> None:
@@ -69,15 +81,18 @@ class DerivativeCache:
         self._verdicts.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def stats(self) -> Dict[str, int]:
-        """Return cache sizes and hit/miss counters (for benchmarks)."""
+        """Return cache sizes and hit/miss/eviction counters (for benchmarks)."""
         return {
             "expressions": len(self._atoms),
             "derivatives": len(self._derivatives),
             "constraint_verdicts": len(self._verdicts),
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
+            "max_entries": self.max_entries if self.max_entries is not None else 0,
         }
 
     @property
@@ -97,6 +112,11 @@ class DerivativeCache:
                     seen.setdefault((sub.predicate, sub.object), None)
             atoms = tuple(seen)
             self._atoms[expr] = atoms
+            if self.max_entries is not None and len(self._atoms) > self.max_entries:
+                # the atom table also pins its expression keys alive, so it
+                # must honour the bound too (FIFO; recomputation is cheap).
+                self._atoms.pop(next(iter(self._atoms)))
+                self.evictions += 1
         return atoms
 
     # -- verdicts --------------------------------------------------------------
@@ -109,14 +129,24 @@ class DerivativeCache:
         if verdict is None:
             verdict = constraint.matches(term)
             self._verdicts[key] = verdict
+            if self.max_entries is not None and len(self._verdicts) > self.max_entries:
+                # FIFO is enough here: verdicts are cheap to recompute, so
+                # the bound matters more than perfect recency tracking.
+                self._verdicts.pop(next(iter(self._verdicts)))
+                self.evictions += 1
         return verdict
 
     # -- derivatives -----------------------------------------------------------
     def lookup(self, expr: ShapeExpr, signature: Tuple[bool, ...]) -> Optional[ShapeExpr]:
         """Return the cached derivative for ``(expr, signature)``, if any."""
-        cached = self._derivatives.get((expr, signature))
+        key = (expr, signature)
+        cached = self._derivatives.get(key)
         if cached is not None:
             self.hits += 1
+            if self.max_entries is not None:
+                # refresh recency: dict order is the LRU order when bounded.
+                del self._derivatives[key]
+                self._derivatives[key] = cached
         else:
             self.misses += 1
         return cached
@@ -125,6 +155,9 @@ class DerivativeCache:
               result: ShapeExpr) -> None:
         """Record the derivative of ``expr`` under the given verdict vector."""
         self._derivatives[(expr, signature)] = result
+        if self.max_entries is not None and len(self._derivatives) > self.max_entries:
+            self._derivatives.pop(next(iter(self._derivatives)))
+            self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._derivatives)

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
 
-from ..rdf.graph import Graph, OrderedTriples
+from ..rdf.graph import OrderedTriples
 from ..rdf.terms import Triple
 from .cache import ArcAtom, DerivativeCache
 from .expressions import (

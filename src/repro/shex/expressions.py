@@ -155,6 +155,9 @@ class Empty(ShapeExpr):
     def to_str(self) -> str:
         return "∅"
 
+    def __reduce__(self):
+        return (Empty, ())
+
     def __repr__(self) -> str:
         return "EMPTY"
 
@@ -178,6 +181,9 @@ class EmptyTriples(ShapeExpr):
 
     def to_str(self) -> str:
         return "ε"
+
+    def __reduce__(self):
+        return (EmptyTriples, ())
 
     def __repr__(self) -> str:
         return "EPSILON"
@@ -245,6 +251,11 @@ class Arc(ShapeExpr):
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("Arc is immutable")
 
+    def __reduce__(self):
+        # rebuilding through __new__ re-interns the node, so unpickled
+        # expressions keep O(1) pointer equality inside the target process
+        return (Arc, (self.predicate, self.object))
+
     def to_str(self) -> str:
         return f"{self.predicate.describe()}→{self.object.describe()}"
 
@@ -285,6 +296,9 @@ class Star(ShapeExpr):
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("Star is immutable")
 
+    def __reduce__(self):
+        return (Star, (self.expr,))
+
     def children(self) -> Tuple[ShapeExpr, ...]:
         return (self.expr,)
 
@@ -320,6 +334,9 @@ class And(ShapeExpr):
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("And is immutable")
 
+    def __reduce__(self):
+        return (And, (self.left, self.right))
+
     def children(self) -> Tuple[ShapeExpr, ...]:
         return (self.left, self.right)
 
@@ -354,6 +371,9 @@ class Or(ShapeExpr):
 
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("Or is immutable")
+
+    def __reduce__(self):
+        return (Or, (self.left, self.right))
 
     def children(self) -> Tuple[ShapeExpr, ...]:
         return (self.left, self.right)

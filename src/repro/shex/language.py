@@ -35,7 +35,7 @@ check that both matching engines accept exactly the enumerated graphs
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Set
+from typing import FrozenSet, Set
 
 from ..rdf.terms import SubjectTerm, Triple
 from .expressions import And, Arc, Empty, EmptyTriples, Or, ShapeExpr, Star

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+from typing import FrozenSet, Iterable, Optional, Sequence, Union
 
 from ..rdf.datatypes import datatype_matches, to_python_value
 from ..rdf.terms import BNode, IRI, Literal, ObjectTerm, Term
@@ -161,6 +161,9 @@ class ValueSet(NodeConstraint):
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("ValueSet is immutable")
 
+    def __reduce__(self):
+        return (ValueSet, (tuple(sorted(self.values, key=lambda term: term.sort_key())),))
+
     def matches(self, term: ObjectTerm) -> bool:
         return term in self.values
 
@@ -289,6 +292,9 @@ class ConstraintAnd(NodeConstraint):
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("ConstraintAnd is immutable")
 
+    def __reduce__(self):
+        return (ConstraintAnd, (self.operands,))
+
     def matches(self, term: ObjectTerm) -> bool:
         return all(op.matches(term) for op in self.operands)
 
@@ -312,6 +318,9 @@ class ConstraintOr(NodeConstraint):
 
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("ConstraintOr is immutable")
+
+    def __reduce__(self):
+        return (ConstraintOr, (self.operands,))
 
     def matches(self, term: ObjectTerm) -> bool:
         return any(op.matches(term) for op in self.operands)
@@ -385,6 +394,10 @@ class PredicateSet:
 
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("PredicateSet is immutable")
+
+    def __reduce__(self):
+        predicates = tuple(sorted(self.predicates, key=IRI.sort_key))
+        return (PredicateSet, (predicates, self.stem, self.any_predicate))
 
     @classmethod
     def single(cls, predicate: IRI) -> "PredicateSet":

@@ -1,0 +1,314 @@
+"""Reference-graph partitioning for parallel bulk validation.
+
+The paper defines validation per ``(node, shape)`` pair, but whole-graph
+validation decomposes along the *node reference graph*: node ``n`` depends on
+node ``m`` exactly when some triple ``⟨n, p, m⟩`` can trigger a shape
+reference (its predicate ``p`` is admitted by a ``vp → @label`` arc of some
+shape in the schema).  Validating ``n`` can recurse into ``m``, but never
+into a node it has no such edge to.
+
+Condensing that graph into strongly-connected components yields a DAG whose
+components can be validated independently as long as every component runs
+*after* the components it references: by the soundness argument of the bulk
+subsystem (PR 1), a settled — confirmed or refuted — verdict is definitive
+and order-independent, so a component only ever needs the settled verdicts
+of its successors, never their in-progress hypotheses.  This module computes
+that decomposition:
+
+* :class:`ReferenceIndex` — which predicates can trigger which ``@label``
+  references (the schema-level analysis),
+* :func:`reference_edges` — the node-level reference edges of a data graph,
+* :func:`strongly_connected_components` — an **iterative** Tarjan (no Python
+  recursion, so million-node chains do not hit the recursion limit) emitting
+  components dependencies-first (reverse topological order),
+* :func:`partition_reference_graph` — the full :class:`GraphPartition` with
+  condensation levels (antichains of mutually-independent components) ready
+  for a parallel scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, Literal, ObjectTerm, SubjectTerm
+from .expressions import Arc, iter_subexpressions
+from .node_constraints import PredicateSet, ShapeRef
+from .schema import Schema
+from .typing import ShapeLabel
+
+__all__ = [
+    "ReferenceIndex",
+    "GraphPartition",
+    "reference_edges",
+    "strongly_connected_components",
+    "partition_reference_graph",
+]
+
+
+def _as_label(label: object) -> ShapeLabel:
+    return label if isinstance(label, ShapeLabel) else ShapeLabel(str(label))
+
+
+class ReferenceIndex:
+    """Schema-level map from predicates to the shape labels they can demand.
+
+    A triple ``⟨n, p, m⟩`` makes the validation of ``n`` (against any shape)
+    potentially check ``m`` against ``@label`` iff some shape's expression
+    contains an arc ``vp → @label`` with ``p ∈ vp``.  Both matching engines
+    gate reference resolution on the predicate test, so this is an exact
+    criterion for single-predicate sets and a sound over-approximation for
+    stems and wildcards.
+    """
+
+    def __init__(self, schema: Schema):
+        #: exact predicate → labels, for enumerable predicate sets.
+        self._exact: Dict[IRI, Set[ShapeLabel]] = {}
+        #: (predicate set, label) pairs for stems / wildcards.
+        self._general: List[Tuple[PredicateSet, ShapeLabel]] = []
+        #: memo for :meth:`labels_for` over the general pairs.
+        self._memo: Dict[IRI, FrozenSet[ShapeLabel]] = {}
+        seen: Set[Tuple[PredicateSet, ShapeLabel]] = set()
+        for _, expr in schema.items():
+            for sub in iter_subexpressions(expr):
+                if not (isinstance(sub, Arc) and isinstance(sub.object, ShapeRef)):
+                    continue
+                label = _as_label(sub.object.label)
+                pair = (sub.predicate, label)
+                if pair in seen:
+                    continue
+                seen.add(pair)
+                predicate_set = sub.predicate
+                if predicate_set.any_predicate or predicate_set.stem is not None:
+                    self._general.append(pair)
+                else:
+                    for predicate in predicate_set.predicates:
+                        self._exact.setdefault(predicate, set()).add(label)
+
+    @property
+    def has_references(self) -> bool:
+        """True when the schema contains any ``@label`` arc at all."""
+        return bool(self._exact) or bool(self._general)
+
+    def labels_for(self, predicate: IRI) -> FrozenSet[ShapeLabel]:
+        """Labels a triple with this predicate can demand of its object."""
+        cached = self._memo.get(predicate)
+        if cached is not None:
+            return cached
+        labels: Set[ShapeLabel] = set(self._exact.get(predicate, ()))
+        for predicate_set, label in self._general:
+            if predicate_set.matches(predicate):
+                labels.add(label)
+        result = frozenset(labels)
+        self._memo[predicate] = result
+        return result
+
+
+def reference_edges(
+    graph: Graph, schema: Schema, index: Optional[ReferenceIndex] = None
+) -> Tuple[Dict[SubjectTerm, Set[ObjectTerm]], Dict[ObjectTerm, Set[ShapeLabel]]]:
+    """Extract the node-level reference edges (and demanded labels) of a graph.
+
+    Returns ``(edges, demanded)`` where ``edges[n]`` is the set of nodes the
+    validation of ``n`` can recurse into, and ``demanded[m]`` the labels an
+    incoming reference can check ``m`` against (the static over-approximation
+    a scheduler must have settled before any upstream component runs).
+
+    Literal objects are skipped: a literal's neighbourhood is empty, so its
+    verdict is self-contained and any worker can (re)derive it locally.
+    """
+    index = index if index is not None else ReferenceIndex(schema)
+    edges: Dict[SubjectTerm, Set[ObjectTerm]] = {}
+    demanded: Dict[ObjectTerm, Set[ShapeLabel]] = {}
+    if not index.has_references:
+        return edges, demanded
+    for triple in graph:
+        target = triple.object
+        if isinstance(target, Literal):
+            continue
+        labels = index.labels_for(triple.predicate)
+        if not labels:
+            continue
+        edges.setdefault(triple.subject, set()).add(target)
+        demanded.setdefault(target, set()).update(labels)
+    return edges, demanded
+
+
+def strongly_connected_components(
+    nodes: Sequence[ObjectTerm],
+    edges: Dict[ObjectTerm, Set[ObjectTerm]],
+) -> List[List[ObjectTerm]]:
+    """Tarjan's SCC algorithm, fully iterative, dependencies first.
+
+    ``nodes`` fixes the vertex set and the DFS root order (determinism);
+    successors outside ``nodes`` are ignored.  Components are emitted in
+    reverse topological order of the condensation: whenever component ``A``
+    references component ``B``, ``B`` appears before ``A`` — exactly the
+    order a scheduler must settle verdicts in.  The explicit work stack
+    replaces recursion, so arbitrarily deep reference chains never hit
+    Python's recursion limit.
+    """
+    node_set = set(nodes)
+    index_of: Dict[ObjectTerm, int] = {}
+    lowlink: Dict[ObjectTerm, int] = {}
+    on_stack: Set[ObjectTerm] = set()
+    stack: List[ObjectTerm] = []
+    components: List[List[ObjectTerm]] = []
+    counter = 0
+
+    def successors(node: ObjectTerm) -> List[ObjectTerm]:
+        targets = edges.get(node)
+        if not targets:
+            return []
+        return sorted(
+            (t for t in targets if t in node_set), key=lambda term: term.sort_key()
+        )
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        frames: List[Tuple[ObjectTerm, Iterable[ObjectTerm]]] = [
+            (root, iter(successors(root)))
+        ]
+        while frames:
+            node, iterator = frames[-1]
+            descended = False
+            for succ in iterator:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    frames.append((succ, iter(successors(succ))))
+                    descended = True
+                    break
+                if succ in on_stack and index_of[succ] < lowlink[node]:
+                    lowlink[node] = index_of[succ]
+            if descended:
+                continue
+            frames.pop()
+            if frames:
+                parent = frames[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+            if lowlink[node] == index_of[node]:
+                component: List[ObjectTerm] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                component.reverse()
+                components.append(component)
+    return components
+
+
+@dataclass
+class GraphPartition:
+    """The condensation of a data graph's reference graph, ready to schedule.
+
+    ``components`` are in dependencies-first order; ``levels`` groups
+    component indices into antichains — two components in the same level
+    have no reference path between them in either direction, so they can be
+    validated concurrently once every earlier level has settled.
+    """
+
+    #: strongly-connected components, dependencies (referenced nodes) first.
+    components: Tuple[Tuple[ObjectTerm, ...], ...]
+    #: indices into ``components`` per condensation level, level 0 first.
+    levels: Tuple[Tuple[int, ...], ...]
+    #: node → index of its component.
+    component_of: Dict[ObjectTerm, int] = field(repr=False)
+    #: node-level reference edges the partition was derived from.
+    edges: Dict[SubjectTerm, Set[ObjectTerm]] = field(repr=False)
+    #: labels incoming references can demand of a node (over-approximation).
+    demanded: Dict[ObjectTerm, FrozenSet[ShapeLabel]] = field(repr=False)
+    #: per component, the out-of-component nodes its members reference.
+    external_targets: Tuple[FrozenSet[ObjectTerm], ...] = field(repr=False)
+
+    @property
+    def nodes(self) -> List[ObjectTerm]:
+        """Every node of the partition, in component order."""
+        return [node for component in self.components for node in component]
+
+    @property
+    def largest_component(self) -> int:
+        """Size of the largest strongly-connected component."""
+        return max((len(c) for c in self.components), default=0)
+
+    def stats(self) -> Dict[str, int]:
+        """Summary counters for benchmarks and traces."""
+        return {
+            "nodes": sum(len(c) for c in self.components),
+            "components": len(self.components),
+            "levels": len(self.levels),
+            "largest_component": self.largest_component,
+            "edges": sum(len(targets) for targets in self.edges.values()),
+        }
+
+
+def partition_reference_graph(
+    graph: Graph,
+    schema: Schema,
+    extra_nodes: Iterable[ObjectTerm] = (),
+) -> GraphPartition:
+    """Partition a data graph's nodes by reference-graph SCC.
+
+    The vertex set is every subject node, every non-literal object reachable
+    through a reference-carrying predicate, and ``extra_nodes`` (a scheduler
+    passes the nodes it wants report entries for).  Nodes without any
+    reference edge become singleton components in level 0 — the perfectly
+    parallel case; a schema without references therefore partitions every
+    node into its own component.
+    """
+    index = ReferenceIndex(schema)
+    edges, demanded = reference_edges(graph, schema, index)
+    node_set: Set[ObjectTerm] = set(graph.nodes())
+    node_set.update(demanded)
+    node_set.update(extra_nodes)
+    nodes = sorted(node_set, key=lambda term: term.sort_key())
+
+    raw_components = strongly_connected_components(nodes, edges)
+    components = tuple(tuple(component) for component in raw_components)
+    component_of: Dict[ObjectTerm, int] = {}
+    for comp_index, component in enumerate(components):
+        for node in component:
+            component_of[node] = comp_index
+
+    # dependencies-first emission guarantees every successor component has a
+    # smaller index, so one left-to-right pass computes the levels.
+    level_of: List[int] = []
+    external: List[FrozenSet[ObjectTerm]] = []
+    for comp_index, component in enumerate(components):
+        targets: Set[ObjectTerm] = set()
+        for node in component:
+            for target in edges.get(node, ()):
+                if component_of.get(target, comp_index) != comp_index:
+                    targets.add(target)
+        external.append(frozenset(targets))
+        level = 0
+        for target in targets:
+            successor_level = level_of[component_of[target]]
+            if successor_level + 1 > level:
+                level = successor_level + 1
+        level_of.append(level)
+
+    level_count = max(level_of, default=-1) + 1
+    level_buckets: List[List[int]] = [[] for _ in range(level_count)]
+    for comp_index, level in enumerate(level_of):
+        level_buckets[level].append(comp_index)
+
+    return GraphPartition(
+        components=components,
+        levels=tuple(tuple(bucket) for bucket in level_buckets),
+        component_of=component_of,
+        edges=edges,
+        demanded={node: frozenset(labels) for node, labels in demanded.items()},
+        external_targets=tuple(external),
+    )

@@ -10,7 +10,7 @@ used by the benchmarks to explain *why* one engine is faster than the other
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
 from .typing import ShapeTyping
 

@@ -33,9 +33,8 @@ from typing import (
 )
 
 from ..rdf.graph import Graph
-from ..rdf.terms import IRI, Literal, ObjectTerm, SubjectTerm, Triple
-from .expressions import ShapeExpr, iter_subexpressions, referenced_labels
-from .node_constraints import ShapeRef
+from ..rdf.terms import Literal, ObjectTerm, Triple
+from .expressions import ShapeExpr, referenced_labels
 from .results import MatchResult, MatchStats
 from .typing import ShapeLabel, ShapeTyping
 
@@ -287,6 +286,56 @@ class ValidationContext:
     def is_failed(self, node: ObjectTerm, label: ShapeLabel) -> bool:
         """True if ``node → label`` has already been refuted."""
         return (node, label) in self._failed
+
+    # -- the cross-context merge protocol -----------------------------------------
+    def seed_settled(
+        self,
+        confirmed: Iterable[Tuple[ObjectTerm, ShapeLabel]] = (),
+        failed: Iterable[Tuple[ObjectTerm, ShapeLabel]] = (),
+    ) -> None:
+        """Import **settled** verdicts established by another context.
+
+        This is the only way verdicts may cross context (and process)
+        boundaries during parallel bulk validation, and it is sound precisely
+        because only *definitive* verdicts are accepted: confirmed pairs were
+        established with no outstanding hypothesis, refuted pairs failed on
+        their own neighbourhood, and both are order-independent facts about
+        the graph.  Provisional verdicts (conditional on in-progress
+        hypotheses) and budget-poisoned outcomes must never be passed here —
+        :meth:`settled_verdicts` on the exporting side excludes them by
+        construction.
+        """
+        additions: Dict[ObjectTerm, Set[ShapeLabel]] = {}
+        for node, label in confirmed:
+            additions.setdefault(node, set()).add(label)
+        if additions:
+            self._confirmed = self._confirmed.combine(ShapeTyping(additions))
+        self._failed.update(failed)
+
+    def settled_verdicts(
+        self,
+    ) -> Tuple[
+        Tuple[Tuple[ObjectTerm, ShapeLabel], ...],
+        Tuple[Tuple[ObjectTerm, ShapeLabel], ...],
+    ]:
+        """Export the settled ``(confirmed, failed)`` pairs of this context.
+
+        The counterpart of :meth:`seed_settled`: returns exactly the verdicts
+        that may be shared with other contexts.  Provisional entries (still
+        conditional on an active hypothesis) and anything forced by the
+        recursion budget are not part of either set.
+        """
+        confirmed = tuple(
+            (node, label)
+            for node, labels in sorted(
+                self._confirmed.items(), key=lambda item: item[0].sort_key()
+            )
+            for label in sorted(labels)
+        )
+        failed = tuple(
+            sorted(self._failed, key=lambda pair: (pair[0].sort_key(), pair[1]))
+        )
+        return confirmed, failed
 
     # -- the MatchShape rule -----------------------------------------------------
     def check_reference(self, node: ObjectTerm, label: ShapeLabel | str) -> MatchResult:

@@ -45,7 +45,6 @@ from .expressions import (
     Or,
     ShapeExpr,
     Star,
-    arc,
     interleave,
     optional,
     plus,
@@ -54,7 +53,6 @@ from .expressions import (
 )
 from .node_constraints import (
     AnyValue,
-    ConstraintAnd,
     DatatypeConstraint,
     Facets,
     IRIStem,

@@ -9,7 +9,7 @@ the expression algebra.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict
 
 from ..rdf.terms import BNode, IRI, Literal
 from .expressions import (

@@ -28,7 +28,7 @@ against the derivative and backtracking engines on the same graphs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..rdf.graph import Graph
 from ..rdf.namespaces import XSD
@@ -48,8 +48,8 @@ from .node_constraints import (
     ValueSet,
 )
 from .results import MatchResult, MatchStats
-from .schema import Schema, ValidationContext
-from .typing import ShapeLabel, ShapeTyping
+from .schema import ValidationContext
+from .typing import ShapeTyping
 
 __all__ = [
     "SparqlCompilationError",

@@ -38,6 +38,11 @@ class ShapeLabel:
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("ShapeLabel is immutable")
 
+    def __reduce__(self):
+        # the immutability guard breaks slot-based pickling; rebuild through
+        # the constructor (parallel validation ships labels across processes)
+        return (ShapeLabel, (self.name,))
+
     def __eq__(self, other) -> bool:
         if isinstance(other, ShapeLabel):
             return other.name == self.name

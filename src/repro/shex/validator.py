@@ -16,12 +16,14 @@ surrounding code stays identical.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..rdf.graph import Graph
-from ..rdf.terms import IRI, ObjectTerm, SubjectTerm
+from ..rdf.graph import Graph, NeighbourhoodSnapshot
+from ..rdf.terms import ObjectTerm, SubjectTerm
 from .backtracking import BacktrackingEngine
+from .cache import DerivativeCache
 from .derivatives import DerivativeEngine
 from .expressions import ShapeExpr
 from .results import MatchResult, MatchStats, ValidationReportEntry
@@ -127,6 +129,12 @@ class Validator:
         next call when the graph has changed.
     max_recursion_depth:
         recursion budget handed to every context this validator creates.
+    jobs:
+        default worker-process count for ``validate_graph``.  With
+        ``jobs > 1`` the graph is partitioned by strongly-connected component
+        of its node reference graph (:mod:`repro.shex.partition`) and
+        independent components are validated concurrently; ``1`` (the
+        default) keeps the serial bulk path.
     engine_options:
         keyword options forwarded to the engine factory (e.g.
         ``simplify=False``, ``budget=10_000`` or ``cache=True`` to give the
@@ -137,12 +145,15 @@ class Validator:
                  engine: Union[str, object, None] = None,
                  shared_context: bool = True,
                  max_recursion_depth: int = 500,
+                 jobs: int = 1,
                  **engine_options):
         self.graph = graph
         self.schema = schema
         self.engine = get_engine(engine, **engine_options)
         self.shared_context = shared_context
         self.max_recursion_depth = max_recursion_depth
+        self.jobs = jobs
+        self._worker_engine_spec = _make_engine_spec(engine, engine_options)
         self._context: Optional[ValidationContext] = None
         self._context_key: Optional[tuple] = None
 
@@ -268,19 +279,151 @@ class Validator:
         return [node for node in nodes
                 if self.validate_node(node, label, context=context).conforms]
 
-    def validate_graph(self, labels: Optional[Sequence[Union[ShapeLabel, str]]] = None
-                       ) -> ValidationReport:
-        """Validate every subject node against every (or the given) labels."""
+    def validate_graph(self, labels: Optional[Sequence[Union[ShapeLabel, str]]] = None,
+                       jobs: Optional[int] = None) -> ValidationReport:
+        """Validate every subject node against every (or the given) labels.
+
+        ``jobs`` overrides the validator's default worker count for this
+        call.  With more than one job the reference graph is partitioned by
+        strongly-connected component and independent components are validated
+        across worker processes; verdicts are identical to the serial bulk
+        path (up to failure-message wording and recursion-budget edge cases —
+        see ``docs/architecture.md``).
+        """
         if self.schema is None:
             raise SchemaError("validate_graph requires a schema")
         label_list = [self._resolve_label(label) for label in labels] if labels \
             else list(self.schema.labels())
+        n_jobs = self.jobs if jobs is None else jobs
+        if n_jobs is not None and n_jobs > 1:
+            return self._validate_graph_parallel(label_list, n_jobs)
+        return self._validate_graph_serial(label_list)
+
+    def _validate_graph_serial(self, label_list: Sequence[ShapeLabel]) -> ValidationReport:
+        """The single-process bulk path: one shared context, sorted node order."""
         context = self._bulk_context()
         report = ValidationReport()
         typing = ShapeTyping.empty()
         for node in sorted(self.graph.nodes(), key=lambda term: term.sort_key()):
             for label in label_list:
                 entry = self.validate_node(node, label, context=context)
+                report.entries.append(entry)
+                if entry.conforms:
+                    typing = typing.add(node, label)
+        report.typing = typing
+        return report
+
+    def _validate_graph_parallel(self, label_list: Sequence[ShapeLabel],
+                                 jobs: int) -> ValidationReport:
+        """Validate reference-graph components concurrently across processes.
+
+        The scheduler walks the condensation of the node reference graph
+        level by level (each level is an antichain of mutually-independent
+        components), validates whole components as units in worker processes,
+        and lets only **settled** verdicts cross process boundaries: each
+        task is seeded with the settled verdicts of the components it
+        references, and each worker reports back the verdicts its context
+        settled.  Provisional (hypothesis-dependent) state and derivative
+        caches stay worker-local.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        from .partition import partition_reference_graph
+
+        if not self.shared_context:
+            raise ValueError(
+                "parallel bulk validation shares settled verdicts across "
+                "components and is incompatible with shared_context=False "
+                "(the per-node baseline); use jobs=1 instead"
+            )
+        spec = self._worker_engine_spec
+        if spec is None:
+            raise ValueError(
+                "parallel bulk validation needs an engine constructible by "
+                "name ('derivatives' or 'backtracking') so worker processes "
+                "can rebuild it; engine objects cannot be shipped"
+            )
+
+        subjects = sorted(self.graph.nodes(), key=lambda term: term.sort_key())
+        partition = partition_reference_graph(self.graph, self.schema)
+        if len(partition.components) <= 1:
+            # zero or one strongly-connected component: there is no
+            # independent work to spread, so degenerate gracefully to the
+            # serial bulk path instead of paying for an idle process pool.
+            return self._validate_graph_serial(label_list)
+        subject_set = set(subjects)
+
+        # per-component work lists: report pairs for subjects, plus the
+        # labels incoming references may demand of any node.
+        component_pairs: List[List[Tuple[ObjectTerm, ShapeLabel]]] = []
+        for component in partition.components:
+            pairs: List[Tuple[ObjectTerm, ShapeLabel]] = []
+            for node in sorted(component, key=lambda term: term.sort_key()):
+                wanted = list(label_list) if node in subject_set else []
+                for label in sorted(partition.demanded.get(node, ())):
+                    if label not in wanted:
+                        wanted.append(label)
+                pairs.extend((node, label) for label in wanted)
+            component_pairs.append(pairs)
+
+        # verdicts settled by earlier runs carry over, exactly as in the
+        # serial shared-context path; new ones are merged back afterwards.
+        context = self._bulk_context()
+        settled: Dict[ObjectTerm, List[Tuple[ShapeLabel, bool]]] = {}
+        seed_confirmed, seed_failed = context.settled_verdicts()
+        for node, label in seed_confirmed:
+            settled.setdefault(node, []).append((label, True))
+        for node, label in seed_failed:
+            settled.setdefault(node, []).append((label, False))
+
+        snapshot = self.graph.snapshot(partition.nodes)
+        init_args = (self.schema, spec, snapshot, self.max_recursion_depth,
+                     sys.getrecursionlimit())
+        entries: Dict[Tuple[ObjectTerm, ShapeLabel], ValidationReportEntry] = {}
+        new_confirmed: List[Tuple[ObjectTerm, ShapeLabel]] = []
+        new_failed: List[Tuple[ObjectTerm, ShapeLabel]] = []
+        workers = min(jobs, len(partition.components))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 initializer=_parallel_worker_init,
+                                 initargs=init_args) as pool:
+            for level in partition.levels:
+                futures = []
+                for batch in _balance_batches(level, component_pairs, jobs):
+                    pairs = [pair for comp_index in batch
+                             for pair in component_pairs[comp_index]]
+                    if not pairs:
+                        continue
+                    # seed the task with every settled verdict about the
+                    # nodes this batch references outside itself.
+                    targets: set = set()
+                    for comp_index in batch:
+                        targets.update(partition.external_targets[comp_index])
+                    batch_confirmed: List[Tuple[ObjectTerm, ShapeLabel]] = []
+                    batch_failed: List[Tuple[ObjectTerm, ShapeLabel]] = []
+                    for node in targets:
+                        for label, verdict in settled.get(node, ()):
+                            bucket = batch_confirmed if verdict else batch_failed
+                            bucket.append((node, label))
+                    futures.append(pool.submit(
+                        _parallel_worker_run, pairs, batch_confirmed, batch_failed))
+                for future in futures:
+                    worker_entries, confirmed, failed = future.result()
+                    for entry in worker_entries:
+                        entries[(entry.node, entry.label)] = entry
+                    for pair in confirmed:
+                        settled.setdefault(pair[0], []).append((pair[1], True))
+                        new_confirmed.append(pair)
+                    for pair in failed:
+                        settled.setdefault(pair[0], []).append((pair[1], False))
+                        new_failed.append(pair)
+        # the merge protocol: only settled verdicts enter the shared context.
+        context.seed_settled(new_confirmed, new_failed)
+
+        report = ValidationReport()
+        typing = ShapeTyping.empty()
+        for node in subjects:
+            for label in label_list:
+                entry = entries[(node, label)]
                 report.entries.append(entry)
                 if entry.conforms:
                     typing = typing.add(node, label)
@@ -296,3 +439,112 @@ class Validator:
         if isinstance(label, ShapeLabel):
             return label
         return ShapeLabel(label)
+
+
+# -- parallel scheduling helpers ---------------------------------------------------
+def _make_engine_spec(engine: Union[str, object, None],
+                      engine_options: Mapping[str, object]) -> Optional[tuple]:
+    """Build the picklable ``(name, options, cache_bound)`` worker recipe.
+
+    Worker processes rebuild their engine from this spec instead of receiving
+    the parent's engine object: a shared :class:`DerivativeCache` instance
+    must not cross process boundaries (each worker keeps a private one), so a
+    cache instance is replaced by ``True`` plus its ``max_entries`` bound.
+    Engine *objects* passed to the validator cannot be shipped; the spec is
+    ``None`` then and parallel validation refuses to run.
+    """
+    if engine is not None and not isinstance(engine, str):
+        return None
+    name = engine if isinstance(engine, str) else "derivatives"
+    options = dict(engine_options)
+    cache_option = options.get("cache")
+    cache_bound = None
+    if isinstance(cache_option, DerivativeCache):
+        options["cache"] = True
+        cache_bound = cache_option.max_entries
+    return (name, options, cache_bound)
+
+
+def _balance_batches(level: Sequence[int],
+                     component_pairs: Sequence[Sequence[tuple]],
+                     jobs: int) -> List[List[int]]:
+    """Split one condensation level into at most ``jobs`` balanced batches.
+
+    Components in a level are mutually independent, so any grouping is
+    correct; longest-processing-time-first keeps the batches' work (number
+    of ``(node, label)`` pairs) even without creating one task per tiny
+    component.  Deterministic: ties break on component index.
+    """
+    count = min(max(jobs, 1), len(level))
+    if count == 0:
+        return []
+    ordered = sorted(level, key=lambda index: (-len(component_pairs[index]), index))
+    buckets: List[List[int]] = [[] for _ in range(count)]
+    loads = [0] * count
+    for comp_index in ordered:
+        target = min(range(count), key=lambda bucket: (loads[bucket], bucket))
+        buckets[target].append(comp_index)
+        loads[target] += len(component_pairs[comp_index])
+    return [bucket for bucket in buckets if bucket]
+
+
+#: per-process worker state: ``(schema, engine, snapshot, max_recursion_depth)``.
+_WORKER_STATE: Optional[tuple] = None
+
+
+def _parallel_worker_init(schema: Schema, engine_spec: tuple,
+                          snapshot: NeighbourhoodSnapshot,
+                          max_recursion_depth: int,
+                          recursion_limit: int) -> None:
+    """Initialise one worker process for parallel bulk validation.
+
+    Runs once per worker: rebuilds the engine from its spec (so derivative
+    caches are worker-local but persist across that worker's tasks), adopts
+    the parent's recursion limit (deep reference chains recurse one Python
+    frame per hop) and keeps the neighbourhood snapshot for every task.
+    """
+    global _WORKER_STATE
+    if recursion_limit > sys.getrecursionlimit():
+        sys.setrecursionlimit(recursion_limit)
+    name, options, cache_bound = engine_spec
+    options = dict(options)
+    if options.get("cache") is True and cache_bound is not None:
+        options["cache"] = DerivativeCache(max_entries=cache_bound)
+    engine = get_engine(name, **options)
+    _WORKER_STATE = (schema, engine, snapshot, max_recursion_depth)
+
+
+def _parallel_worker_run(
+    pairs: Sequence[Tuple[ObjectTerm, ShapeLabel]],
+    seed_confirmed: Sequence[Tuple[ObjectTerm, ShapeLabel]],
+    seed_failed: Sequence[Tuple[ObjectTerm, ShapeLabel]],
+) -> tuple:
+    """Validate one batch of components inside a worker process.
+
+    A fresh :class:`ValidationContext` is built per task and seeded with the
+    settled verdicts of the components this batch references; after the
+    batch, only the verdicts the context *settled* are reported back (minus
+    the seeds).  Provisional entries — still conditional on an in-progress
+    hypothesis — and budget-poisoned outcomes never leave the worker, which
+    is what keeps the merge sound under recursion.
+    """
+    schema, engine, snapshot, max_recursion_depth = _WORKER_STATE
+    context = ValidationContext(snapshot, schema, engine.match_neighbourhood,
+                                max_recursion_depth=max_recursion_depth)
+    context.seed_settled(seed_confirmed, seed_failed)
+    entries: List[ValidationReportEntry] = []
+    for node, label in pairs:
+        before = context.stats.copy()
+        result = context.check_reference(node, label)
+        entry_stats = context.stats.delta_since(before).merge(result.stats)
+        entries.append(ValidationReportEntry(
+            node=node, label=label, conforms=result.matched,
+            reason=result.reason, stats=entry_stats,
+            limit_exceeded=result.limit_exceeded,
+        ))
+    confirmed, failed = context.settled_verdicts()
+    seeded = set(seed_confirmed)
+    seeded.update(seed_failed)
+    new_confirmed = [pair for pair in confirmed if pair not in seeded]
+    new_failed = [pair for pair in failed if pair not in seeded]
+    return entries, new_confirmed, new_failed

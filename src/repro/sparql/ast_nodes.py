@@ -12,8 +12,8 @@ The AST nodes are plain frozen dataclasses; evaluation lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
 
 from ..rdf.terms import IRI, Literal, ObjectTerm
 

@@ -17,11 +17,10 @@ mappings:
 from __future__ import annotations
 
 from decimal import Decimal
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..rdf.datatypes import to_python_value
 from ..rdf.graph import Graph
-from ..rdf.namespaces import XSD
 from ..rdf.terms import BNode, IRI, Literal, ObjectTerm
 from .ast_nodes import (
     Aggregate,
@@ -34,7 +33,6 @@ from .ast_nodes import (
     GroupPattern,
     OptionalPattern,
     Pattern,
-    Projection,
     Query,
     SelectQuery,
     SubSelectPattern,

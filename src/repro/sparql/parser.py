@@ -29,7 +29,6 @@ from .ast_nodes import (
     BGP,
     BinaryOp,
     Expression,
-    FilterPattern,
     FunctionCall,
     GroupPattern,
     OptionalPattern,

@@ -17,6 +17,7 @@ from .people import (
     PAPER_EXAMPLE_TURTLE,
     PERSON_SCHEMA_SHEXC,
     PersonWorkload,
+    generate_community_workload,
     generate_person_workload,
     knows_chain_graph,
     knows_cycle_graph,
@@ -45,7 +46,7 @@ from .scaling import (
 __all__ = [
     "PAPER_EXAMPLE_TURTLE", "PERSON_SCHEMA_SHEXC",
     "paper_example_graph", "person_schema",
-    "PersonWorkload", "generate_person_workload",
+    "PersonWorkload", "generate_person_workload", "generate_community_workload",
     "knows_chain_graph", "knows_cycle_graph", "knows_tree_graph",
     "DCAT", "PORTAL_SCHEMA_SHEXC", "portal_schema",
     "PortalWorkload", "generate_portal_workload",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..rdf.graph import Graph
 from ..rdf.namespaces import EX, FOAF, XSD
@@ -25,6 +25,7 @@ __all__ = [
     "person_schema",
     "PersonWorkload",
     "generate_person_workload",
+    "generate_community_workload",
     "knows_chain_graph",
     "knows_cycle_graph",
     "knows_tree_graph",
@@ -158,6 +159,100 @@ def generate_person_workload(
         for other in valid:
             if other is not person and rng.random() < knows_probability:
                 graph.add(Triple(person, FOAF.knows, other))
+    return workload
+
+
+#: the violation kinds shared by the workload generators (see
+#: :func:`generate_person_workload` for what each one breaks).
+_VIOLATIONS = ["duplicate_age", "missing_name", "bad_age_type",
+               "extra_predicate", "knows_literal"]
+
+
+def _emit_person(graph: Graph, rng: random.Random, person: IRI,
+                 violation: Optional[str], max_extra_names: int) -> None:
+    """Emit one person's age/name triples (and any local violation)."""
+    age = rng.randint(18, 90)
+    names = 1 + rng.randint(0, max_extra_names)
+    if violation == "bad_age_type":
+        graph.add(Triple(person, FOAF.age, Literal(str(age), datatype=XSD.string)))
+    else:
+        graph.add(Triple(person, FOAF.age, Literal(age)))
+        if violation == "duplicate_age":
+            graph.add(Triple(person, FOAF.age, Literal(age + 1)))
+    if violation != "missing_name":
+        for name_index in range(names):
+            name = f"{rng.choice(_FIRST_NAMES)} {chr(65 + name_index)}."
+            graph.add(Triple(person, FOAF.name, Literal(name)))
+    if violation == "extra_predicate":
+        graph.add(Triple(person, EX.nickname, Literal("Zed")))
+    if violation == "knows_literal":
+        graph.add(Triple(person, FOAF.knows, Literal("not a person")))
+
+
+def generate_community_workload(
+    num_communities: int = 16,
+    people_per_community: int = 12,
+    invalid_fraction: float = 0.2,
+    knows_chords: int = 2,
+    max_extra_names: int = 2,
+    seed: int = 0,
+) -> PersonWorkload:
+    """Many independent communities: the multi-component scaling workload.
+
+    ``foaf:knows`` arcs never cross community boundaries, so the node
+    reference graph decomposes into one strongly-connected component per
+    community (the valid members form a ring with ``knows_chords`` extra
+    intra-ring edges each) plus upstream singletons (invalid members point
+    *into* their ring but nothing points back at them).  This is the workload
+    parallel bulk validation is designed for: components are independent, so
+    the condensation's first level contains one unit of real work per
+    community.  Ground truth stays local by construction, exactly as in
+    :func:`generate_person_workload`.
+    """
+    if not 0 <= invalid_fraction <= 1:
+        raise ValueError("invalid_fraction must be between 0 and 1")
+    if num_communities < 1 or people_per_community < 1:
+        raise ValueError("need at least one community with at least one person")
+    rng = random.Random(seed)
+    graph = Graph()
+    graph.namespaces.bind("", EX.base)
+    graph.namespaces.bind("foaf", FOAF.base)
+    workload = PersonWorkload(graph=graph, schema=person_schema())
+
+    for community in range(num_communities):
+        members = [EX[f"community{community}_person{index}"]
+                   for index in range(people_per_community)]
+        num_invalid = round(people_per_community * invalid_fraction)
+        invalid_indices = (set(rng.sample(range(people_per_community), num_invalid))
+                           if num_invalid else set())
+        valid_members = []
+        for index, person in enumerate(members):
+            violation: Optional[str] = None
+            if index in invalid_indices:
+                violation = _VIOLATIONS[(community + index) % len(_VIOLATIONS)]
+            _emit_person(graph, rng, person, violation, max_extra_names)
+            if violation is None:
+                valid_members.append(person)
+                workload.valid_nodes.append(person)
+            else:
+                workload.invalid_nodes[person] = violation
+        # the ring ties the community's valid members into one SCC …
+        if len(valid_members) > 1:
+            for index, person in enumerate(valid_members):
+                follower = valid_members[(index + 1) % len(valid_members)]
+                graph.add(Triple(person, FOAF.knows, follower))
+            # … and the chords thicken it without leaving the community.
+            for person in valid_members:
+                for _ in range(knows_chords):
+                    other = rng.choice(valid_members)
+                    if other is not person:
+                        graph.add(Triple(person, FOAF.knows, other))
+        # invalid members reference the ring: upstream singleton components.
+        if valid_members:
+            for person in members:
+                if person in workload.invalid_nodes \
+                        and workload.invalid_nodes[person] != "knows_literal":
+                    graph.add(Triple(person, FOAF.knows, valid_members[0]))
     return workload
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..rdf.graph import Graph
 from ..rdf.namespaces import DCTERMS, EX, FOAF, Namespace, XSD

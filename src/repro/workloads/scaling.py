@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, List
 
 from ..rdf.namespaces import EX, XSD
 from ..rdf.terms import IRI, Literal, Triple
@@ -19,12 +19,11 @@ from ..shex.expressions import (
     arc,
     interleave,
     interleave_all,
-    optional,
     plus,
     repeat,
     star,
 )
-from ..shex.node_constraints import DatatypeConstraint, ValueSet, value_set
+from ..shex.node_constraints import DatatypeConstraint, value_set
 
 __all__ = [
     "NeighbourhoodCase",

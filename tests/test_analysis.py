@@ -1,8 +1,7 @@
 """Tests for the static analysis of expressions and schemas."""
 
-import pytest
 
-from repro.rdf import EX, FOAF, XSD
+from repro.rdf import EX, FOAF
 from repro.shex import (
     EMPTY,
     EPSILON,
@@ -12,7 +11,6 @@ from repro.shex import (
     ShapeLabel,
     ShapeRef,
     arc,
-    datatype,
     interleave,
     interleave_all,
     optional,

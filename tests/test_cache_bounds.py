@@ -1,0 +1,83 @@
+"""Tests for the LRU-bounded DerivativeCache (ROADMAP: bounded caches)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shex import Validator
+from repro.shex.cache import DerivativeCache
+from repro.workloads import generate_person_workload
+
+
+def verdicts(report):
+    return {(entry.node, str(entry.label)): entry.conforms for entry in report}
+
+
+class TestBoundedCache:
+    def test_unbounded_by_default(self):
+        cache = DerivativeCache()
+        assert cache.max_entries is None
+        assert cache.stats()["max_entries"] == 0
+        assert cache.stats()["evictions"] == 0
+
+    def test_rejects_nonpositive_bounds(self):
+        with pytest.raises(ValueError):
+            DerivativeCache(max_entries=0)
+        with pytest.raises(ValueError):
+            DerivativeCache(max_entries=-3)
+
+    def test_derivative_table_stays_within_the_bound(self):
+        workload = generate_person_workload(num_people=30, seed=1)
+        cache = DerivativeCache(max_entries=4)
+        validator = Validator(workload.graph, workload.schema, cache=cache)
+        validator.validate_graph()
+        stats = cache.stats()
+        assert stats["derivatives"] <= 4
+        assert stats["constraint_verdicts"] <= 4
+        assert stats["expressions"] <= 4  # the atom table honours the bound too
+        assert stats["evictions"] > 0
+
+    def test_eviction_never_changes_verdicts(self):
+        workload = generate_person_workload(num_people=25, seed=2)
+        unbounded = Validator(workload.graph, workload.schema,
+                              cache=DerivativeCache())
+        tiny = Validator(workload.graph, workload.schema,
+                         cache=DerivativeCache(max_entries=2))
+        assert verdicts(tiny.validate_graph()) == verdicts(unbounded.validate_graph())
+
+    def test_lru_recency_protects_hot_entries(self):
+        cache = DerivativeCache(max_entries=2)
+        from repro.rdf.namespaces import EX
+        from repro.shex.expressions import arc, star
+
+        hot = star(arc(EX.a, 1))
+        cold = star(arc(EX.b, 1))
+        third = star(arc(EX.c, 1))
+        cache.store(hot, (True,), hot)
+        cache.store(cold, (True,), cold)
+        assert cache.lookup(hot, (True,)) is hot   # refresh hot's recency
+        cache.store(third, (True,), third)         # evicts cold, not hot
+        assert cache.lookup(hot, (True,)) is hot
+        assert cache.lookup(cold, (True,)) is None
+        assert cache.evictions == 1
+
+    def test_clear_resets_eviction_counter(self):
+        cache = DerivativeCache(max_entries=1)
+        from repro.rdf.namespaces import EX
+        from repro.shex.expressions import arc
+
+        cache.store(arc(EX.a, 1), (True,), arc(EX.a, 1))
+        cache.store(arc(EX.b, 1), (True,), arc(EX.b, 1))
+        assert cache.evictions == 1
+        cache.clear()
+        assert cache.evictions == 0
+        assert len(cache) == 0
+
+    def test_bounded_cache_travels_to_parallel_workers(self):
+        # an instance with a bound is rebuilt per worker with the same bound
+        workload = generate_person_workload(num_people=12, seed=3)
+        cache = DerivativeCache(max_entries=64)
+        serial = Validator(workload.graph, workload.schema, cache=DerivativeCache())
+        parallel = Validator(workload.graph, workload.schema, cache=cache, jobs=2)
+        assert verdicts(parallel.validate_graph()) == \
+            verdicts(serial.validate_graph())

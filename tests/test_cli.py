@@ -91,6 +91,53 @@ class TestValidateCommand:
         assert exit_code == 2
         assert "choose" in capsys.readouterr().err
 
+    def test_parallel_jobs_match_serial(self, data_file, schema_file, capsys):
+        serial = main(["validate", "--data", data_file, "--schema", schema_file,
+                       "--all-nodes", "--bulk", "--format", "summary"])
+        serial_out = capsys.readouterr().out
+        parallel = main(["validate", "--data", data_file, "--schema", schema_file,
+                         "--all-nodes", "--bulk", "--jobs", "2",
+                         "--format", "summary"])
+        parallel_out = capsys.readouterr().out
+        assert parallel == serial == 1  # :mary fails either way
+        assert parallel_out == serial_out
+
+    def test_jobs_rejects_per_node(self, data_file, schema_file, capsys):
+        exit_code = main(["validate", "--data", data_file, "--schema", schema_file,
+                          "--all-nodes", "--jobs", "2", "--per-node"])
+        assert exit_code == 2
+        assert "per-node" in capsys.readouterr().err
+
+    def test_jobs_rejects_shape_map_mode(self, data_file, schema_file, capsys):
+        exit_code = main(["validate", "--data", data_file, "--schema", schema_file,
+                          "--shape-map", "<http://example.org/john>@<Person>",
+                          "--jobs", "2"])
+        assert exit_code == 2
+        assert "whole-graph" in capsys.readouterr().err
+
+    def test_jobs_rejects_sparql_engine(self, data_file, schema_file, capsys):
+        exit_code = main(["validate", "--data", data_file, "--schema", schema_file,
+                          "--all-nodes", "--jobs", "2", "--engine", "sparql"])
+        assert exit_code == 2
+        assert "sparql" in capsys.readouterr().err
+
+    def test_cache_stats_are_printed_to_stderr(self, data_file, schema_file, capsys):
+        exit_code = main(["validate", "--data", data_file, "--schema", schema_file,
+                          "--all-nodes", "--cache-stats", "--format", "summary"])
+        err = capsys.readouterr().err
+        assert exit_code == 1
+        assert "cache-stats:" in err
+        assert "hits=" in err and "evictions=" in err
+
+    def test_cache_max_entries_bounds_the_cache(self, data_file, schema_file, capsys):
+        exit_code = main(["validate", "--data", data_file, "--schema", schema_file,
+                          "--all-nodes", "--cache-stats", "--cache-max-entries", "2",
+                          "--format", "summary"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "max_entries=2" in captured.err
+        assert "2/3 conform" in captured.out  # verdicts unchanged under eviction
+
     def test_broken_schema_reports_parse_error(self, data_file, tmp_path, capsys):
         broken = tmp_path / "broken.shex"
         broken.write_text("<S> { not valid", encoding="utf-8")

@@ -2,17 +2,8 @@
 
 import pytest
 
-from repro.rdf import EX, Graph, Literal, Triple
-from repro.shex import (
-    DerivativeEngine,
-    ShapeTyping,
-    arc,
-    interleave,
-    interleave_all,
-    plus,
-    star,
-    value_set,
-)
+from repro.rdf import EX, Literal, Triple
+from repro.shex import DerivativeEngine, ShapeTyping, arc, interleave, plus, value_set
 from repro.workloads import (
     balanced_alternation_case,
     cardinality_case,
@@ -153,7 +144,6 @@ class TestWorkloadCases:
 
     def test_shuffled_order_preserves_verdict(self):
         case = interleave_width_case(5)
-        engine = DerivativeEngine(order_by_predicate=False)
         for seed in range(5):
             triples = shuffled(case, seed=seed)
             from repro.shex import derivative_graph, nullable

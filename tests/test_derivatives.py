@@ -11,7 +11,6 @@ from repro.shex import (
     Or,
     PredicateSet,
     ShapeRef,
-    Star,
     arc,
     datatype,
     derivative,

@@ -6,7 +6,6 @@ directory and their ``main()`` functions executed with output captured.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

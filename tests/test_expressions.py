@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import EX, IRI, Literal
+from repro.rdf import EX, Literal
 from repro.shex import (
     EMPTY,
     EPSILON,

@@ -7,7 +7,6 @@ from repro.rdf import (
     EX,
     FOAF,
     Graph,
-    IRI,
     Literal,
     Triple,
     decomposition_count,

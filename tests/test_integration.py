@@ -11,7 +11,7 @@ import json
 import pytest
 
 from repro.cli import main as cli_main
-from repro.rdf import EX, Graph
+from repro.rdf import Graph
 from repro.shex import (
     BacktrackingEngine,
     DerivativeEngine,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import BNode, EX, Graph, IRI, Literal, Triple, XSD
+from repro.rdf import BNode, EX, Graph, Literal, Triple, XSD
 from repro.rdf.errors import ParseError
 from repro.rdf.ntriples import (
     escape_string,

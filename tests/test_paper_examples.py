@@ -6,14 +6,12 @@ record that this implementation behaves exactly as the paper describes.
 
 import pytest
 
-from repro.rdf import EX, FOAF, Graph, IRI, Literal, Triple, XSD, decompositions
+from repro.rdf import EX, FOAF, Graph, Literal, Triple, decompositions
 from repro.shex import (
     BacktrackingEngine,
     DerivativeEngine,
-    Schema,
     Validator,
     arc,
-    datatype,
     derivative,
     derivative_trace,
     enumerate_language,
@@ -22,7 +20,6 @@ from repro.shex import (
     matches_backtracking,
     nullable,
     parse_shexc,
-    plus,
     star,
     value_set,
 )
@@ -253,7 +250,6 @@ class TestExample14:
 
     def test_schema_matches_example_1(self):
         schema = person_schema()
-        expression = schema.expression("Person")
         graph = Graph()
         graph.add(Triple(EX.ada, FOAF.age, Literal(36)))
         graph.add(Triple(EX.ada, FOAF.name, Literal("Ada")))

@@ -1,0 +1,201 @@
+"""Tests for parallel bulk validation (Validator(jobs=N)) and its plumbing."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.rdf import EX, Graph
+from repro.rdf.errors import GraphError
+from repro.rdf.namespaces import FOAF
+from repro.rdf.terms import Literal, Triple
+from repro.shex import BacktrackingEngine, Validator
+from repro.shex.schema import ValidationContext
+from repro.shex.typing import ShapeLabel
+from repro.workloads import (
+    generate_community_workload,
+    generate_person_workload,
+    knows_cycle_graph,
+    paper_example_graph,
+    person_schema,
+)
+
+
+def verdicts(report):
+    return {(entry.node, str(entry.label)): entry.conforms for entry in report}
+
+
+class TestNeighbourhoodSnapshot:
+    def test_snapshot_matches_graph_neighbourhoods(self):
+        graph = paper_example_graph()
+        snapshot = graph.snapshot()
+        for node in graph.nodes():
+            assert snapshot.neighbourhood(node) == graph.neighbourhood(node)
+            assert snapshot.neighbourhood_ordered(node) == \
+                graph.neighbourhood_ordered(node)
+
+    def test_snapshot_is_picklable(self):
+        graph = paper_example_graph()
+        snapshot = graph.snapshot()
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert len(clone) == len(snapshot)
+        for node in graph.nodes():
+            assert clone.neighbourhood(node) == graph.neighbourhood(node)
+
+    def test_lookup_outside_the_snapshot_raises(self):
+        snapshot = paper_example_graph().snapshot(nodes=[EX.john])
+        with pytest.raises(GraphError):
+            snapshot.neighbourhood(EX.bob)
+
+    def test_snapshot_records_empty_neighbourhoods_explicitly(self):
+        snapshot = paper_example_graph().snapshot(nodes=[EX.john, EX.phantom])
+        assert snapshot.neighbourhood(EX.phantom) == frozenset()
+
+
+class TestSettledVerdictProtocol:
+    def test_seeded_verdicts_are_consulted(self):
+        graph = paper_example_graph()
+        schema = person_schema()
+        validator = Validator(graph, schema)
+        context = ValidationContext(graph, schema,
+                                    validator.engine.match_neighbourhood)
+        label = ShapeLabel("Person")
+        context.seed_settled(confirmed=[(EX.bob, label)])
+        assert context.is_confirmed(EX.bob, label)
+        context.seed_settled(failed=[(EX.mary, label)])
+        assert context.is_failed(EX.mary, label)
+
+    def test_settled_verdicts_round_trip(self):
+        graph = paper_example_graph()
+        schema = person_schema()
+        validator = Validator(graph, schema)
+        context = ValidationContext(graph, schema,
+                                    validator.engine.match_neighbourhood)
+        for node in (EX.john, EX.bob, EX.mary):
+            context.check_reference(node, "Person")
+        confirmed, failed = context.settled_verdicts()
+        other = ValidationContext(graph, schema,
+                                  validator.engine.match_neighbourhood)
+        other.seed_settled(confirmed, failed)
+        label = ShapeLabel("Person")
+        assert other.is_confirmed(EX.john, label)
+        assert other.is_confirmed(EX.bob, label)
+        assert other.is_failed(EX.mary, label)
+
+    def test_provisional_state_is_not_exported(self):
+        # a context mid-validation would hold provisional entries; a settled
+        # export straight after a clean run contains only definitive pairs
+        graph, _ = knows_cycle_graph(4)
+        schema = person_schema()
+        validator = Validator(graph, schema)
+        context = ValidationContext(graph, schema,
+                                    validator.engine.match_neighbourhood)
+        head = EX.cycle0
+        assert context.check_reference(head, "Person").matched
+        confirmed, failed = context.settled_verdicts()
+        assert failed == ()
+        # the whole cycle settled together once the outer frame resolved
+        assert {node for node, _ in confirmed} == set(graph.nodes())
+
+
+class TestParallelValidateGraph:
+    def test_paper_example_matches_serial(self):
+        graph = paper_example_graph()
+        schema = person_schema()
+        serial = Validator(graph, schema).validate_graph()
+        parallel = Validator(graph, schema, jobs=2).validate_graph()
+        assert verdicts(parallel) == verdicts(serial)
+        # report ordering is canonical in both paths
+        assert [(e.node, str(e.label)) for e in parallel.entries] == \
+            [(e.node, str(e.label)) for e in serial.entries]
+        assert parallel.typing == serial.typing
+
+    def test_community_workload_matches_serial_and_ground_truth(self):
+        workload = generate_community_workload(
+            num_communities=4, people_per_community=6, seed=3)
+        serial = Validator(workload.graph, workload.schema, cache=True)
+        parallel = Validator(workload.graph, workload.schema, cache=True, jobs=2)
+        serial_verdicts = verdicts(serial.validate_graph())
+        parallel_verdicts = verdicts(parallel.validate_graph())
+        assert parallel_verdicts == serial_verdicts
+        valid = set(workload.valid_nodes)
+        for node in workload.all_nodes:
+            assert parallel_verdicts[(node, "Person")] == (node in valid)
+
+    def test_giant_scc_degenerates_to_serial(self):
+        # one strongly-connected component: nothing to parallelise, and the
+        # scheduler must fall back gracefully instead of deadlocking or
+        # paying for an idle pool
+        graph, _ = knows_cycle_graph(8)
+        validator = Validator(graph, person_schema(), jobs=4)
+        report = validator.validate_graph()
+        assert len(report) == 8
+        assert report.conforms
+
+    def test_disconnected_subjects_validate_in_parallel(self):
+        graph = Graph()
+        for i in range(6):
+            node = EX[f"solo{i}"]
+            graph.add(Triple(node, FOAF.age, Literal(20 + i)))
+            graph.add(Triple(node, FOAF.name, Literal(f"Solo {i}")))
+        report = Validator(graph, person_schema(), jobs=2).validate_graph()
+        assert report.conforms
+        assert len(report) == 6
+
+    def test_mutation_then_revalidate_with_jobs(self):
+        workload = generate_person_workload(num_people=12, seed=5)
+        validator = Validator(workload.graph, workload.schema, cache=True, jobs=2)
+        first = validator.validate_graph()
+        victim = workload.valid_nodes[0]
+        assert first.entry_for(victim).conforms
+        # a second age arc violates the exactly-one cardinality
+        workload.graph.add(Triple(victim, FOAF.age, Literal(999)))
+        second = validator.validate_graph()
+        assert not second.entry_for(victim).conforms
+        # and removing it again restores conformance (generation counter)
+        workload.graph.discard(Triple(victim, FOAF.age, Literal(999)))
+        third = validator.validate_graph()
+        assert third.entry_for(victim).conforms
+
+    def test_backtracking_engine_agrees_in_parallel(self):
+        workload = generate_community_workload(
+            num_communities=3, people_per_community=4, seed=4)
+        derivative = Validator(workload.graph, workload.schema, cache=True)
+        backtracking = Validator(workload.graph, workload.schema,
+                                 engine="backtracking", budget=5_000_000, jobs=2)
+        assert verdicts(backtracking.validate_graph()) == \
+            verdicts(derivative.validate_graph())
+
+    def test_parallel_verdicts_merge_into_shared_context(self):
+        workload = generate_person_workload(num_people=10, seed=6)
+        validator = Validator(workload.graph, workload.schema, cache=True, jobs=2)
+        validator.validate_graph()
+        context = validator._bulk_context()
+        confirmed, failed = context.settled_verdicts()
+        label = ShapeLabel("Person")
+        for node in workload.valid_nodes:
+            assert (node, label) in confirmed
+        for node in workload.invalid_nodes:
+            assert (node, label) in failed
+
+    def test_jobs_argument_overrides_the_default(self):
+        graph = paper_example_graph()
+        serial = Validator(graph, person_schema())
+        report = serial.validate_graph(jobs=2)
+        assert verdicts(report) == verdicts(serial.validate_graph(jobs=1))
+
+
+class TestParallelErrors:
+    def test_per_node_mode_is_rejected(self):
+        graph = paper_example_graph()
+        validator = Validator(graph, person_schema(), shared_context=False, jobs=2)
+        with pytest.raises(ValueError, match="shared"):
+            validator.validate_graph()
+
+    def test_engine_objects_are_rejected(self):
+        graph = paper_example_graph()
+        validator = Validator(graph, person_schema(),
+                              engine=BacktrackingEngine(), jobs=2)
+        with pytest.raises(ValueError, match="name"):
+            validator.validate_graph()

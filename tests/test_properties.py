@@ -16,7 +16,6 @@ generated expressions and neighbourhoods:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.rdf import EX, Graph, Literal, Triple

@@ -1,6 +1,5 @@
 """Tests for MatchStats, MatchResult and ValidationReportEntry."""
 
-import pytest
 
 from repro.rdf import EX
 from repro.shex import MatchResult, MatchStats, ShapeLabel, ShapeTyping

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import EX, FOAF, Graph, Literal, Triple, XSD
+from repro.rdf import EX, FOAF, Graph, Literal, Triple
 from repro.shex import (
     Arc,
     DerivativeEngine,
@@ -13,7 +13,6 @@ from repro.shex import (
     ShapeRef,
     ValidationContext,
     arc,
-    datatype,
     interleave,
     plus,
     star,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import BNode, EX, FOAF, Graph, IRI, Literal, RDF, Triple
+from repro.rdf import BNode, EX, FOAF, Graph, RDF, Triple
 from repro.rdf.errors import ParseError
 from repro.shex import (
     FixedEntry,

@@ -12,7 +12,6 @@ from repro.shex import (
     IRIStem,
     LanguageTag,
     NodeKind,
-    NodeKindConstraint,
     Schema,
     ShapeLabel,
     ShapeRef,
@@ -107,7 +106,6 @@ class TestTripleConstraints:
             PREFIX ex: <http://example.org/>
             <S> { ex:a [ 1 ] | ex:b [ 2 ] }
         """)
-        graph_a = paper_example_graph()  # any graph; we test via the expression
         from repro.shex import matches
         from repro.rdf import Triple
 

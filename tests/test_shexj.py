@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.rdf import BNode, EX, FOAF, IRI, Literal, XSD
+from repro.rdf import BNode, EX, FOAF, Literal, XSD
 from repro.shex import (
     EMPTY,
     EPSILON,
@@ -13,7 +13,6 @@ from repro.shex import (
     ConstraintNot,
     ConstraintOr,
     DatatypeConstraint,
-    Facets,
     IRIStem,
     LanguageTag,
     NodeKind,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import EX, FOAF, Graph, IRI, Literal, Triple, XSD
+from repro.rdf import EX, Graph, Triple
 from repro.sparql import SparqlEvaluationError, ask, evaluate_query, select
 from repro.workloads import paper_example_graph
 

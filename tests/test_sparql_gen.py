@@ -4,7 +4,6 @@ import pytest
 
 from repro.rdf import EX, FOAF, Graph, IRI, Literal, Triple, XSD
 from repro.shex import (
-    DerivativeEngine,
     NodeKind,
     NodeKindConstraint,
     Schema,

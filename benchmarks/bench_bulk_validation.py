@@ -68,6 +68,10 @@ def run_size(num_people: int, seed: int, check_backtracking: bool) -> dict:
     baseline_verdicts = _verdicts(baseline_report)
     bulk_verdicts = _verdicts(bulk_report)
     agree = baseline_verdicts == bulk_verdicts
+    # the typings must agree too, not just the per-entry verdicts: this is
+    # what pins the HAMT-backed ShapeTyping to the per-node baseline
+    typing_agree = (baseline_report.typing.to_dict()
+                    == bulk_report.typing.to_dict())
     ground_truth_ok = all(
         bulk_verdicts[key] == value for key, value in expected.items())
 
@@ -85,6 +89,7 @@ def run_size(num_people: int, seed: int, check_backtracking: bool) -> dict:
         "speedup": baseline_time / bulk_time if bulk_time else float("inf"),
         "cache": bulk.engine.cache.stats(),
         "agree": agree,
+        "typing_agree": typing_agree,
         "ground_truth_ok": ground_truth_ok,
         "backtracking_ok": backtracking_ok,
     }
@@ -117,8 +122,10 @@ def main(argv=None) -> int:
         print(f"{row['people']:>7} {row['triples']:>8} "
               f"{row['baseline_s'] * 1000:>9.1f}ms {row['bulk_s'] * 1000:>9.1f}ms "
               f"{row['speedup']:>7.1f}x {hit:>13.1%}")
-        if not (row["agree"] and row["ground_truth_ok"] and row["backtracking_ok"]):
+        if not (row["agree"] and row["typing_agree"] and row["ground_truth_ok"]
+                and row["backtracking_ok"]):
             print(f"  !! verdict mismatch at size {size}: agree={row['agree']} "
+                  f"typing={row['typing_agree']} "
                   f"ground_truth={row['ground_truth_ok']} "
                   f"backtracking={row['backtracking_ok']}", file=sys.stderr)
             ok = False

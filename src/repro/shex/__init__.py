@@ -120,6 +120,7 @@ from .reporting import (
     report_to_json,
     summarize,
 )
+from .hamt import HamtMap
 from .results import MatchResult, MatchStats, ValidationReportEntry
 from .schema import Schema, SchemaError, ValidationContext
 from .shape_map import FixedEntry, QueryEntry, ShapeMap, parse_shape_map
@@ -149,7 +150,7 @@ __all__ = [
     "BacktrackingEngine", "BacktrackingBudgetExceeded", "matches_backtracking",
     # schema layer
     "Schema", "SchemaError", "ValidationContext",
-    "ShapeLabel", "ShapeTyping",
+    "ShapeLabel", "ShapeTyping", "HamtMap",
     "MatchResult", "MatchStats", "ValidationReportEntry",
     "Validator", "ValidationReport", "get_engine", "ENGINES",
     # syntaxes

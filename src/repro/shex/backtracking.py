@@ -42,7 +42,7 @@ from .expressions import (
 from .node_constraints import ShapeRef
 from .results import MatchResult, MatchStats
 from .schema import ValidationContext
-from .typing import ShapeTyping
+from .typing import typing_of
 
 __all__ = ["BacktrackingEngine", "BacktrackingBudgetExceeded", "matches_backtracking"]
 
@@ -87,7 +87,7 @@ class BacktrackingEngine:
             matched = self._match(expr, triples, context, stats)
         except BacktrackingBudgetExceeded:
             raise
-        typing = context.typing if context is not None else ShapeTyping.empty()
+        typing = typing_of(context)
         if matched:
             return MatchResult(True, typing, stats)
         return MatchResult(

@@ -48,7 +48,7 @@ from .expressions import (
 from .node_constraints import ShapeRef
 from .results import MatchResult, MatchStats
 from .schema import ValidationContext
-from .typing import ShapeTyping
+from .typing import typing_of
 
 __all__ = [
     "nullable",
@@ -299,15 +299,15 @@ class DerivativeEngine:
                 current = derivative(current, triple, context, self.simplify, stats)
             stats.observe_expression_size(expression_size(current))
             if isinstance(current, Empty):
-                typing = context.typing if context is not None else ShapeTyping.empty()
+                # typing_of reads the context's *current* typing: derivative
+                # steps may have confirmed pairs while consuming triples
                 return MatchResult(
-                    False, typing, stats,
+                    False, typing_of(context), stats,
                     reason=f"no continuation after consuming {triple.n3()}",
                 )
+        typing = typing_of(context)
         if nullable(current):
-            typing = context.typing if context is not None else ShapeTyping.empty()
             return MatchResult(True, typing, stats)
-        typing = context.typing if context is not None else ShapeTyping.empty()
         return MatchResult(
             False, typing, stats,
             reason="remaining expression is not nullable "

@@ -305,11 +305,12 @@ class ValidationContext:
         :meth:`settled_verdicts` on the exporting side excludes them by
         construction.
         """
-        additions: Dict[ObjectTerm, Set[ShapeLabel]] = {}
+        confirmed_typing = self._confirmed
         for node, label in confirmed:
-            additions.setdefault(node, set()).add(label)
-        if additions:
-            self._confirmed = self._confirmed.combine(ShapeTyping(additions))
+            # persistent adds: O(log n) each with full structural sharing,
+            # instead of materialising an intermediate typing and merging
+            confirmed_typing = confirmed_typing.add(node, label)
+        self._confirmed = confirmed_typing
         self._failed.update(failed)
 
     def settled_verdicts(

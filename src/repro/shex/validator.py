@@ -234,13 +234,13 @@ class Validator:
         """Validate every ``node → label`` association of a shape map."""
         context = self._bulk_context()
         report = ValidationReport()
-        typing = ShapeTyping.empty()
+        conforming: List[Tuple[ObjectTerm, ShapeLabel]] = []
         for node, label in shape_map.items():
             entry = self.validate_node(node, label, context=context)
             report.entries.append(entry)
             if entry.conforms:
-                typing = typing.add(node, self._resolve_label(label))
-        report.typing = typing
+                conforming.append((node, self._resolve_label(label)))
+        report.typing = ShapeTyping.from_pairs(conforming)
         return report
 
     def infer_typing(self, nodes: Optional[Iterable[SubjectTerm]] = None,
@@ -262,13 +262,12 @@ class Validator:
         label_list = [self._resolve_label(label) for label in labels] if labels \
             else list(self.schema.labels())
         context = self._bulk_context()
-        typing = ShapeTyping.empty()
-        for node in node_list:
-            for label in label_list:
-                entry = self.validate_node(node, label, context=context)
-                if entry.conforms:
-                    typing = typing.add(node, label)
-        return typing
+        return ShapeTyping.from_pairs(
+            (node, label)
+            for node in node_list
+            for label in label_list
+            if self.validate_node(node, label, context=context).conforms
+        )
 
     def conforming_nodes(self, label: Union[ShapeLabel, str, None] = None
                          ) -> List[SubjectTerm]:
@@ -303,14 +302,14 @@ class Validator:
         """The single-process bulk path: one shared context, sorted node order."""
         context = self._bulk_context()
         report = ValidationReport()
-        typing = ShapeTyping.empty()
+        conforming: List[Tuple[ObjectTerm, ShapeLabel]] = []
         for node in sorted(self.graph.nodes(), key=lambda term: term.sort_key()):
             for label in label_list:
                 entry = self.validate_node(node, label, context=context)
                 report.entries.append(entry)
                 if entry.conforms:
-                    typing = typing.add(node, label)
-        report.typing = typing
+                    conforming.append((node, label))
+        report.typing = ShapeTyping.from_pairs(conforming)
         return report
 
     def _validate_graph_parallel(self, label_list: Sequence[ShapeLabel],
@@ -420,14 +419,14 @@ class Validator:
         context.seed_settled(new_confirmed, new_failed)
 
         report = ValidationReport()
-        typing = ShapeTyping.empty()
+        conforming: List[Tuple[ObjectTerm, ShapeLabel]] = []
         for node in subjects:
             for label in label_list:
                 entry = entries[(node, label)]
                 report.entries.append(entry)
                 if entry.conforms:
-                    typing = typing.add(node, label)
-        report.typing = typing
+                    conforming.append((node, label))
+        report.typing = ShapeTyping.from_pairs(conforming)
         return report
 
     # -- helpers -----------------------------------------------------------------

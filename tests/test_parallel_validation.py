@@ -186,6 +186,38 @@ class TestParallelValidateGraph:
         assert verdicts(report) == verdicts(serial.validate_graph(jobs=1))
 
 
+class TestTypingAgreement:
+    """The HAMT swap must change no verdicts: every validation path builds
+    the same typing on the recursive community workload."""
+
+    def test_serial_parallel_and_per_node_typings_are_identical(self):
+        workload = generate_community_workload(
+            num_communities=3, people_per_community=6, seed=7)
+        graph, schema = workload.graph, workload.schema
+        serial = Validator(graph, schema, cache=True).validate_graph()
+        parallel = Validator(graph, schema, cache=True, jobs=2).validate_graph()
+        per_node = Validator(graph, schema, shared_context=False).validate_graph()
+        assert serial.typing.to_dict() == parallel.typing.to_dict()
+        assert serial.typing.to_dict() == per_node.typing.to_dict()
+        # value semantics: the typings are equal objects with equal hashes,
+        # not merely equal serialisations
+        assert serial.typing == parallel.typing == per_node.typing
+        assert hash(serial.typing) == hash(parallel.typing) == hash(per_node.typing)
+        # and the typing matches the workload's ground truth
+        valid = set(workload.valid_nodes)
+        for node in workload.all_nodes:
+            assert serial.typing.has(node, "Person") == (node in valid)
+
+    def test_backtracking_typing_agrees_too(self):
+        workload = generate_community_workload(
+            num_communities=2, people_per_community=4, seed=9)
+        graph, schema = workload.graph, workload.schema
+        derivative = Validator(graph, schema, cache=True).validate_graph()
+        backtracking = Validator(graph, schema, engine="backtracking",
+                                 budget=5_000_000).validate_graph()
+        assert backtracking.typing.to_dict() == derivative.typing.to_dict()
+
+
 class TestParallelErrors:
     def test_per_node_mode_is_rejected(self):
         graph = paper_example_graph()

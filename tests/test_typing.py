@@ -105,8 +105,56 @@ class TestShapeTyping:
     def test_is_immutable(self):
         typing = ShapeTyping.single(EX.john, "Person")
         with pytest.raises(AttributeError):
-            typing._assignments = {}
+            typing._map = None
+        with pytest.raises(AttributeError):
+            typing._hash = 0
 
     def test_repr_is_readable(self):
         text = repr(ShapeTyping.single(EX.john, "Person"))
         assert "john" in text and "Person" in text
+
+    def test_adding_a_present_association_returns_self(self):
+        typing = ShapeTyping.single(EX.john, "Person")
+        assert typing.add(EX.john, "Person") is typing
+
+    def test_combine_shares_structure_with_derived_typings(self):
+        base = ShapeTyping.empty()
+        for i in range(50):
+            base = base.add(EX[f"p{i}"], "Person")
+        derived = base.add(EX.extra, "Person")
+        # combining a typing with one derived from it returns the superset
+        # itself: the shared subtries are recognised, not re-merged
+        assert base.combine(derived) is derived
+        assert derived.combine(base) is derived
+
+    def test_combine_returns_an_independent_covering_typing(self):
+        # same contents but no shared history (e.g. the superset crossed a
+        # process boundary): coverage is still recognised by value
+        small = ShapeTyping.from_pairs([(EX.a, "S")])
+        big = ShapeTyping.from_pairs(
+            [(EX.a, "S"), (EX.a, "T"), (EX.b, "S")])
+        assert small.combine(big) is big
+        assert big.combine(small) is big
+
+    def test_hash_is_cached(self):
+        typing = ShapeTyping.single(EX.john, "Person").add(EX.bob, "Person")
+        assert typing._hash is None
+        first = hash(typing)
+        assert typing._hash == first
+        assert hash(typing) == first
+
+    def test_from_pairs(self):
+        typing = ShapeTyping.from_pairs([
+            (EX.john, "Person"), (EX.john, ShapeLabel("Employee")),
+            (EX.bob, "Person"),
+        ])
+        assert typing.labels_for(EX.john) == \
+            {ShapeLabel("Person"), ShapeLabel("Employee")}
+        assert typing.labels_for(EX.bob) == {ShapeLabel("Person")}
+        assert ShapeTyping.from_pairs([]) is ShapeTyping.empty()
+
+    def test_to_dict_is_sorted_by_node(self):
+        typing = ShapeTyping.from_pairs(
+            (EX[f"n{i}"], "S") for i in reversed(range(10)))
+        keys = list(typing.to_dict())
+        assert keys == sorted(keys)

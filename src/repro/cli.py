@@ -76,6 +76,11 @@ def build_parser() -> argparse.ArgumentParser:
                                "across N worker processes (whole-graph modes "
                                "--all-nodes/--shape only; default 1: serial). "
                                "Incompatible with --per-node and the sparql engine")
+    validate.add_argument("--no-precompile", action="store_true",
+                          help="disable the compiled-schema fast paths "
+                               "(static prefilter + predicate-indexed atom "
+                               "tables); verdicts are identical, this is an "
+                               "escape hatch for measurement and debugging")
     validate.add_argument("--cache-stats", action="store_true",
                           help="print derivative-cache hit/miss/eviction counters "
                                "to stderr after validation (enables the global "
@@ -166,6 +171,7 @@ def _command_validate(args: argparse.Namespace) -> int:
         engine_options["cache"] = DerivativeCache(max_entries=args.cache_max_entries)
     validator = Validator(graph, schema, engine=_build_engine(args.engine),
                           shared_context=not args.per_node, jobs=args.jobs,
+                          precompile=not args.no_precompile,
                           **engine_options)
 
     if args.shape_map or args.shape_map_file:
@@ -182,6 +188,16 @@ def _command_validate(args: argparse.Namespace) -> int:
 
     sys.stdout.write(_render_report(report, args.output_format, args.include_stats))
     if args.cache_stats:
+        totals = report.total_stats()
+        if validator.compiled is None:
+            print("prefilter-stats: disabled (--no-precompile or no schema)",
+                  file=sys.stderr)
+        else:
+            print("prefilter-stats: "
+                  f"accepts={totals.prefilter_accepts} "
+                  f"rejects={totals.prefilter_rejects} "
+                  f"reference_checks={totals.reference_checks} "
+                  f"schema={validator.compiled.stats()}", file=sys.stderr)
         cache = getattr(validator.engine, "cache", None)
         if cache is None:
             print("cache-stats: no derivative cache active "

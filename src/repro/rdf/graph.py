@@ -318,6 +318,16 @@ class Graph:
         self._neigh_ordered[node] = result
         return result
 
+    def neighbourhood_any(self, node: SubjectTerm) -> FrozenSet[Triple]:
+        """``Σgₙ`` in whatever representation is cheapest to produce.
+
+        For a live graph that is the unsorted frozenset (no predicate sort);
+        a :class:`NeighbourhoodSnapshot` returns its precomputed ordered
+        tuple instead.  Order-insensitive consumers — the compiled-schema
+        prefilter above all — should use this accessor.
+        """
+        return self.neighbourhood(node)
+
     def neighbourhood_view(self, node: SubjectTerm) -> "NeighbourhoodView":
         """Return a :class:`NeighbourhoodView` over ``Σgₙ``."""
         return NeighbourhoodView(node, self.neighbourhood(node))
@@ -448,6 +458,10 @@ class NeighbourhoodSnapshot:
             cached = frozenset(self.neighbourhood_ordered(node))
             self._sets[node] = cached
         return cached
+
+    def neighbourhood_any(self, node: SubjectTerm) -> "OrderedTriples":
+        """``Σgₙ`` in the cheapest representation: the captured tuple."""
+        return self.neighbourhood_ordered(node)
 
     def __repr__(self) -> str:
         return f"NeighbourhoodSnapshot(<{len(self._ordered)} nodes>)"

@@ -97,7 +97,7 @@ class IRI(Term):
     '<http://example.org/alice>'
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
     _sort_rank = 0
 
     def __init__(self, value: str):
@@ -108,6 +108,10 @@ class IRI(Term):
         if _IRI_ILLEGAL.search(value):
             raise ValueError(f"IRI contains illegal characters: {value!r}")
         object.__setattr__(self, "value", value)
+        # terms are dictionary keys everywhere (indexes, caches, counts);
+        # computing the hash once at construction keeps every lookup O(1)
+        # with no per-call tuple building
+        object.__setattr__(self, "_hash", hash(("IRI", value)))
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("IRI instances are immutable")
@@ -121,7 +125,7 @@ class IRI(Term):
         return isinstance(other, IRI) and other.value == self.value
 
     def __hash__(self) -> int:
-        return hash(("IRI", self.value))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"IRI({self.value!r})"
@@ -151,7 +155,7 @@ class BNode(Term):
     is unique within the running process.
     """
 
-    __slots__ = ("id",)
+    __slots__ = ("id", "_hash")
     _sort_rank = 1
 
     _counter = itertools.count()
@@ -166,6 +170,7 @@ class BNode(Term):
         if not id:
             raise ValueError("BNode id must not be empty")
         object.__setattr__(self, "id", id)
+        object.__setattr__(self, "_hash", hash(("BNode", id)))
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("BNode instances are immutable")
@@ -177,7 +182,7 @@ class BNode(Term):
         return isinstance(other, BNode) and other.id == self.id
 
     def __hash__(self) -> int:
-        return hash(("BNode", self.id))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"BNode({self.id!r})"
@@ -221,7 +226,7 @@ class Literal(Term):
     '"chat"@fr'
     """
 
-    __slots__ = ("lexical", "datatype", "lang")
+    __slots__ = ("lexical", "datatype", "lang", "_hash")
     _sort_rank = 2
 
     def __init__(
@@ -262,6 +267,8 @@ class Literal(Term):
         object.__setattr__(self, "lexical", lexical)
         object.__setattr__(self, "datatype", datatype)
         object.__setattr__(self, "lang", lang.lower() if lang else None)
+        object.__setattr__(self, "_hash",
+                           hash(("Literal", lexical, datatype.value, self.lang)))
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("Literal instances are immutable")
@@ -280,7 +287,7 @@ class Literal(Term):
         )
 
     def __hash__(self) -> int:
-        return hash(("Literal", self.lexical, self.datatype.value, self.lang))
+        return self._hash
 
     def __repr__(self) -> str:
         if self.lang:

@@ -51,6 +51,15 @@ provisional until the hypothesis they rest on settles, and recursion-budget
 failures are never cached.  ``shared_context=False`` restores the
 paper-faithful fresh-context-per-node behaviour; the CLI exposes both as
 ``--bulk`` / ``--per-node``.
+
+``Validator(..., precompile=True)`` (the default) builds a
+:class:`CompiledSchema` — per-label nullability, first/required-predicate
+sets, cardinality bounds, value screens and predicate-indexed atom tables,
+computed once per schema — and consults its **static prefilter** before any
+matching frame is constructed, so statically decidable ``(node, label)``
+pairs never touch an engine.  Verdicts are identical either way;
+``precompile=False`` (CLI ``--no-precompile``) is the measurement escape
+hatch.
 """
 
 from .backtracking import (
@@ -59,6 +68,7 @@ from .backtracking import (
     matches_backtracking,
 )
 from .cache import DerivativeCache
+from .compiled import CompiledSchema, CompiledShape, PrefilterDecision
 from .derivatives import (
     DerivativeEngine,
     derivative,
@@ -150,6 +160,7 @@ __all__ = [
     "BacktrackingEngine", "BacktrackingBudgetExceeded", "matches_backtracking",
     # schema layer
     "Schema", "SchemaError", "ValidationContext",
+    "CompiledSchema", "CompiledShape", "PrefilterDecision",
     "ShapeLabel", "ShapeTyping", "HamtMap",
     "MatchResult", "MatchStats", "ValidationReportEntry",
     "Validator", "ValidationReport", "get_engine", "ENGINES",

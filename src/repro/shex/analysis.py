@@ -51,6 +51,8 @@ __all__ = [
     "is_deterministic",
     "CardinalityBound",
     "cardinality_bounds",
+    "neighbourhood_cardinality_bounds",
+    "first_predicates",
     "schema_dependency_graph",
     "recursive_labels",
     "stratify_schema",
@@ -230,6 +232,128 @@ def _bounds(expr: ShapeExpr) -> _Bounds:
                 else max(left_max, right_max)
             combined[predicate] = (min(left_min, right_min), maximum)
         return combined
+    raise TypeError(f"unknown shape expression: {expr!r}")
+
+
+# --------------------------------------------------------- sound neighbourhood bounds
+def neighbourhood_cardinality_bounds(expr: ShapeExpr) -> Dict[IRI, CardinalityBound]:
+    """Per-predicate bounds on triple counts, **sound** for prefiltering.
+
+    :func:`cardinality_bounds` treats every predicate of a multi-predicate
+    arc as if the arc required one triple of *each* predicate, which
+    over-states the minimum (an arc ``{p q} → vo`` consumes one triple whose
+    predicate is ``p`` **or** ``q``).  This variant computes bounds a
+    validator may reject on:
+
+    * the **minimum** for predicate ``p`` counts only arcs whose predicate
+      set is exactly ``{p}`` — every accepted neighbourhood provably carries
+      at least that many ``p``-triples,
+    * the **maximum** for ``p`` adds one per arc that *could* consume a
+      ``p``-triple, and collapses to unbounded (``None``) as soon as a
+      wildcard or matching stem arc could absorb extra ``p``-triples.
+
+    A neighbourhood whose ``p``-count falls outside ``[minimum, maximum]``
+    therefore cannot match, whatever the objects are.
+    """
+    bounds, _stems, _open = _sound_bounds(expr)
+    return {predicate: CardinalityBound(minimum, maximum)
+            for predicate, (minimum, maximum) in bounds.items()}
+
+
+#: recursion result: (per-predicate bounds, stems seen, wildcard-arc seen).
+_SoundBounds = Tuple[_Bounds, FrozenSet[str], bool]
+
+
+def _covers(predicate: IRI, stems: FrozenSet[str], any_open: bool) -> bool:
+    """True when a stem/wildcard arc on this side could consume ``predicate``."""
+    return any_open or any(predicate.value.startswith(stem) for stem in stems)
+
+
+def _sound_bounds(expr: ShapeExpr) -> _SoundBounds:
+    if isinstance(expr, (Empty, EmptyTriples)):
+        return {}, frozenset(), False
+    if isinstance(expr, Arc):
+        predicate_set = expr.predicate
+        if predicate_set.any_predicate:
+            return {}, frozenset(), True
+        stems = frozenset((predicate_set.stem,)) if predicate_set.stem is not None \
+            else frozenset()
+        predicates = predicate_set.predicates
+        if len(predicates) == 1 and not stems:
+            (predicate,) = predicates
+            return {predicate: (1, 1)}, stems, False
+        # the arc consumes one triple with *some* admitted predicate: no
+        # individual predicate is guaranteed, each gets at most one.
+        return {predicate: (0, 1) for predicate in predicates}, stems, False
+    if isinstance(expr, Star):
+        inner, stems, any_open = _sound_bounds(expr.expr)
+        return ({predicate: (0, None) for predicate in inner}, stems, any_open)
+    if isinstance(expr, And):
+        left, left_stems, left_open = _sound_bounds(expr.left)
+        right, right_stems, right_open = _sound_bounds(expr.right)
+        combined: _Bounds = {}
+        for predicate in set(left) | set(right):
+            left_min, left_max = left.get(
+                predicate,
+                (0, None if _covers(predicate, left_stems, left_open) else 0))
+            right_min, right_max = right.get(
+                predicate,
+                (0, None if _covers(predicate, right_stems, right_open) else 0))
+            maximum = None if left_max is None or right_max is None \
+                else left_max + right_max
+            combined[predicate] = (left_min + right_min, maximum)
+        return combined, left_stems | right_stems, left_open or right_open
+    if isinstance(expr, Or):
+        left, left_stems, left_open = _sound_bounds(expr.left)
+        right, right_stems, right_open = _sound_bounds(expr.right)
+        combined = {}
+        for predicate in set(left) | set(right):
+            left_min, left_max = left.get(
+                predicate,
+                (0, None if _covers(predicate, left_stems, left_open) else 0))
+            right_min, right_max = right.get(
+                predicate,
+                (0, None if _covers(predicate, right_stems, right_open) else 0))
+            maximum = None if left_max is None or right_max is None \
+                else max(left_max, right_max)
+            combined[predicate] = (min(left_min, right_min), maximum)
+        return combined, left_stems | right_stems, left_open or right_open
+    raise TypeError(f"unknown shape expression: {expr!r}")
+
+
+# ------------------------------------------------------------------ first predicates
+def first_predicates(expr: ShapeExpr) -> Tuple[FrozenSet[IRI], bool]:
+    """``(exact predicates, open)`` that can begin a match of ``expr``.
+
+    Neighbourhood matching is order-free, so a predicate can "begin" a match
+    exactly when some arc in a *live* position (not under a statically-empty
+    subtree) admits it.  ``open`` is True when a stem or wildcard arc is
+    live, in which case predicates outside the exact set may begin a match
+    too.  For a non-nullable expression, a non-empty neighbourhood whose
+    predicates avoid the first set entirely cannot match.
+    """
+    if isinstance(expr, (Empty, EmptyTriples)):
+        return frozenset(), False
+    if isinstance(expr, Arc):
+        predicate_set = expr.predicate
+        return (predicate_set.predicates,
+                predicate_set.any_predicate or predicate_set.stem is not None)
+    if isinstance(expr, Star):
+        return first_predicates(expr.expr)
+    if isinstance(expr, And):
+        if is_empty(expr.left) or is_empty(expr.right):
+            return frozenset(), False
+        left, left_open = first_predicates(expr.left)
+        right, right_open = first_predicates(expr.right)
+        return left | right, left_open or right_open
+    if isinstance(expr, Or):
+        left, left_open = first_predicates(expr.left)
+        right, right_open = first_predicates(expr.right)
+        if is_empty(expr.left):
+            left, left_open = frozenset(), False
+        if is_empty(expr.right):
+            right, right_open = frozenset(), False
+        return left | right, left_open or right_open
     raise TypeError(f"unknown shape expression: {expr!r}")
 
 

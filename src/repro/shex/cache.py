@@ -29,7 +29,7 @@ workloads are full of.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..rdf.terms import ObjectTerm
 from .expressions import Arc, ShapeExpr, iter_subexpressions
@@ -118,6 +118,22 @@ class DerivativeCache:
                 self._atoms.pop(next(iter(self._atoms)))
                 self.evictions += 1
         return atoms
+
+    def adopt_atoms(self, tables: Mapping[ShapeExpr, Tuple[ArcAtom, ...]]) -> None:
+        """Seed the atom table from precomputed per-expression atom tuples.
+
+        A :class:`~repro.shex.compiled.CompiledSchema` flattens each label's
+        atoms at compile time (in the same deterministic first-seen order
+        :meth:`atoms_for` would produce); adopting them saves the first walk
+        per label expression and keeps atom order — and therefore verdict
+        signatures — identical across processes sharing the compiled schema.
+        """
+        for expr, atoms in tables.items():
+            if expr not in self._atoms:
+                self._atoms[expr] = atoms
+                if self.max_entries is not None and len(self._atoms) > self.max_entries:
+                    self._atoms.pop(next(iter(self._atoms)))
+                    self.evictions += 1
 
     # -- verdicts --------------------------------------------------------------
     def constraint_verdict(self, constraint: NodeConstraint, term: ObjectTerm) -> bool:

@@ -327,14 +327,31 @@ class DerivativeEngine:
         expression's arc atoms (resolving shape references through the
         context, with the usual side effects); the structural derivative for
         that vector is then looked up or computed once.
+
+        When the context carries a :class:`~repro.shex.compiled.CompiledSchema`
+        the predicate test per atom is answered from its predicate-indexed
+        atom table (one membership check against the candidate set for the
+        triple's predicate) instead of re-running ``PredicateSet.matches``
+        for every atom at every step.  Atoms outside the compiled tables
+        (bare expressions not part of the schema) keep the direct test.
         """
         atoms = cache.atoms_for(expr)
+        compiled = getattr(context, "compiled", None)
+        if compiled is not None:
+            known_atoms = compiled.known_atoms
+            candidates = compiled.candidate_atoms(triple.predicate)
+        else:
+            known_atoms = candidates = None
         verdicts: Dict[ArcAtom, bool] = {}
         signature: List[bool] = []
         for atom in atoms:
             predicate_set, constraint = atom
             stats.arc_checks += 1
-            if not predicate_set.matches(triple.predicate):
+            if known_atoms is not None and atom in known_atoms:
+                admits = atom in candidates
+            else:
+                admits = predicate_set.matches(triple.predicate)
+            if not admits:
                 verdict = False
             elif isinstance(constraint, ShapeRef):
                 if context is None:

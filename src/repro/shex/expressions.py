@@ -69,7 +69,9 @@ __all__ = [
     "iter_subexpressions",
     "referenced_labels",
     "clear_expression_caches",
+    "clear_intern_tables",
     "expression_cache_stats",
+    "set_intern_limit",
 ]
 
 
@@ -77,6 +79,37 @@ __all__ = [
 _INTERN: Dict[tuple, "ShapeExpr"] = {}
 #: memoised AST node counts, keyed by interned expression.
 _SIZE_CACHE: Dict["ShapeExpr", int] = {}
+#: optional bound on either table (None = unbounded, the historical default).
+_INTERN_LIMIT: Optional[int] = None
+#: entries dropped to honour the bound, for observability.
+_INTERN_EVICTIONS = 0
+
+
+def set_intern_limit(limit: Optional[int]) -> None:
+    """Bound the interning and size tables to at most ``limit`` entries.
+
+    Long-running services interning many unrelated schemas can cap the
+    module-level tables; once full, the oldest entry is dropped (FIFO —
+    entries are pure functions of their key, so eviction can only cost a
+    re-construction, never correctness: structural equality keeps working
+    for evicted expressions, they just stop being pointer-equal to new
+    ones).  ``None`` restores the unbounded default.
+    """
+    global _INTERN_LIMIT
+    if limit is not None and limit < 1:
+        raise ValueError("intern limit must be at least 1 (or None for unbounded)")
+    _INTERN_LIMIT = limit
+    if limit is not None:
+        while len(_INTERN) > limit:
+            _evict_one(_INTERN)
+        while len(_SIZE_CACHE) > limit:
+            _evict_one(_SIZE_CACHE)
+
+
+def _evict_one(table: Dict) -> None:
+    global _INTERN_EVICTIONS
+    table.pop(next(iter(table)))
+    _INTERN_EVICTIONS += 1
 
 
 def clear_expression_caches() -> None:
@@ -89,13 +122,24 @@ def clear_expression_caches() -> None:
     (``cache.clear()``): its entries keep pre-clear expressions alive and,
     without pointer equality, every lookup pays a structural comparison.
     """
+    global _INTERN_EVICTIONS
     _INTERN.clear()
     _SIZE_CACHE.clear()
+    _INTERN_EVICTIONS = 0
+
+
+#: explicit alias for tests and services that reason about the intern bound.
+clear_intern_tables = clear_expression_caches
 
 
 def expression_cache_stats() -> Dict[str, int]:
-    """Return the sizes of the module-level expression caches."""
-    return {"interned": len(_INTERN), "sizes": len(_SIZE_CACHE)}
+    """Return the sizes (and bound counters) of the expression caches."""
+    return {
+        "interned": len(_INTERN),
+        "sizes": len(_SIZE_CACHE),
+        "limit": _INTERN_LIMIT if _INTERN_LIMIT is not None else 0,
+        "evictions": _INTERN_EVICTIONS,
+    }
 
 
 class ShapeExpr:
@@ -225,6 +269,8 @@ def _intern(cls, key: tuple, attrs: Tuple[Tuple[str, object], ...]) -> "ShapeExp
     _set_attr(self, "_hash", hash(key))
     if cached is None:
         _INTERN[key] = self
+        if _INTERN_LIMIT is not None and len(_INTERN) > _INTERN_LIMIT:
+            _evict_one(_INTERN)
     return self
 
 
@@ -542,21 +588,30 @@ def expression_size(expr: ShapeExpr) -> int:
     cached = _SIZE_CACHE.get(expr)
     if cached is not None:
         return cached
-    # iterative post-order so deep expressions cannot overflow the stack
+    # iterative post-order so deep expressions cannot overflow the stack; the
+    # local overlay keeps the walk correct even when a bounded _SIZE_CACHE
+    # evicts an entry the pending parents still need
+    local: Dict["ShapeExpr", int] = {}
     stack = [(expr, False)]
     while stack:
         current, expanded = stack.pop()
-        if current in _SIZE_CACHE:
+        if current in local:
+            continue
+        known = _SIZE_CACHE.get(current)
+        if known is not None:
+            local[current] = known
             continue
         if expanded:
-            _SIZE_CACHE[current] = 1 + sum(
-                _SIZE_CACHE[child] for child in current.children()
-            )
+            size = 1 + sum(local[child] for child in current.children())
+            local[current] = size
+            _SIZE_CACHE[current] = size
+            if _INTERN_LIMIT is not None and len(_SIZE_CACHE) > _INTERN_LIMIT:
+                _evict_one(_SIZE_CACHE)
         else:
             stack.append((current, True))
             for child in current.children():
                 stack.append((child, False))
-    return _SIZE_CACHE[expr]
+    return local[expr]
 
 
 def expression_depth(expr: ShapeExpr) -> int:

@@ -33,6 +33,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from ..rdf.graph import Graph
 from ..rdf.terms import IRI, Literal, ObjectTerm, SubjectTerm
+from .compiled import CompiledSchema, predicate_counts
 from .expressions import Arc, iter_subexpressions
 from .node_constraints import PredicateSet, ShapeRef
 from .schema import Schema
@@ -106,7 +107,8 @@ class ReferenceIndex:
 
 
 def reference_edges(
-    graph: Graph, schema: Schema, index: Optional[ReferenceIndex] = None
+    graph: Graph, schema: Schema, index: Optional[ReferenceIndex] = None,
+    compiled: Optional[CompiledSchema] = None,
 ) -> Tuple[Dict[SubjectTerm, Set[ObjectTerm]], Dict[ObjectTerm, Set[ShapeLabel]]]:
     """Extract the node-level reference edges (and demanded labels) of a graph.
 
@@ -117,12 +119,26 @@ def reference_edges(
 
     Literal objects are skipped: a literal's neighbourhood is empty, so its
     verdict is self-contained and any worker can (re)derive it locally.
+
+    With a :class:`~repro.shex.compiled.CompiledSchema`, the demanded-label
+    over-approximation is tightened into the edge set: a reference whose
+    target the prefilter settles **for every demanded label** (required /
+    first-predicate mismatch rejects, empty-nullable accepts, …) resolves
+    locally in any worker without recursing further, so it contributes no
+    scheduling edge.  The targets stay in ``demanded`` — they must remain in
+    the partition (and in worker snapshots) — but sparse-mismatch graphs
+    shred into far more independent components.  Sound only when validation
+    actually runs with the same compiled schema, which is how
+    :meth:`Validator.validate_graph` wires it.
     """
     index = index if index is not None else ReferenceIndex(schema)
     edges: Dict[SubjectTerm, Set[ObjectTerm]] = {}
     demanded: Dict[ObjectTerm, Set[ShapeLabel]] = {}
     if not index.has_references:
         return edges, demanded
+    #: (target, label) → prefilter-decided?, computed once per pair.
+    decided: Dict[Tuple[ObjectTerm, ShapeLabel], bool] = {}
+    counts: Dict[ObjectTerm, Dict[IRI, int]] = {}
     for triple in graph:
         target = triple.object
         if isinstance(target, Literal):
@@ -130,8 +146,26 @@ def reference_edges(
         labels = index.labels_for(triple.predicate)
         if not labels:
             continue
-        edges.setdefault(triple.subject, set()).add(target)
         demanded.setdefault(target, set()).update(labels)
+        if compiled is not None:
+            needs_edge = False
+            for label in labels:
+                key = (target, label)
+                verdict = decided.get(key)
+                if verdict is None:
+                    neighbourhood = graph.neighbourhood(target)
+                    target_counts = counts.get(target)
+                    if target_counts is None:
+                        target_counts = predicate_counts(neighbourhood)
+                        counts[target] = target_counts
+                    verdict = (label in compiled
+                               and compiled.decides(label, neighbourhood, target_counts))
+                    decided[key] = verdict
+                if not verdict:
+                    needs_edge = True
+            if not needs_edge:
+                continue
+        edges.setdefault(triple.subject, set()).add(target)
     return edges, demanded
 
 
@@ -257,6 +291,7 @@ def partition_reference_graph(
     graph: Graph,
     schema: Schema,
     extra_nodes: Iterable[ObjectTerm] = (),
+    compiled: Optional[CompiledSchema] = None,
 ) -> GraphPartition:
     """Partition a data graph's nodes by reference-graph SCC.
 
@@ -265,10 +300,11 @@ def partition_reference_graph(
     passes the nodes it wants report entries for).  Nodes without any
     reference edge become singleton components in level 0 — the perfectly
     parallel case; a schema without references therefore partitions every
-    node into its own component.
+    node into its own component.  A compiled schema additionally prunes
+    edges to prefilter-decidable targets (see :func:`reference_edges`).
     """
     index = ReferenceIndex(schema)
-    edges, demanded = reference_edges(graph, schema, index)
+    edges, demanded = reference_edges(graph, schema, index, compiled=compiled)
     node_set: Set[ObjectTerm] = set(graph.nodes())
     node_set.update(demanded)
     node_set.update(extra_nodes)

@@ -34,6 +34,9 @@ class MatchStats:
         number of arc constraint evaluations (both engines).
     reference_checks:
         number of recursive shape-reference validations triggered.
+    prefilter_accepts / prefilter_rejects:
+        ``(node, label)`` pairs decided statically by the compiled-schema
+        prefilter (:mod:`repro.shex.compiled`), without running an engine.
     max_expression_size:
         largest expression (AST node count) materialised during matching;
         tracks the derivative growth discussed in Example 10.
@@ -44,6 +47,8 @@ class MatchStats:
     rule_applications: int = 0
     arc_checks: int = 0
     reference_checks: int = 0
+    prefilter_accepts: int = 0
+    prefilter_rejects: int = 0
     max_expression_size: int = 0
 
     def observe_expression_size(self, size: int) -> None:
@@ -62,6 +67,8 @@ class MatchStats:
         self.rule_applications += other.rule_applications
         self.arc_checks += other.arc_checks
         self.reference_checks += other.reference_checks
+        self.prefilter_accepts += other.prefilter_accepts
+        self.prefilter_rejects += other.prefilter_rejects
         self.max_expression_size = max(self.max_expression_size, other.max_expression_size)
         return self
 
@@ -73,6 +80,8 @@ class MatchStats:
             rule_applications=self.rule_applications,
             arc_checks=self.arc_checks,
             reference_checks=self.reference_checks,
+            prefilter_accepts=self.prefilter_accepts,
+            prefilter_rejects=self.prefilter_rejects,
             max_expression_size=self.max_expression_size,
         )
 
@@ -94,6 +103,8 @@ class MatchStats:
             rule_applications=self.rule_applications - before.rule_applications,
             arc_checks=self.arc_checks - before.arc_checks,
             reference_checks=self.reference_checks - before.reference_checks,
+            prefilter_accepts=self.prefilter_accepts - before.prefilter_accepts,
+            prefilter_rejects=self.prefilter_rejects - before.prefilter_rejects,
             max_expression_size=self.max_expression_size,
         )
 
@@ -105,6 +116,8 @@ class MatchStats:
             "rule_applications": self.rule_applications,
             "arc_checks": self.arc_checks,
             "reference_checks": self.reference_checks,
+            "prefilter_accepts": self.prefilter_accepts,
+            "prefilter_rejects": self.prefilter_rejects,
             "max_expression_size": self.max_expression_size,
         }
 

@@ -161,6 +161,9 @@ class Schema:
         return serialize_shexc(self)
 
 
+#: shared empty neighbourhood (literals, node-free subjects) — one instance.
+_EMPTY_NEIGHBOURHOOD: FrozenSet[Triple] = frozenset()
+
 #: sentinel dependency depth marking an outcome forced by the recursion-depth
 #: budget; it never resolves (no frame ever settles at this depth), so the
 #: poison propagates to every enclosing frame and nothing gets cached.
@@ -211,9 +214,21 @@ class ValidationContext:
 
     def __init__(self, graph: Graph, schema: Optional[Schema],
                  matcher: NeighbourhoodMatcher,
-                 max_recursion_depth: int = 500):
+                 max_recursion_depth: int = 500,
+                 compiled: Optional[object] = None):
         self.graph = graph
         self.schema = schema
+        #: optional :class:`~repro.shex.compiled.CompiledSchema` enabling the
+        #: static prefilter and the engine's predicate-indexed atom dispatch.
+        #: Kept untyped to avoid a circular import; ``None`` disables both.
+        self.compiled = compiled
+        #: per-node predicate multisets, computed once and shared by every
+        #: label the node is checked against (only populated when compiled).
+        self._pred_counts: Dict[ObjectTerm, Mapping] = {}
+        #: pairs the prefilter already found undecidable: the bulk loops
+        #: prefilter a pair before ``validate_node`` and ``check_reference``
+        #: would otherwise re-run the same scans on the way to the engine.
+        self._prefilter_unknown: Set[Tuple[ObjectTerm, ShapeLabel]] = set()
         self._matcher = matcher
         #: hypothesis → depth of the frame that assumed it.
         self._hypotheses: Dict[Tuple[ObjectTerm, ShapeLabel], int] = {}
@@ -242,6 +257,10 @@ class ValidationContext:
             getattr(engine, "wants_ordered_neighbourhoods", False)
             and hasattr(graph, "neighbourhood_ordered")
         )
+        # the prefilter is order-insensitive; graphs expose their cheapest
+        # neighbourhood representation through ``neighbourhood_any``.
+        self._neighbourhood_any = getattr(graph, "neighbourhood_any",
+                                          graph.neighbourhood)
 
     # -- typing bookkeeping -----------------------------------------------------
     @property
@@ -338,6 +357,110 @@ class ValidationContext:
         )
         return confirmed, failed
 
+    # -- the compiled-schema fast path ---------------------------------------------
+    def _neighbourhood_of(self, node: ObjectTerm):
+        """``Σgₙ`` as the active engine wants it (literals have none)."""
+        if isinstance(node, Literal):
+            # literals have no outgoing arcs; they conform only to shapes
+            # accepting the empty neighbourhood
+            return frozenset()
+        if self._ordered_neighbourhoods:
+            return self.graph.neighbourhood_ordered(node)
+        return self.graph.neighbourhood(node)
+
+    def _prefilter_inputs(self, node: ObjectTerm):
+        """``(neighbourhood, predicate counts)`` for the prefilter, cached.
+
+        The neighbourhood comes through ``neighbourhood_any`` — the
+        prefilter is order-insensitive, so the predicate sort the engines
+        want is never paid here; the counts are built once per node and
+        shared by every label the node is checked against.
+        """
+        if isinstance(node, Literal):
+            neighbourhood = _EMPTY_NEIGHBOURHOOD
+        else:
+            neighbourhood = self._neighbourhood_any(node)
+        counts = self._pred_counts.get(node)
+        if counts is None:
+            counts = {}
+            for triple in neighbourhood:
+                predicate = triple.predicate
+                counts[predicate] = counts.get(predicate, 0) + 1
+            self._pred_counts[node] = counts
+        return neighbourhood, counts
+
+    def _record_decision(self, node: ObjectTerm, label: ShapeLabel,
+                         decision) -> None:
+        """Record a prefilter verdict — definitive, never hypothesis-bound."""
+        if decision.matched:
+            self.stats.prefilter_accepts += 1
+            self.confirm(node, label)
+        else:
+            self.stats.prefilter_rejects += 1
+            self.record_failure(node, label)
+
+    def prefilter_check(self, node: ObjectTerm, label: ShapeLabel):
+        """Try to decide ``(node, label)`` statically; record any verdict.
+
+        Returns the :class:`~repro.shex.compiled.PrefilterDecision` (and
+        confirms / records the failure — prefilter verdicts are definitive,
+        they never rest on a hypothesis) or ``None`` when the engine must
+        run.  The bulk paths call this before building any matching frame;
+        :meth:`check_reference` calls it for recursive references.
+        """
+        compiled = self.compiled
+        if compiled is None:
+            return None
+        if (node, label) in self._prefilter_unknown:
+            return None
+        shape = compiled.shape_or_none(label)
+        if shape is None:
+            return None
+        neighbourhood, counts = self._prefilter_inputs(node)
+        decision = shape.prefilter(neighbourhood, counts)
+        if decision is None:
+            self._prefilter_unknown.add((node, label))
+        else:
+            self._record_decision(node, label, decision)
+        return decision
+
+    def prefilter_node(self, node: ObjectTerm,
+                       labels: Iterable[ShapeLabel]) -> Dict[ShapeLabel, object]:
+        """Prefilter ``node`` against many labels in one pass.
+
+        The bulk paths validate every label of a node back to back; fetching
+        the neighbourhood and its predicate counts once per node (instead of
+        once per pair) makes the static fast lane almost free.  Returns the
+        decided labels only; verdicts are recorded exactly as in
+        :meth:`prefilter_check`.
+        """
+        compiled = self.compiled
+        if compiled is None:
+            return {}
+        neighbourhood, counts = self._prefilter_inputs(node)
+        decisions: Dict[ShapeLabel, object] = {}
+        unknown = self._prefilter_unknown
+        for label in labels:
+            # skip pairs already scanned (unknown) or settled through an
+            # earlier reference — the engine path answers those from its
+            # verdict caches, and re-deciding here would double-count the
+            # prefilter statistics
+            if (node, label) in unknown \
+                    or self.is_confirmed(node, label) \
+                    or self.is_failed(node, label):
+                continue
+            shape = compiled.shape_or_none(label)
+            if shape is None:
+                continue
+            decision = shape.prefilter(neighbourhood, counts)
+            if decision is None:
+                # remember the miss: check_reference will not re-scan
+                unknown.add((node, label))
+                continue
+            self._record_decision(node, label, decision)
+            decisions[label] = decision
+        return decisions
+
     # -- the MatchShape rule -----------------------------------------------------
     def check_reference(self, node: ObjectTerm, label: ShapeLabel | str) -> MatchResult:
         """Validate ``node`` against the shape named ``label``.
@@ -375,15 +498,19 @@ class ValidationContext:
                 f"while validating {node.n3()} against {label}",
                 limit_exceeded=True,
             )
+        # the static fast path: decide the pair from the compiled tables
+        # alone, before any matching frame is constructed.  Prefilter
+        # decisions never consult hypotheses, so they are definitive —
+        # cacheable and shareable — even in the middle of a recursion.
+        decision = self.prefilter_check(node, label)
+        if decision is not None:
+            if decision.matched:
+                return MatchResult.success(ShapeTyping.single(node, label))
+            return MatchResult.failure(
+                f"{node.n3()} does not match shape {label}: {decision.reason}"
+            )
         expr = self.schema.expression(label)
-        if isinstance(node, Literal):
-            # literals have no outgoing arcs; they conform only to shapes
-            # accepting the empty neighbourhood
-            neighbourhood: FrozenSet[Triple] = frozenset()
-        elif self._ordered_neighbourhoods:
-            neighbourhood = self.graph.neighbourhood_ordered(node)
-        else:
-            neighbourhood = self.graph.neighbourhood(node)
+        neighbourhood = self._neighbourhood_of(node)
         self._depth += 1
         frame = _Frame(node, label, self._depth)
         self._frames.append(frame)

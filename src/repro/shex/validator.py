@@ -24,6 +24,7 @@ from ..rdf.graph import Graph, NeighbourhoodSnapshot
 from ..rdf.terms import ObjectTerm, SubjectTerm
 from .backtracking import BacktrackingEngine
 from .cache import DerivativeCache
+from .compiled import CompiledSchema
 from .derivatives import DerivativeEngine
 from .expressions import ShapeExpr
 from .results import MatchResult, MatchStats, ValidationReportEntry
@@ -135,6 +136,17 @@ class Validator:
         of its node reference graph (:mod:`repro.shex.partition`) and
         independent components are validated concurrently; ``1`` (the
         default) keeps the serial bulk path.
+    precompile:
+        build a :class:`~repro.shex.compiled.CompiledSchema` for the schema
+        (default True) and thread it through every context this validator
+        creates: statically decidable ``(node, label)`` pairs are settled by
+        the prefilter without touching an engine, and the derivative engine
+        dispatches arc atoms through the predicate-indexed atom tables.
+        Verdicts are identical either way; set False (CLI
+        ``--no-precompile``) to measure or to rule the fast paths out.
+    compiled:
+        a ready :class:`~repro.shex.compiled.CompiledSchema` to adopt instead
+        of compiling one (must belong to ``schema``); implies ``precompile``.
     engine_options:
         keyword options forwarded to the engine factory (e.g.
         ``simplify=False``, ``budget=10_000`` or ``cache=True`` to give the
@@ -146,6 +158,8 @@ class Validator:
                  shared_context: bool = True,
                  max_recursion_depth: int = 500,
                  jobs: int = 1,
+                 precompile: bool = True,
+                 compiled: Optional[CompiledSchema] = None,
                  **engine_options):
         self.graph = graph
         self.schema = schema
@@ -153,15 +167,43 @@ class Validator:
         self.shared_context = shared_context
         self.max_recursion_depth = max_recursion_depth
         self.jobs = jobs
+        self.precompile = precompile or compiled is not None
+        self._compiled = compiled
+        self._atoms_adopted = False
         self._worker_engine_spec = _make_engine_spec(engine, engine_options)
         self._context: Optional[ValidationContext] = None
         self._context_key: Optional[tuple] = None
+
+    # -- schema compilation -------------------------------------------------------
+    @property
+    def compiled(self) -> Optional[CompiledSchema]:
+        """The compiled tables for the current schema (None when disabled).
+
+        Compiled lazily, once per schema object: reassigning ``schema``
+        triggers a recompile on the next use.  The engine's global derivative
+        cache (when present) adopts the compiled atom tables so the per-label
+        atom walk is never repeated.
+        """
+        if not self.precompile or self.schema is None:
+            return None
+        if self._compiled is None or self._compiled.schema is not self.schema:
+            self._compiled = CompiledSchema(self.schema)
+            self._atoms_adopted = False
+        if not self._atoms_adopted:
+            # seed the engine's derivative cache whether the compiled schema
+            # was built here or handed in ready-made
+            cache = getattr(self.engine, "cache", None)
+            if cache is not None:
+                cache.adopt_atoms(self._compiled.atom_tables())
+            self._atoms_adopted = True
+        return self._compiled
 
     # -- contexts ---------------------------------------------------------------
     def _new_context(self) -> ValidationContext:
         return ValidationContext(self.graph, self.schema,
                                  self.engine.match_neighbourhood,
-                                 max_recursion_depth=self.max_recursion_depth)
+                                 max_recursion_depth=self.max_recursion_depth,
+                                 compiled=self.compiled)
 
     def _bulk_context(self) -> Optional[ValidationContext]:
         """The persistent shared context (None when ``shared_context`` is off).
@@ -175,13 +217,13 @@ class Validator:
             return None
         # objects are compared by identity (and kept referenced so their ids
         # cannot be recycled); the generation captures in-place graph edits.
-        sources = (self.graph, self.schema, self.engine,
+        sources = (self.graph, self.schema, self.engine, self.compiled,
                    self.max_recursion_depth,
                    getattr(self.graph, "generation", None))
         stale = (self._context is None or self._context_key is None
                  or any(new is not old
-                        for new, old in zip(sources[:3], self._context_key[:3]))
-                 or sources[3:] != self._context_key[3:])
+                        for new, old in zip(sources[:4], self._context_key[:4]))
+                 or sources[4:] != self._context_key[4:])
         if stale:
             self._context = self._new_context()
             self._context_key = sources
@@ -299,14 +341,28 @@ class Validator:
         return self._validate_graph_serial(label_list)
 
     def _validate_graph_serial(self, label_list: Sequence[ShapeLabel]) -> ValidationReport:
-        """The single-process bulk path: one shared context, sorted node order."""
+        """The single-process bulk path: one shared context, sorted node order.
+
+        Each ``(node, label)`` pair is offered to the compiled-schema
+        prefilter *before* any matching frame (or per-entry statistics
+        bookkeeping) is constructed; only statically undecidable pairs go
+        through :meth:`validate_node` and the engine.
+        """
         context = self._bulk_context()
+        use_prefilter = context is not None and context.compiled is not None
         report = ValidationReport()
+        entries = report.entries
         conforming: List[Tuple[ObjectTerm, ShapeLabel]] = []
         for node in sorted(self.graph.nodes(), key=lambda term: term.sort_key()):
+            decisions = (context.prefilter_node(node, label_list)
+                         if use_prefilter else None)
             for label in label_list:
-                entry = self.validate_node(node, label, context=context)
-                report.entries.append(entry)
+                decision = decisions.get(label) if decisions else None
+                if decision is not None:
+                    entry = _decided_entry(node, label, decision)
+                else:
+                    entry = self.validate_node(node, label, context=context)
+                entries.append(entry)
                 if entry.conforms:
                     conforming.append((node, label))
         report.typing = ShapeTyping.from_pairs(conforming)
@@ -344,7 +400,12 @@ class Validator:
             )
 
         subjects = sorted(self.graph.nodes(), key=lambda term: term.sort_key())
-        partition = partition_reference_graph(self.graph, self.schema)
+        # the compiled schema tightens the partition (references whose target
+        # the prefilter settles locally need no scheduling edge) and ships to
+        # every worker so nothing is recompiled per process.
+        compiled = self.compiled
+        partition = partition_reference_graph(self.graph, self.schema,
+                                              compiled=compiled)
         if len(partition.components) <= 1:
             # zero or one strongly-connected component: there is no
             # independent work to spread, so degenerate gracefully to the
@@ -377,7 +438,7 @@ class Validator:
 
         snapshot = self.graph.snapshot(partition.nodes)
         init_args = (self.schema, spec, snapshot, self.max_recursion_depth,
-                     sys.getrecursionlimit())
+                     sys.getrecursionlimit(), compiled)
         entries: Dict[Tuple[ObjectTerm, ShapeLabel], ValidationReportEntry] = {}
         new_confirmed: List[Tuple[ObjectTerm, ShapeLabel]] = []
         new_failed: List[Tuple[ObjectTerm, ShapeLabel]] = []
@@ -440,6 +501,32 @@ class Validator:
         return ShapeLabel(label)
 
 
+# -- the bulk prefilter fast lane ---------------------------------------------------
+def _decided_entry(node: ObjectTerm, label: ShapeLabel,
+                   decision) -> ValidationReportEntry:
+    """Build a report entry for a prefilter-decided ``(node, label)`` pair.
+
+    The fast lane of the bulk paths: when the compiled-schema prefilter
+    settles a pair, it never reaches
+    :meth:`ValidationContext.check_reference` — no matching frame, no
+    hypothesis bookkeeping, no per-entry statistics snapshotting.  The
+    verdict itself was already recorded in the context by
+    ``prefilter_node`` / ``prefilter_check``.
+    """
+    if decision.matched:
+        return ValidationReportEntry(
+            node=node, label=label, conforms=True,
+            stats=MatchStats(prefilter_accepts=1),
+        )
+    # the entry carries the node and label already; reusing the memoised
+    # reason string verbatim keeps the reject lane allocation-light
+    return ValidationReportEntry(
+        node=node, label=label, conforms=False,
+        reason=decision.reason,
+        stats=MatchStats(prefilter_rejects=1),
+    )
+
+
 # -- parallel scheduling helpers ---------------------------------------------------
 def _make_engine_spec(engine: Union[str, object, None],
                       engine_options: Mapping[str, object]) -> Optional[tuple]:
@@ -487,20 +574,24 @@ def _balance_batches(level: Sequence[int],
     return [bucket for bucket in buckets if bucket]
 
 
-#: per-process worker state: ``(schema, engine, snapshot, max_recursion_depth)``.
+#: per-process worker state:
+#: ``(schema, engine, snapshot, max_recursion_depth, compiled)``.
 _WORKER_STATE: Optional[tuple] = None
 
 
 def _parallel_worker_init(schema: Schema, engine_spec: tuple,
                           snapshot: NeighbourhoodSnapshot,
                           max_recursion_depth: int,
-                          recursion_limit: int) -> None:
+                          recursion_limit: int,
+                          compiled: Optional[CompiledSchema] = None) -> None:
     """Initialise one worker process for parallel bulk validation.
 
     Runs once per worker: rebuilds the engine from its spec (so derivative
     caches are worker-local but persist across that worker's tasks), adopts
     the parent's recursion limit (deep reference chains recurse one Python
-    frame per hop) and keeps the neighbourhood snapshot for every task.
+    frame per hop), keeps the neighbourhood snapshot for every task, and
+    receives the parent's **compiled schema** — unpickled once, never
+    recompiled — so worker-side prefilter decisions match the scheduler's.
     """
     global _WORKER_STATE
     if recursion_limit > sys.getrecursionlimit():
@@ -510,7 +601,11 @@ def _parallel_worker_init(schema: Schema, engine_spec: tuple,
     if options.get("cache") is True and cache_bound is not None:
         options["cache"] = DerivativeCache(max_entries=cache_bound)
     engine = get_engine(name, **options)
-    _WORKER_STATE = (schema, engine, snapshot, max_recursion_depth)
+    if compiled is not None:
+        cache = getattr(engine, "cache", None)
+        if cache is not None:
+            cache.adopt_atoms(compiled.atom_tables())
+    _WORKER_STATE = (schema, engine, snapshot, max_recursion_depth, compiled)
 
 
 def _parallel_worker_run(
@@ -527,20 +622,26 @@ def _parallel_worker_run(
     hypothesis — and budget-poisoned outcomes never leave the worker, which
     is what keeps the merge sound under recursion.
     """
-    schema, engine, snapshot, max_recursion_depth = _WORKER_STATE
+    schema, engine, snapshot, max_recursion_depth, compiled = _WORKER_STATE
     context = ValidationContext(snapshot, schema, engine.match_neighbourhood,
-                                max_recursion_depth=max_recursion_depth)
+                                max_recursion_depth=max_recursion_depth,
+                                compiled=compiled)
     context.seed_settled(seed_confirmed, seed_failed)
     entries: List[ValidationReportEntry] = []
     for node, label in pairs:
-        before = context.stats.copy()
-        result = context.check_reference(node, label)
-        entry_stats = context.stats.delta_since(before).merge(result.stats)
-        entries.append(ValidationReportEntry(
-            node=node, label=label, conforms=result.matched,
-            reason=result.reason, stats=entry_stats,
-            limit_exceeded=result.limit_exceeded,
-        ))
+        decision = context.prefilter_check(node, label)
+        if decision is not None:
+            entry = _decided_entry(node, label, decision)
+        else:
+            before = context.stats.copy()
+            result = context.check_reference(node, label)
+            entry_stats = context.stats.delta_since(before).merge(result.stats)
+            entry = ValidationReportEntry(
+                node=node, label=label, conforms=result.matched,
+                reason=result.reason, stats=entry_stats,
+                limit_exceeded=result.limit_exceeded,
+            )
+        entries.append(entry)
     confirmed, failed = context.settled_verdicts()
     seeded = set(seed_confirmed)
     seeded.update(seed_failed)

@@ -90,6 +90,7 @@ class TestStatistics:
         assert set(as_dict) == {
             "derivative_steps", "decompositions", "rule_applications",
             "arc_checks", "reference_checks", "max_expression_size",
+            "prefilter_accepts", "prefilter_rejects",
         }
 
 

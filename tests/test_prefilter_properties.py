@@ -1,0 +1,118 @@
+"""Property-based tests: the compiled-schema prefilter agrees with the engine.
+
+The prefilter may answer ``accept``, ``reject`` or ``unknown`` for any
+``(expression, neighbourhood)`` pair.  Its soundness contract is one-sided
+agreement with the derivative engine of Section 7:
+
+* a prefilter **accept** implies the engine accepts,
+* a prefilter **reject** implies the engine rejects,
+* ``unknown`` implies nothing.
+
+The expressions drawn here mix value sets, datatype constraints and
+multi-predicate sets; the neighbourhood universe deliberately contains a
+predicate no expression mentions (exercising the closed-world rule),
+duplicate predicates (cardinality bounds) and objects of the wrong type
+(value screens).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import EX, XSD, Literal, Triple
+from repro.shex import arc, datatype, matches, value_set
+from repro.shex.compiled import CompiledShape
+from repro.shex.expressions import EMPTY, EPSILON, And, Or, ShapeExpr, Star
+from repro.shex.node_constraints import PredicateSet
+from repro.shex.typing import ShapeLabel
+
+NODE = EX.n
+PREDICATES = [EX.a, EX.b]
+#: EX.c never occurs in any exact predicate set: triples carrying it are
+#: only acceptable to wildcard- or stem-predicate arcs.
+EXTRA_PREDICATE = EX.c
+OBJECTS = [Literal(1), Literal(2), Literal("x")]
+UNIVERSE = [Triple(NODE, predicate, obj)
+            for predicate in PREDICATES + [EXTRA_PREDICATE]
+            for obj in OBJECTS]
+
+LABEL = ShapeLabel("S")
+
+
+def constraints() -> st.SearchStrategy:
+    return st.one_of(
+        st.builds(lambda values: value_set(*values),
+                  st.lists(st.sampled_from([1, 2, "x"]), min_size=1,
+                           max_size=2, unique=True)),
+        st.just(datatype(XSD.integer)),
+        st.just(datatype(XSD.string)),
+    )
+
+
+def predicate_sets() -> st.SearchStrategy[PredicateSet]:
+    return st.one_of(
+        st.sampled_from([PredicateSet.single(p) for p in PREDICATES]),
+        st.just(PredicateSet(PREDICATES)),          # multi-predicate arc
+        st.just(PredicateSet(any_predicate=True)),  # wildcard arc
+        # stems: one covering the whole universe (including EXTRA_PREDICATE),
+        # one covering only EX.a — exercises _sound_bounds stem coverage,
+        # allowed_stems and the screen stem-exclusion
+        st.just(PredicateSet(stem="http://example.org/")),
+        st.just(PredicateSet(stem=EX.a.value)),
+    )
+
+
+def arcs() -> st.SearchStrategy[ShapeExpr]:
+    return st.builds(lambda ps, c: arc(ps, c), predicate_sets(), constraints())
+
+
+def expressions() -> st.SearchStrategy[ShapeExpr]:
+    return st.recursive(
+        # raw ∅ / ε leaves exercise the statically-empty pruning of the
+        # first-predicate sets (the smart constructors would fold them away)
+        st.one_of(arcs(), st.just(EMPTY), st.just(EPSILON)),
+        lambda children: st.one_of(
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+            st.builds(Star, children),
+        ),
+        max_leaves=6,
+    )
+
+
+def neighbourhoods() -> st.SearchStrategy[frozenset]:
+    return st.frozensets(st.sampled_from(UNIVERSE), max_size=5)
+
+
+class TestPrefilterAgreement:
+    @settings(max_examples=300, deadline=None)
+    @given(expression=expressions(), triples=neighbourhoods())
+    def test_decisions_agree_with_the_derivative_engine(self, expression, triples):
+        shape = CompiledShape(LABEL, expression)
+        decision = shape.prefilter(triples)
+        if decision is None:
+            return  # unknown: the engine decides, nothing to check
+        assert decision.matched == matches(expression, triples), (
+            f"prefilter said {decision.matched} ({decision.reason!r}) but the "
+            f"engine disagrees on {expression.to_str()}"
+        )
+
+    @settings(max_examples=150, deadline=None)
+    @given(expression=expressions())
+    def test_empty_neighbourhood_is_always_decided(self, expression):
+        shape = CompiledShape(LABEL, expression)
+        decision = shape.prefilter(frozenset())
+        assert decision is not None
+        assert decision.matched == matches(expression, frozenset())
+
+    @settings(max_examples=150, deadline=None)
+    @given(expression=expressions(), triples=neighbourhoods())
+    def test_counts_argument_changes_nothing(self, expression, triples):
+        from repro.shex.compiled import predicate_counts
+
+        shape = CompiledShape(LABEL, expression)
+        with_counts = shape.prefilter(triples, predicate_counts(triples))
+        without = shape.prefilter(triples)
+        assert (with_counts is None) == (without is None)
+        if with_counts is not None:
+            assert with_counts.matched == without.matched

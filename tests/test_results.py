@@ -33,7 +33,9 @@ class TestMatchStats:
     def test_as_dict_lists_every_counter(self):
         as_dict = MatchStats(rule_applications=4).as_dict()
         assert as_dict["rule_applications"] == 4
-        assert len(as_dict) == 6
+        from dataclasses import fields
+
+        assert len(as_dict) == len(fields(MatchStats))
 
 
 class TestMatchResult:

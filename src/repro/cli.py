@@ -93,6 +93,37 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--include-stats", action="store_true",
                           help="include work counters in JSON output")
 
+    revalidate = subparsers.add_parser(
+        "revalidate",
+        help="validate, apply a change set, then revalidate incrementally")
+    revalidate.add_argument("--data", required=True,
+                            help="path to the base Turtle or N-Triples file")
+    revalidate.add_argument("--data-format", choices=["turtle", "ntriples"],
+                            default="turtle")
+    revalidate.add_argument("--schema", required=True,
+                            help="path to a ShExC schema file")
+    revalidate.add_argument("--add", metavar="FILE",
+                            help="RDF file whose triples are added to the graph")
+    revalidate.add_argument("--remove", metavar="FILE",
+                            help="RDF file whose triples are removed from the graph")
+    revalidate.add_argument("--shape",
+                            help="revalidate against this single shape label "
+                                 "(default: every shape)")
+    revalidate.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="worker processes for both passes (default 1)")
+    revalidate.add_argument("--no-precompile", action="store_true",
+                            help="disable the compiled-schema fast paths")
+    revalidate.add_argument("--delta-only", action="store_true",
+                            help="print only the recomputed (delta) entries "
+                                 "instead of the full updated report")
+    revalidate.add_argument("--cache-stats", action="store_true",
+                            help="print change-journal and revalidation "
+                                 "counters to stderr")
+    revalidate.add_argument("--format", choices=["text", "json", "csv", "summary"],
+                            default="text", dest="output_format")
+    revalidate.add_argument("--include-stats", action="store_true",
+                            help="include work counters in JSON output")
+
     check_schema = subparsers.add_parser("check-schema", help="parse a ShExC schema and report errors")
     check_schema.add_argument("schema", help="path to a ShExC schema file")
 
@@ -136,6 +167,15 @@ def _build_engine(name: str):
 
         return SparqlEngine()
     return name
+
+
+def _print_journal_stats(graph: Graph) -> None:
+    stats = graph.journal.stats()
+    print("journal-stats: "
+          f"tracked_subjects={stats['tracked_subjects']} "
+          f"records={stats['records']} "
+          f"overflows={stats['overflows']} "
+          f"max_entries={stats['max_entries']}", file=sys.stderr)
 
 
 def _render_report(report: ValidationReport, output_format: str,
@@ -188,6 +228,7 @@ def _command_validate(args: argparse.Namespace) -> int:
 
     sys.stdout.write(_render_report(report, args.output_format, args.include_stats))
     if args.cache_stats:
+        _print_journal_stats(graph)
         totals = report.total_stats()
         if validator.compiled is None:
             print("prefilter-stats: disabled (--no-precompile or no schema)",
@@ -217,6 +258,58 @@ def _command_validate(args: argparse.Namespace) -> int:
                       "are worker-local; the counters above cover only the "
                       "coordinating process", file=sys.stderr)
     return 0 if report.conforms else 1
+
+
+def _command_revalidate(args: argparse.Namespace) -> int:
+    """Full pass, apply a change set, incremental pass: the watch-style demo.
+
+    The change set is applied through the bulk mutation helpers
+    (``add_all`` / ``remove_all``), so the whole edit lands as one batch in
+    the graph's change journal; ``Validator.revalidate`` then consumes the
+    journal and re-runs only the affected reference-graph region.
+    """
+    if args.jobs < 1:
+        raise SystemExit("error: --jobs must be at least 1")
+    if not args.add and not args.remove:
+        raise SystemExit("error: revalidate needs a change set "
+                         "(--add and/or --remove)")
+    graph = _load_graph(args.data, args.data_format)
+    schema = _load_schema(args.schema)
+    labels = [args.shape] if args.shape else None
+    validator = Validator(graph, schema, jobs=args.jobs,
+                          precompile=not args.no_precompile)
+    validator.validate_graph(labels=labels)
+
+    added = removed = 0
+    with graph.batch():
+        if args.add:
+            additions = _load_graph(args.add, args.data_format)
+            before = len(graph)
+            graph.add_all(additions)
+            added = len(graph) - before
+        if args.remove:
+            removals = _load_graph(args.remove, args.data_format)
+            before = len(graph)
+            graph.remove_all(removals)
+            removed = before - len(graph)
+
+    result = validator.revalidate(labels=labels)
+    shown = result.delta if args.delta_only else result.report
+    sys.stdout.write(_render_report(shown, args.output_format, args.include_stats))
+    stats = result.stats()
+    print(f"revalidate: +{added}/-{removed} triples, "
+          f"{stats['dirty_subjects']} dirty subject(s), "
+          f"{stats['affected_nodes']} affected node(s), "
+          f"{stats['revalidated_pairs']} pair(s) revalidated, "
+          f"{stats['reused_pairs']} reused"
+          + (" (full rebuild)" if result.full_rebuild else ""),
+          file=sys.stderr)
+    if args.cache_stats:
+        _print_journal_stats(graph)
+        print("revalidate-stats: "
+              f"retracted_verdicts={stats['retracted_verdicts']} "
+              f"full_rebuild={bool(stats['full_rebuild'])}", file=sys.stderr)
+    return 0 if result.report.conforms else 1
 
 
 def _command_check_schema(args: argparse.Namespace) -> int:
@@ -277,6 +370,7 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "validate": _command_validate,
+    "revalidate": _command_revalidate,
     "check-schema": _command_check_schema,
     "check-data": _command_check_data,
     "sparql": _command_sparql,

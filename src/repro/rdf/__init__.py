@@ -19,8 +19,23 @@ from .datatypes import (
     is_valid_lexical,
     to_python_value,
 )
-from .errors import DatatypeError, GraphError, NamespaceError, ParseError, RDFError
-from .graph import Graph, NeighbourhoodView, OrderedTriples, decomposition_count, decompositions
+from .errors import (
+    DatatypeError,
+    GraphError,
+    NamespaceError,
+    ParseError,
+    RDFError,
+    StaleSnapshotError,
+)
+from .graph import (
+    ChangeJournal,
+    Graph,
+    NeighbourhoodSnapshot,
+    NeighbourhoodView,
+    OrderedTriples,
+    decomposition_count,
+    decompositions,
+)
 from .namespaces import (
     DC,
     DCTERMS,
@@ -55,7 +70,8 @@ __all__ = [
     "Term", "IRI", "BNode", "Literal", "Triple", "SubjectTerm", "ObjectTerm",
     "is_subject_term", "is_predicate_term", "is_object_term",
     # graph
-    "Graph", "NeighbourhoodView", "OrderedTriples", "decompositions", "decomposition_count",
+    "Graph", "ChangeJournal", "NeighbourhoodSnapshot", "NeighbourhoodView",
+    "OrderedTriples", "decompositions", "decomposition_count",
     # namespaces
     "Namespace", "NamespaceManager",
     "RDF", "RDFS", "XSD", "OWL", "FOAF", "SCHEMA", "DC", "DCTERMS", "SHEX", "EX",
@@ -65,4 +81,5 @@ __all__ = [
     "parse_ntriples", "serialize_ntriples", "parse_turtle", "serialize_turtle",
     # errors
     "RDFError", "NamespaceError", "DatatypeError", "ParseError", "GraphError",
+    "StaleSnapshotError",
 ]

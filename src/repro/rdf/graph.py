@@ -17,13 +17,15 @@ extraction stay close to O(result size).
 from __future__ import annotations
 
 from collections import defaultdict
+from contextlib import contextmanager
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
-from .errors import GraphError
+from .errors import GraphError, StaleSnapshotError
 from .namespaces import NamespaceManager
 from .terms import IRI, ObjectTerm, SubjectTerm, Triple
 
 __all__ = [
+    "ChangeJournal",
     "Graph",
     "NeighbourhoodView",
     "NeighbourhoodSnapshot",
@@ -31,6 +33,86 @@ __all__ = [
     "decompositions",
     "decomposition_count",
 ]
+
+#: default bound on the number of subjects a change journal tracks before it
+#: overflows (consumers then fall back to a full rebuild).  Generous enough
+#: for interactive editing sessions, small enough that the journal never
+#: rivals the triple indexes in memory.
+DEFAULT_JOURNAL_BOUND = 1 << 17
+
+
+class ChangeJournal:
+    """A bounded per-subject dirty log with generation epochs.
+
+    Every effective graph mutation dirties the triple's subject; the journal
+    records, per subject, the *generation* of its most recent mutation.  A
+    consumer that finished deriving state at generation ``g`` (a validation
+    run, say) can later ask :meth:`changes_since` ``(g)`` for exactly the
+    subjects whose neighbourhoods may differ from what it saw.
+
+    The journal is **bounded**: once more than ``max_entries`` distinct
+    subjects are tracked it overflows — the log is dropped and a floor is
+    raised so that questions about pre-overflow generations honestly answer
+    ``None`` ("I don't know, rebuild from scratch") instead of under-reporting
+    changes.  Batches (:meth:`Graph.begin_batch` / :meth:`Graph.end_batch`)
+    coalesce their mutations into one journal record per touched subject —
+    not one per triple — so bulk loads do not pay per-triple journalling
+    (the generation itself still counts every effective mutation).
+    """
+
+    __slots__ = ("max_entries", "_epochs", "_floor", "records", "overflows")
+
+    def __init__(self, max_entries: int = DEFAULT_JOURNAL_BOUND):
+        if max_entries < 1:
+            raise ValueError("a change journal needs room for at least one entry")
+        self.max_entries = max_entries
+        #: subject → generation of its latest mutation.
+        self._epochs: Dict[SubjectTerm, int] = {}
+        #: generations ``< _floor`` are unanswerable (pre-overflow history).
+        self._floor = 0
+        #: total mutations recorded (batch = one record per touched subject).
+        self.records = 0
+        #: times the bound was hit and the log was dropped.
+        self.overflows = 0
+
+    def record(self, subject: SubjectTerm, generation: int) -> None:
+        """Note that ``subject`` was mutated at ``generation``."""
+        self.records += 1
+        self._epochs[subject] = generation
+        if len(self._epochs) > self.max_entries:
+            self.truncate(generation)
+            self.overflows += 1
+
+    def truncate(self, generation: int) -> None:
+        """Drop the log; only generations ``>= generation`` stay answerable."""
+        self._epochs.clear()
+        self._floor = generation
+
+    def changes_since(self, generation: int) -> Optional[FrozenSet[SubjectTerm]]:
+        """Subjects mutated after ``generation``, or ``None`` if unknowable.
+
+        ``None`` means the journal overflowed (or was truncated) since
+        ``generation``: the caller must treat *everything* as dirty.
+        """
+        if generation < self._floor:
+            return None
+        return frozenset(
+            subject for subject, epoch in self._epochs.items() if epoch > generation
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Summary counters for ``--cache-stats`` and benchmarks."""
+        return {
+            "tracked_subjects": len(self._epochs),
+            "max_entries": self.max_entries,
+            "records": self.records,
+            "overflows": self.overflows,
+            "floor": self._floor,
+        }
+
+    def __repr__(self) -> str:
+        return (f"ChangeJournal(<{len(self._epochs)} subjects, "
+                f"floor={self._floor}, bound={self.max_entries}>)")
 
 
 class OrderedTriples(tuple):
@@ -53,7 +135,8 @@ class Graph:
     """
 
     def __init__(self, triples: Optional[Iterable[Triple]] = None,
-                 namespaces: Optional[NamespaceManager] = None):
+                 namespaces: Optional[NamespaceManager] = None,
+                 journal_max_entries: int = DEFAULT_JOURNAL_BOUND):
         self._triples: Set[Triple] = set()
         self._spo: Dict[SubjectTerm, Dict[IRI, Set[ObjectTerm]]] = defaultdict(
             lambda: defaultdict(set)
@@ -73,12 +156,17 @@ class Graph:
         #: mutation counter; bumps on every effective add/discard/clear so
         #: derived state (e.g. a shared ValidationContext) can notice change.
         self._generation = 0
+        #: bounded per-subject dirty log (see :class:`ChangeJournal`).
+        self._journal = ChangeJournal(max_entries=journal_max_entries)
+        #: batch nesting depth; > 0 coalesces invalidations (see ``batch``).
+        self._batch_depth = 0
+        #: subjects dirtied inside the current outermost batch.
+        self._batch_dirty: Set[SubjectTerm] = set()
         self.namespaces = namespaces if namespaces is not None else NamespaceManager(
             bind_defaults=True
         )
         if triples is not None:
-            for triple in triples:
-                self.add(triple)
+            self.add_all(triples)
 
     # ------------------------------------------------------------------ set API
     def __len__(self) -> int:
@@ -127,8 +215,31 @@ class Graph:
 
     def update(self, triples: Iterable[Triple]) -> "Graph":
         """Add every triple from ``triples``.  Returns ``self``."""
-        for triple in triples:
-            self.add(triple)
+        return self.add_all(triples)
+
+    def add_all(self, triples: Iterable[Triple]) -> "Graph":
+        """Add every triple inside one batch (one journal record per touched
+        subject).  Returns ``self``."""
+        # materialise first: the natural call sites hand in live generators
+        # over this very graph (``graph.add_all(other.triples(...))`` where
+        # ``other is graph``), which would otherwise mutate the indexes
+        # they are iterating.
+        with self.batch():
+            for triple in list(triples):
+                self.add(triple)
+        return self
+
+    def remove_all(self, triples: Iterable[Triple]) -> "Graph":
+        """Discard every triple inside one batch.  Returns ``self``.
+
+        Absent triples are ignored (``discard`` semantics), so a removal
+        batch can be replayed idempotently.  The iterable is materialised
+        first, so ``graph.remove_all(graph.triples(subject=s))`` — deleting
+        a subject through a live query over the same graph — is safe.
+        """
+        with self.batch():
+            for triple in list(triples):
+                self.discard(triple)
         return self
 
     def discard(self, triple: Triple) -> "Graph":
@@ -170,16 +281,92 @@ class Graph:
         self._neigh_sets.clear()
         self._neigh_ordered.clear()
         self._generation += 1
+        # every subject changed: no bounded log can say *which*, so the
+        # journal honestly forgets and answers None for earlier generations.
+        self._journal.truncate(self._generation)
+        self._batch_dirty.clear()
 
     def _invalidate_neighbourhood(self, subject: SubjectTerm) -> None:
+        # the cache pop is unconditional so reads *inside* a batch still see
+        # current triples; only the generation bump and the journal record
+        # are coalesced to the end of the batch.
         self._neigh_sets.pop(subject, None)
         self._neigh_ordered.pop(subject, None)
+        # the generation counts every effective mutation, batch or not: an
+        # integer bump is nearly free, and anything derived from the graph
+        # (snapshots, shared contexts) stays stale-detectable even mid-batch.
         self._generation += 1
+        if self._batch_depth:
+            self._batch_dirty.add(subject)
+        else:
+            self._journal.record(subject, self._generation)
 
     @property
     def generation(self) -> int:
         """Monotonic mutation counter (changes whenever the triples change)."""
         return self._generation
+
+    # ------------------------------------------------------------ change journal
+    @property
+    def journal(self) -> ChangeJournal:
+        """The graph's bounded :class:`ChangeJournal`."""
+        return self._journal
+
+    def changes_since(self, generation: int) -> Optional[FrozenSet[SubjectTerm]]:
+        """Subjects whose neighbourhoods may have changed after ``generation``.
+
+        Returns ``None`` when the journal cannot answer (it overflowed or was
+        truncated since ``generation``, or ``generation`` predates it): the
+        caller must assume everything changed.  Asking from inside a batch is
+        an error — the batch's mutations have not been journalled yet, so any
+        answer would under-report.
+        """
+        if self._batch_depth:
+            raise GraphError("changes_since inside an open batch would "
+                             "under-report; close the batch first")
+        return self._journal.changes_since(generation)
+
+    def begin_batch(self) -> None:
+        """Enter batch mode: coalesce journal records until ``end_batch``.
+
+        Nestable; only the outermost pair takes effect.  While a batch is
+        open, triple reads see every mutation immediately (per-subject
+        neighbourhood caches are still invalidated eagerly, and the
+        generation still counts every effective mutation — snapshots and
+        derived state stay stale-detectable mid-batch), but the journal
+        receives one record per touched *subject* instead of one per triple,
+        all stamped with the batch's final generation.  A batch that changes
+        nothing (empty, or a fully idempotent replay) leaves the generation
+        untouched, so derived state stays valid.
+        """
+        self._batch_depth += 1
+
+    def end_batch(self) -> None:
+        """Leave batch mode, journalling the coalesced per-subject changes."""
+        if self._batch_depth == 0:
+            raise GraphError("end_batch without a matching begin_batch")
+        self._batch_depth -= 1
+        if self._batch_depth == 0 and self._batch_dirty:
+            # stamping with the final generation over-approximates soundly:
+            # a consumer that derived state mid-batch sees every batch
+            # subject as changed, including those mutated before its read.
+            for subject in self._batch_dirty:
+                self._journal.record(subject, self._generation)
+            self._batch_dirty.clear()
+
+    @contextmanager
+    def batch(self):
+        """Context manager around ``begin_batch`` / ``end_batch``::
+
+            with graph.batch():
+                for triple in bulk:
+                    graph.add(triple)
+        """
+        self.begin_batch()
+        try:
+            yield self
+        finally:
+            self.end_batch()
 
     # ---------------------------------------------------------------- querying
     def triples(
@@ -431,6 +618,23 @@ class NeighbourhoodSnapshot:
         # the lazily-built frozenset cache is rebuilt on demand in the target
         # process; only the ordered tables travel.
         return (NeighbourhoodSnapshot, (self._ordered, self.generation))
+
+    def ensure_fresh(self, graph: "Graph") -> "NeighbourhoodSnapshot":
+        """Raise :class:`StaleSnapshotError` unless ``graph`` is unchanged.
+
+        The check compares the generation stamped at capture time with the
+        graph's current one, so a snapshot reused across mutations fails
+        loudly instead of serving old neighbourhoods to parallel workers.
+        Returns ``self`` so call sites can chain.
+        """
+        current = getattr(graph, "generation", None)
+        if current != self.generation:
+            raise StaleSnapshotError(
+                f"neighbourhood snapshot captured at generation "
+                f"{self.generation} but the graph is at generation {current}; "
+                f"re-snapshot after mutating"
+            )
+        return self
 
     def __len__(self) -> int:
         return len(self._ordered)

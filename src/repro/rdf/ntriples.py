@@ -155,8 +155,7 @@ def iter_ntriples(data: str) -> Iterator[Triple]:
 def parse_ntriples(data: str) -> Graph:
     """Parse N-Triples text into a :class:`~repro.rdf.graph.Graph`."""
     graph = Graph()
-    for triple in iter_ntriples(data):
-        graph.add(triple)
+    graph.add_all(iter_ntriples(data))
     return graph
 
 

@@ -137,14 +137,17 @@ class TurtleParser:
     # -- grammar -------------------------------------------------------------
     def parse(self) -> Graph:
         """Parse the whole document and return the resulting graph."""
-        while self._peek().kind != "EOF":
-            token = self._peek()
-            if token.kind == "PREFIX_DIR":
-                self._parse_prefix()
-            elif token.kind == "BASE_DIR":
-                self._parse_base()
-            else:
-                self._parse_triples_block()
+        # one batch for the whole document: the load coalesces into one
+        # journal record per subject instead of one per triple.
+        with self._graph.batch():
+            while self._peek().kind != "EOF":
+                token = self._peek()
+                if token.kind == "PREFIX_DIR":
+                    self._parse_prefix()
+                elif token.kind == "BASE_DIR":
+                    self._parse_base()
+                else:
+                    self._parse_triples_block()
         return self._graph
 
     def _parse_prefix(self) -> None:

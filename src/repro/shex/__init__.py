@@ -138,7 +138,13 @@ from .shexc import parse_shexc, serialize_shexc
 from .shexj import schema_from_dict, schema_to_dict
 from .sparql_gen import SparqlEngine, shape_to_sparql_ask, shape_to_sparql_select
 from .typing import ShapeLabel, ShapeTyping
-from .validator import ENGINES, ValidationReport, Validator, get_engine
+from .validator import (
+    ENGINES,
+    RevalidationResult,
+    ValidationReport,
+    Validator,
+    get_engine,
+)
 
 __all__ = [
     # expressions
@@ -163,7 +169,7 @@ __all__ = [
     "CompiledSchema", "CompiledShape", "PrefilterDecision",
     "ShapeLabel", "ShapeTyping", "HamtMap",
     "MatchResult", "MatchStats", "ValidationReportEntry",
-    "Validator", "ValidationReport", "get_engine", "ENGINES",
+    "Validator", "ValidationReport", "RevalidationResult", "get_engine", "ENGINES",
     # syntaxes
     "parse_shexc", "serialize_shexc", "schema_to_dict", "schema_from_dict",
     # shape maps and reporting

@@ -216,6 +216,56 @@ def _node_assoc(node, shift: int, khash: int, key: Any, value: Any,
     return _Bitmap(node.bitmap | bit, tuple(children))
 
 
+def _node_dissoc(node, shift: int, khash: int, key: Any):
+    """Return ``node`` without ``key`` — ``node`` itself if absent, ``None``
+    if the removal empties the subtrie.
+
+    The result is *canonical* for its remaining key set (the shape ``assoc``
+    would have built): a collision bucket left with one entry becomes a leaf,
+    and a bitmap node left with a single leaf-ish child returns that child so
+    the leaf lifts back to the highest level where its hash index is unique.
+    Single-child bitmaps whose child is another bitmap stay — that chain is
+    exactly how ``_pair_nodes`` lays out keys with a shared hash prefix.
+    """
+    kind = type(node)
+    if kind is _Leaf:
+        if node.khash == khash and node.key == key:
+            return None
+        return node
+    if kind is _Collision:
+        if node.khash != khash:
+            return node
+        entries = tuple(kv for kv in node.entries if kv[0] != key)
+        if len(entries) == len(node.entries):
+            return node
+        if len(entries) == 1:
+            remaining_key, value = entries[0]
+            return _Leaf(khash, remaining_key, value)
+        # removal preserves the canonical sort order of the survivors
+        return _Collision(khash, entries)
+    # _Bitmap
+    bit = 1 << ((khash >> shift) & _LEVEL_MASK)
+    if not node.bitmap & bit:
+        return node
+    position = _bitpos_index(node.bitmap, bit)
+    child = node.children[position]
+    new_child = _node_dissoc(child, shift + _BITS, khash, key)
+    if new_child is child:
+        return node
+    if new_child is None:
+        children = node.children[:position] + node.children[position + 1:]
+        if not children:
+            return None
+        if len(children) == 1 and type(children[0]) is not _Bitmap:
+            return children[0]
+        return _Bitmap(node.bitmap & ~bit, children)
+    if len(node.children) == 1 and type(new_child) is not _Bitmap:
+        return new_child
+    children = list(node.children)
+    children[position] = new_child
+    return _Bitmap(node.bitmap, tuple(children))
+
+
 def _node_get(node, shift: int, khash: int, key: Any, default: Any):
     while True:
         kind = type(node)
@@ -469,6 +519,22 @@ class HamtMap:
         if root is self._root:
             return self
         return HamtMap._wrap(root, root.count)
+
+    def dissoc(self, key: Any) -> "HamtMap":
+        """Return a map without ``key``; ``self`` when the key is absent.
+
+        O(log n) like ``assoc``: only the nodes on the key's hash path are
+        rebuilt, and the result's tree shape is canonical for the remaining
+        key set — equal to the map that never contained ``key`` at all.
+        """
+        if self._root is None:
+            return self
+        root = _node_dissoc(self._root, 0, _key_hash(key), key)
+        if root is self._root:
+            return self
+        if root is None:
+            return _EMPTY_MAP
+        return HamtMap._wrap(root, self._count - 1)
 
     def merge(self, other: "HamtMap",
               merge_value: Callable[[Any, Any], Any]) -> "HamtMap":

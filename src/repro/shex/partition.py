@@ -42,6 +42,7 @@ from .typing import ShapeLabel
 __all__ = [
     "ReferenceIndex",
     "GraphPartition",
+    "affected_nodes",
     "reference_edges",
     "strongly_connected_components",
     "partition_reference_graph",
@@ -70,17 +71,34 @@ class ReferenceIndex:
         self._general: List[Tuple[PredicateSet, ShapeLabel]] = []
         #: memo for :meth:`labels_for` over the general pairs.
         self._memo: Dict[IRI, FrozenSet[ShapeLabel]] = {}
+        #: the reverse index: exact predicate → labels of the shapes whose
+        #: expressions *contain* a reference arc with that predicate.
+        self._referrers_exact: Dict[IRI, Set[ShapeLabel]] = {}
+        #: (predicate set, referrer label) pairs for stems / wildcards.
+        self._referrers_general: List[Tuple[PredicateSet, ShapeLabel]] = []
+        #: memo for :meth:`referrer_labels_for`.
+        self._referrers_memo: Dict[IRI, FrozenSet[ShapeLabel]] = {}
         seen: Set[Tuple[PredicateSet, ShapeLabel]] = set()
-        for _, expr in schema.items():
+        seen_referrers: Set[Tuple[PredicateSet, ShapeLabel]] = set()
+        for owner, expr in schema.items():
             for sub in iter_subexpressions(expr):
                 if not (isinstance(sub, Arc) and isinstance(sub.object, ShapeRef)):
                     continue
                 label = _as_label(sub.object.label)
-                pair = (sub.predicate, label)
+                predicate_set = sub.predicate
+                pair = (predicate_set, label)
+                referrer_pair = (predicate_set, owner)
+                if referrer_pair not in seen_referrers:
+                    seen_referrers.add(referrer_pair)
+                    if predicate_set.any_predicate or predicate_set.stem is not None:
+                        self._referrers_general.append(referrer_pair)
+                    else:
+                        for predicate in predicate_set.predicates:
+                            self._referrers_exact.setdefault(
+                                predicate, set()).add(owner)
                 if pair in seen:
                     continue
                 seen.add(pair)
-                predicate_set = sub.predicate
                 if predicate_set.any_predicate or predicate_set.stem is not None:
                     self._general.append(pair)
                 else:
@@ -105,10 +123,33 @@ class ReferenceIndex:
         self._memo[predicate] = result
         return result
 
+    def referrer_labels_for(self, predicate: IRI) -> FrozenSet[ShapeLabel]:
+        """Labels of shapes that can *follow* a triple with this predicate.
+
+        The reverse of :meth:`labels_for`: ``labels_for`` answers "what may a
+        reference demand of the triple's **object**", this answers "which
+        shapes, checked against the triple's **subject**, contain a reference
+        arc the triple can trigger".  Non-empty exactly when ``labels_for``
+        is (both derive from the same ``vp → @label`` arcs); incremental
+        revalidation uses it to walk reference edges backwards from a
+        mutated subject.
+        """
+        cached = self._referrers_memo.get(predicate)
+        if cached is not None:
+            return cached
+        labels: Set[ShapeLabel] = set(self._referrers_exact.get(predicate, ()))
+        for predicate_set, owner in self._referrers_general:
+            if predicate_set.matches(predicate):
+                labels.add(owner)
+        result = frozenset(labels)
+        self._referrers_memo[predicate] = result
+        return result
+
 
 def reference_edges(
     graph: Graph, schema: Schema, index: Optional[ReferenceIndex] = None,
     compiled: Optional[CompiledSchema] = None,
+    subjects: Optional[Iterable[SubjectTerm]] = None,
 ) -> Tuple[Dict[SubjectTerm, Set[ObjectTerm]], Dict[ObjectTerm, Set[ShapeLabel]]]:
     """Extract the node-level reference edges (and demanded labels) of a graph.
 
@@ -116,6 +157,9 @@ def reference_edges(
     validation of ``n`` can recurse into, and ``demanded[m]`` the labels an
     incoming reference can check ``m`` against (the static over-approximation
     a scheduler must have settled before any upstream component runs).
+    With ``subjects``, only the triples of those subjects are scanned — the
+    cost becomes proportional to that set, which is how incremental
+    revalidation partitions just the affected subgraph.
 
     Literal objects are skipped: a literal's neighbourhood is empty, so its
     verdict is self-contained and any worker can (re)derive it locally.
@@ -139,7 +183,12 @@ def reference_edges(
     #: (target, label) → prefilter-decided?, computed once per pair.
     decided: Dict[Tuple[ObjectTerm, ShapeLabel], bool] = {}
     counts: Dict[ObjectTerm, Dict[IRI, int]] = {}
-    for triple in graph:
+    if subjects is None:
+        triple_source: Iterable = graph
+    else:
+        triple_source = (triple for subject in subjects
+                         for triple in graph.triples(subject=subject))
+    for triple in triple_source:
         target = triple.object
         if isinstance(target, Literal):
             continue
@@ -167,6 +216,77 @@ def reference_edges(
                 continue
         edges.setdefault(triple.subject, set()).add(target)
     return edges, demanded
+
+
+def affected_nodes(
+    graph: Graph,
+    schema: Schema,
+    dirty_subjects: Iterable[SubjectTerm],
+    index: Optional[ReferenceIndex] = None,
+    compiled: Optional[CompiledSchema] = None,
+) -> FrozenSet[ObjectTerm]:
+    """The reverse-reachability closure of a dirty set along reference edges.
+
+    Returns every node whose verdict (for any label) may differ after the
+    mutations that dirtied ``dirty_subjects``: the dirty nodes themselves
+    plus every node that can *reach* a dirty node through reference edges —
+    walked backwards, one in-edge scan per affected node through the graph's
+    OSP/POS indexes, so the cost is proportional to the closure, never to
+    the graph.
+
+    Soundness of the closure over the **current** edge set: a stale verdict
+    was derived over the *old* edges, but any old edge that no longer exists
+    had its source dirtied by the removal, so by induction along the old
+    reference path every stale referrer is either dirty itself or reaches a
+    dirty node along surviving edges.
+
+    With a :class:`~repro.shex.compiled.CompiledSchema`, propagation *stops*
+    at a non-dirty node whose demanded labels the prefilter decides
+    statically: those verdicts are functions of the node's own (unchanged)
+    neighbourhood, so its referrers consume identical facts — the same
+    pruning (and the same soundness argument) as
+    :func:`reference_edges` ``(compiled=...)``, valid only when revalidation
+    runs with the same compiled schema.  Dirty nodes always propagate: their
+    neighbourhood changed, so even a statically-decided verdict may differ
+    from what referrers consumed before.
+    """
+    index = index if index is not None else ReferenceIndex(schema)
+    dirty = set(dirty_subjects)
+    if not dirty or not index.has_references:
+        return frozenset(dirty)
+    affected: Set[ObjectTerm] = set(dirty)
+    frontier: List[ObjectTerm] = list(dirty)
+    while frontier:
+        node = frontier.pop()
+        if isinstance(node, Literal):
+            continue
+        referrers: Set[SubjectTerm] = set()
+        demanded: Set[ShapeLabel] = set()
+        for triple in graph.triples(obj=node):
+            # the reverse index gates the backward walk: the edge matters
+            # only if some shape checked against the *subject* contains a
+            # reference arc this predicate can trigger …
+            if not index.referrer_labels_for(triple.predicate):
+                continue
+            referrers.add(triple.subject)
+            # … while the forward index supplies the labels the edge can
+            # demand of the *object* (the static-decidability check below).
+            demanded.update(index.labels_for(triple.predicate))
+        if not referrers:
+            continue
+        if compiled is not None and node not in dirty:
+            neighbourhood = graph.neighbourhood(node)
+            counts = predicate_counts(neighbourhood)
+            if all(
+                label in compiled and compiled.decides(label, neighbourhood, counts)
+                for label in demanded
+            ):
+                continue
+        for referrer in referrers:
+            if referrer not in affected:
+                affected.add(referrer)
+                frontier.append(referrer)
+    return frozenset(affected)
 
 
 def strongly_connected_components(
@@ -292,6 +412,8 @@ def partition_reference_graph(
     schema: Schema,
     extra_nodes: Iterable[ObjectTerm] = (),
     compiled: Optional[CompiledSchema] = None,
+    restrict_to: Optional[Iterable[SubjectTerm]] = None,
+    index: Optional[ReferenceIndex] = None,
 ) -> GraphPartition:
     """Partition a data graph's nodes by reference-graph SCC.
 
@@ -302,10 +424,29 @@ def partition_reference_graph(
     parallel case; a schema without references therefore partitions every
     node into its own component.  A compiled schema additionally prunes
     edges to prefilter-decidable targets (see :func:`reference_edges`).
+
+    With ``restrict_to`` (incremental revalidation's affected closure), only
+    those subjects' triples are scanned and the vertex set is the closure
+    plus the targets its members demand: the whole partition is proportional
+    to the closure, never to the graph.  Sound for scheduling because an
+    affected closure is *edge-closed upstream* — every node whose validation
+    can recurse into a closure member is itself in the closure — so the
+    subgraph's SCCs and their relative order coincide with the restriction
+    of the full condensation; dependencies that leave the closure are
+    exactly the settled verdicts a scheduler seeds.  Callers that already
+    hold the schema's :class:`ReferenceIndex` pass it as ``index``.
     """
-    index = ReferenceIndex(schema)
-    edges, demanded = reference_edges(graph, schema, index, compiled=compiled)
-    node_set: Set[ObjectTerm] = set(graph.nodes())
+    index = index if index is not None else ReferenceIndex(schema)
+    if restrict_to is None:
+        edges, demanded = reference_edges(graph, schema, index,
+                                          compiled=compiled)
+        node_set: Set[ObjectTerm] = set(graph.nodes())
+    else:
+        restricted = set(restrict_to)
+        edges, demanded = reference_edges(graph, schema, index,
+                                          compiled=compiled,
+                                          subjects=restricted)
+        node_set = restricted
     node_set.update(demanded)
     node_set.update(extra_nodes)
     nodes = sorted(node_set, key=lambda term: term.sort_key())

@@ -225,15 +225,17 @@ class ValidationContext:
         #: per-node predicate multisets, computed once and shared by every
         #: label the node is checked against (only populated when compiled).
         self._pred_counts: Dict[ObjectTerm, Mapping] = {}
-        #: pairs the prefilter already found undecidable: the bulk loops
-        #: prefilter a pair before ``validate_node`` and ``check_reference``
-        #: would otherwise re-run the same scans on the way to the engine.
-        self._prefilter_unknown: Set[Tuple[ObjectTerm, ShapeLabel]] = set()
+        #: pairs the prefilter already found undecidable (keyed by node so
+        #: retraction pops per node): the bulk loops prefilter a pair before
+        #: ``validate_node`` and ``check_reference`` would otherwise re-run
+        #: the same scans on the way to the engine.
+        self._prefilter_unknown: Dict[ObjectTerm, Set[ShapeLabel]] = {}
         self._matcher = matcher
         #: hypothesis → depth of the frame that assumed it.
         self._hypotheses: Dict[Tuple[ObjectTerm, ShapeLabel], int] = {}
         self._confirmed = ShapeTyping.empty()
-        self._failed: Set[Tuple[ObjectTerm, ShapeLabel]] = set()
+        #: refuted verdicts, keyed by node (retraction pops whole nodes).
+        self._failed: Dict[ObjectTerm, Set[ShapeLabel]] = {}
         #: provisionally-validated pair → depths of the active frames whose
         #: hypotheses it rests on (never empty, never containing the poison).
         #: Consultable like a cache *within* the run (the consumer inherits
@@ -296,7 +298,7 @@ class ValidationContext:
 
     def record_failure(self, node: ObjectTerm, label: ShapeLabel) -> None:
         """Record that ``node`` definitely does not have shape ``label``."""
-        self._failed.add((node, label))
+        self._failed.setdefault(node, set()).add(label)
 
     def is_confirmed(self, node: ObjectTerm, label: ShapeLabel) -> bool:
         """True if ``node → label`` has already been established."""
@@ -304,7 +306,61 @@ class ValidationContext:
 
     def is_failed(self, node: ObjectTerm, label: ShapeLabel) -> bool:
         """True if ``node → label`` has already been refuted."""
-        return (node, label) in self._failed
+        labels = self._failed.get(node)
+        return labels is not None and label in labels
+
+    # -- the retraction protocol --------------------------------------------------
+    def retract_nodes(self, nodes: Iterable[ObjectTerm]) -> int:
+        """Drop every verdict (and per-node cache) about ``nodes``.
+
+        The context half of incremental revalidation: after graph mutations,
+        the caller computes the affected closure (the dirty subjects plus
+        everything that can reach them along reference edges —
+        :func:`repro.shex.partition.affected_nodes`) and retracts exactly
+        those nodes before re-running them.
+
+        Soundness mirrors the settled-verdict merge rule in reverse: the
+        confirmed/failed stores only ever hold **settled** verdicts
+        (provisional, hypothesis-dependent outcomes are parked separately and
+        budget-poisoned outcomes are never recorded at all), so retraction
+        only removes definitive facts — and every retained fact is still
+        valid, because a verdict whose derivation could have consulted an
+        affected node is itself inside the closure by construction.
+
+        Must not be called while a validation is in progress (frames active);
+        raises :class:`SchemaError` then.  Returns the number of settled
+        verdicts dropped.
+        """
+        if self._frames or self._hypotheses:
+            raise SchemaError(
+                "retract_nodes while a validation is in progress would drop "
+                "state active frames rely on"
+            )
+        node_set = set(nodes)
+        if not node_set:
+            return 0
+        dropped = 0
+        confirmed = self._confirmed
+        for node in node_set:
+            labels = confirmed.labels_for(node)
+            if labels:
+                dropped += len(labels)
+        self._confirmed = confirmed.without_nodes(node_set)
+        # every store below is node-keyed, so retraction costs O(closure) —
+        # never a scan of everything the context has settled.
+        for node in node_set:
+            failed_labels = self._failed.pop(node, None)
+            if failed_labels:
+                dropped += len(failed_labels)
+            # per-node caches: predicate counts and prefilter misses are
+            # pure functions of the node's (changed) neighbourhood.
+            self._pred_counts.pop(node, None)
+            self._prefilter_unknown.pop(node, None)
+        # provisional state never survives a completed run; clear defensively
+        # so a retraction after an aborted run cannot resurrect stale entries.
+        self._provisional.clear()
+        self._provisional_by_depth.clear()
+        return dropped
 
     # -- the cross-context merge protocol -----------------------------------------
     def seed_settled(
@@ -330,7 +386,8 @@ class ValidationContext:
             # instead of materialising an intermediate typing and merging
             confirmed_typing = confirmed_typing.add(node, label)
         self._confirmed = confirmed_typing
-        self._failed.update(failed)
+        for node, label in failed:
+            self._failed.setdefault(node, set()).add(label)
 
     def settled_verdicts(
         self,
@@ -353,7 +410,11 @@ class ValidationContext:
             for label in sorted(labels)
         )
         failed = tuple(
-            sorted(self._failed, key=lambda pair: (pair[0].sort_key(), pair[1]))
+            (node, label)
+            for node, labels in sorted(
+                self._failed.items(), key=lambda item: item[0].sort_key()
+            )
+            for label in sorted(labels)
         )
         return confirmed, failed
 
@@ -411,7 +472,8 @@ class ValidationContext:
         compiled = self.compiled
         if compiled is None:
             return None
-        if (node, label) in self._prefilter_unknown:
+        unknown = self._prefilter_unknown.get(node)
+        if unknown is not None and label in unknown:
             return None
         shape = compiled.shape_or_none(label)
         if shape is None:
@@ -419,7 +481,7 @@ class ValidationContext:
         neighbourhood, counts = self._prefilter_inputs(node)
         decision = shape.prefilter(neighbourhood, counts)
         if decision is None:
-            self._prefilter_unknown.add((node, label))
+            self._prefilter_unknown.setdefault(node, set()).add(label)
         else:
             self._record_decision(node, label, decision)
         return decision
@@ -439,13 +501,13 @@ class ValidationContext:
             return {}
         neighbourhood, counts = self._prefilter_inputs(node)
         decisions: Dict[ShapeLabel, object] = {}
-        unknown = self._prefilter_unknown
+        unknown = self._prefilter_unknown.get(node)
         for label in labels:
             # skip pairs already scanned (unknown) or settled through an
             # earlier reference — the engine path answers those from its
             # verdict caches, and re-deciding here would double-count the
             # prefilter statistics
-            if (node, label) in unknown \
+            if (unknown is not None and label in unknown) \
                     or self.is_confirmed(node, label) \
                     or self.is_failed(node, label):
                 continue
@@ -455,7 +517,9 @@ class ValidationContext:
             decision = shape.prefilter(neighbourhood, counts)
             if decision is None:
                 # remember the miss: check_reference will not re-scan
-                unknown.add((node, label))
+                if unknown is None:
+                    unknown = self._prefilter_unknown.setdefault(node, set())
+                unknown.add(label)
                 continue
             self._record_decision(node, label, decision)
             decisions[label] = decision

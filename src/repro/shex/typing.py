@@ -180,6 +180,23 @@ class ShapeTyping:
     def __or__(self, other: "ShapeTyping") -> "ShapeTyping":
         return self.combine(other)
 
+    def without_nodes(self, nodes: Iterable[ObjectTerm]) -> "ShapeTyping":
+        """Return a typing with every association of ``nodes`` removed.
+
+        The retraction half of incremental revalidation: dropping a node
+        costs one O(log n) persistent ``dissoc`` (everything off the hash
+        path stays shared), and removing a node that has no associations is
+        a no-op, so retracting an affected closure is linear in its size —
+        never in the size of the typing.  Returns ``self`` when nothing
+        changes.
+        """
+        mapping = self._map
+        for node in nodes:
+            mapping = mapping.dissoc(node)
+        if mapping is self._map:
+            return self
+        return ShapeTyping._from_map(mapping)
+
     # -- queries ---------------------------------------------------------------
     def labels_for(self, node: ObjectTerm) -> FrozenSet[ShapeLabel]:
         """Return the labels assigned to ``node`` (empty set if none)."""

@@ -18,10 +18,22 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
+from ..rdf.errors import StaleSnapshotError
 from ..rdf.graph import Graph, NeighbourhoodSnapshot
-from ..rdf.terms import ObjectTerm, SubjectTerm
+from ..rdf.terms import Literal, ObjectTerm, SubjectTerm
 from .backtracking import BacktrackingEngine
 from .cache import DerivativeCache
 from .compiled import CompiledSchema
@@ -31,7 +43,8 @@ from .results import MatchResult, MatchStats, ValidationReportEntry
 from .schema import Schema, SchemaError, ValidationContext
 from .typing import ShapeLabel, ShapeTyping
 
-__all__ = ["Validator", "ValidationReport", "get_engine", "ENGINES"]
+__all__ = ["Validator", "ValidationReport", "RevalidationResult", "get_engine",
+           "ENGINES"]
 
 
 #: registry of engine factories keyed by their public names.
@@ -107,6 +120,44 @@ class ValidationReport:
         return total
 
 
+@dataclass
+class RevalidationResult:
+    """The outcome of one :meth:`Validator.revalidate` round.
+
+    ``report`` is the full, delta-updated report (entry objects for
+    unaffected pairs are reused from the previous round); ``delta`` holds
+    exactly the recomputed entries.  ``dirty`` is the journal's per-subject
+    change set, ``affected`` its reverse-reachability closure along the
+    reference graph, ``retracted`` the number of settled verdicts dropped
+    before re-running.  ``full_rebuild`` is True when incremental reuse was
+    impossible (first run, journal overflow, label-set change, or state
+    invalidated behind the validator's back) and everything was recomputed.
+    """
+
+    report: ValidationReport
+    delta: ValidationReport
+    dirty: FrozenSet[SubjectTerm]
+    affected: FrozenSet[ObjectTerm]
+    full_rebuild: bool
+    retracted: int = 0
+
+    @property
+    def conforms(self) -> bool:
+        """True when every pair of the full updated report conforms."""
+        return self.report.conforms
+
+    def stats(self) -> Dict[str, int]:
+        """Summary counters (journal/closure sizes) for traces and the CLI."""
+        return {
+            "dirty_subjects": len(self.dirty),
+            "affected_nodes": len(self.affected),
+            "revalidated_pairs": len(self.delta),
+            "reused_pairs": len(self.report) - len(self.delta),
+            "retracted_verdicts": self.retracted,
+            "full_rebuild": int(self.full_rebuild),
+        }
+
+
 class Validator:
     """Validate RDF graphs against Shape Expression schemas.
 
@@ -173,6 +224,19 @@ class Validator:
         self._worker_engine_spec = _make_engine_spec(engine, engine_options)
         self._context: Optional[ValidationContext] = None
         self._context_key: Optional[tuple] = None
+        #: incremental-revalidation baseline: the labels, per-pair entries and
+        #: graph generation of the last full ``validate_graph`` run (shared
+        #: context only).  ``revalidate`` consumes the graph's change journal
+        #: against this generation.
+        self._incremental_labels: Optional[Tuple[ShapeLabel, ...]] = None
+        self._incremental_entries: Optional[
+            Dict[Tuple[ObjectTerm, ShapeLabel], ValidationReportEntry]] = None
+        self._incremental_typing: Optional[ShapeTyping] = None
+        self._incremental_generation: Optional[int] = None
+        #: schema-level reference analysis, cached per schema object so the
+        #: watch-style revalidate loop never re-walks the shape expressions.
+        self._reference_index: Optional[object] = None
+        self._reference_index_schema: Optional[Schema] = None
 
     # -- schema compilation -------------------------------------------------------
     @property
@@ -239,6 +303,10 @@ class Validator:
         """
         self._context = None
         self._context_key = None
+        self._incremental_labels = None
+        self._incremental_entries = None
+        self._incremental_typing = None
+        self._incremental_generation = None
 
     # -- expression-level API -----------------------------------------------------
     def node_matches_expression(self, node: SubjectTerm, expr: ShapeExpr) -> MatchResult:
@@ -337,23 +405,38 @@ class Validator:
             else list(self.schema.labels())
         n_jobs = self.jobs if jobs is None else jobs
         if n_jobs is not None and n_jobs > 1:
-            return self._validate_graph_parallel(label_list, n_jobs)
-        return self._validate_graph_serial(label_list)
+            report = self._validate_graph_parallel(label_list, n_jobs)
+        else:
+            report = self._validate_graph_serial(label_list)
+        self._record_incremental_baseline(label_list, report)
+        return report
 
-    def _validate_graph_serial(self, label_list: Sequence[ShapeLabel]) -> ValidationReport:
-        """The single-process bulk path: one shared context, sorted node order.
+    def _record_incremental_baseline(self, label_list: Sequence[ShapeLabel],
+                                     report: ValidationReport) -> None:
+        """Remember a full run so ``revalidate`` can delta-update it."""
+        if not self.shared_context:
+            return
+        self._incremental_labels = tuple(label_list)
+        self._incremental_entries = {
+            (entry.node, entry.label): entry for entry in report.entries
+        }
+        self._incremental_typing = report.typing
+        self._incremental_generation = getattr(self.graph, "generation", None)
+
+    def _validate_pairs_serial(self, context: Optional[ValidationContext],
+                               label_list: Sequence[ShapeLabel],
+                               subjects: Sequence[SubjectTerm],
+                               ) -> List[ValidationReportEntry]:
+        """Validate ``subjects × label_list`` in order, prefilter first.
 
         Each ``(node, label)`` pair is offered to the compiled-schema
         prefilter *before* any matching frame (or per-entry statistics
         bookkeeping) is constructed; only statically undecidable pairs go
         through :meth:`validate_node` and the engine.
         """
-        context = self._bulk_context()
         use_prefilter = context is not None and context.compiled is not None
-        report = ValidationReport()
-        entries = report.entries
-        conforming: List[Tuple[ObjectTerm, ShapeLabel]] = []
-        for node in sorted(self.graph.nodes(), key=lambda term: term.sort_key()):
+        entries: List[ValidationReportEntry] = []
+        for node in subjects:
             decisions = (context.prefilter_node(node, label_list)
                          if use_prefilter else None)
             for label in label_list:
@@ -363,9 +446,17 @@ class Validator:
                 else:
                     entry = self.validate_node(node, label, context=context)
                 entries.append(entry)
-                if entry.conforms:
-                    conforming.append((node, label))
-        report.typing = ShapeTyping.from_pairs(conforming)
+        return entries
+
+    def _validate_graph_serial(self, label_list: Sequence[ShapeLabel]) -> ValidationReport:
+        """The single-process bulk path: one shared context, sorted node order."""
+        context = self._bulk_context()
+        subjects = sorted(self.graph.nodes(), key=lambda term: term.sort_key())
+        report = ValidationReport(
+            entries=self._validate_pairs_serial(context, label_list, subjects))
+        report.typing = ShapeTyping.from_pairs(
+            (entry.node, entry.label) for entry in report.entries if entry.conforms
+        )
         return report
 
     def _validate_graph_parallel(self, label_list: Sequence[ShapeLabel],
@@ -380,6 +471,41 @@ class Validator:
         references, and each worker reports back the verdicts its context
         settled.  Provisional (hypothesis-dependent) state and derivative
         caches stay worker-local.
+        """
+        entries = self._run_parallel(label_list, jobs)
+        if entries is None:
+            # zero or one strongly-connected component: there is no
+            # independent work to spread, so degenerate gracefully to the
+            # serial bulk path instead of paying for an idle process pool.
+            return self._validate_graph_serial(label_list)
+        subjects = sorted(self.graph.nodes(), key=lambda term: term.sort_key())
+        report = ValidationReport()
+        conforming: List[Tuple[ObjectTerm, ShapeLabel]] = []
+        for node in subjects:
+            for label in label_list:
+                entry = entries[(node, label)]
+                report.entries.append(entry)
+                if entry.conforms:
+                    conforming.append((node, label))
+        report.typing = ShapeTyping.from_pairs(conforming)
+        return report
+
+    def _run_parallel(self, label_list: Sequence[ShapeLabel], jobs: int,
+                      restrict: Optional[FrozenSet[ObjectTerm]] = None,
+                      ) -> Optional[Dict[Tuple[ObjectTerm, ShapeLabel],
+                                         ValidationReportEntry]]:
+        """Run the parallel scheduler; return the per-pair entries.
+
+        With ``restrict`` (incremental revalidation's affected closure) the
+        partition covers only the affected subgraph — its vertices, edges
+        and worker snapshot are proportional to the closure, never to the
+        graph — and only restricted nodes get work pairs; the settled
+        verdicts of everything a restricted component depends on (external
+        targets, unrestricted members) are *seeded* into its batches exactly
+        like upstream components in a full run — the merge protocol does not
+        care whether a settled fact comes from another component or from a
+        previous run.  Returns ``None`` when the partition degenerates
+        (≤ 1 component) and the caller should use the serial path.
         """
         from concurrent.futures import ProcessPoolExecutor
 
@@ -399,19 +525,49 @@ class Validator:
                 "can rebuild it; engine objects cannot be shipped"
             )
 
-        subjects = sorted(self.graph.nodes(), key=lambda term: term.sort_key())
         # the compiled schema tightens the partition (references whose target
         # the prefilter settles locally need no scheduling edge) and ships to
         # every worker so nothing is recompiled per process.
         compiled = self.compiled
-        partition = partition_reference_graph(self.graph, self.schema,
-                                              compiled=compiled)
+        # verdicts settled by earlier runs carry over, exactly as in the
+        # serial shared-context path; new ones are merged back afterwards.
+        context = self._bulk_context()
+        generation = getattr(self.graph, "generation", None)
+        scan: Optional[Set[ObjectTerm]] = None
+        if restrict is not None:
+            # expand the closure with every reference target whose demanded
+            # verdicts the context has NOT settled, transitively: workers
+            # must be able to derive those (a seed cannot cover them), so
+            # they need work pairs, scheduling edges and snapshot coverage
+            # like any closure member.  Typically empty — a full baseline
+            # settles everything it demands — but a label-subset baseline
+            # can leave demanded chains unsettled.
+            index = self._schema_reference_index()
+            scan = set(restrict)
+            frontier: List[ObjectTerm] = list(scan)
+            while frontier:
+                source = frontier.pop()
+                if isinstance(source, Literal):
+                    continue
+                for triple in self.graph.triples(subject=source):
+                    target = triple.object
+                    if isinstance(target, Literal) or target in scan:
+                        continue
+                    if any(not context.is_confirmed(target, label)
+                           and not context.is_failed(target, label)
+                           for label in index.labels_for(triple.predicate)):
+                        scan.add(target)
+                        frontier.append(target)
+            partition = partition_reference_graph(
+                self.graph, self.schema, compiled=compiled,
+                restrict_to=scan, index=index)
+        else:
+            partition = partition_reference_graph(
+                self.graph, self.schema, compiled=compiled,
+                index=self._schema_reference_index())
         if len(partition.components) <= 1:
-            # zero or one strongly-connected component: there is no
-            # independent work to spread, so degenerate gracefully to the
-            # serial bulk path instead of paying for an idle process pool.
-            return self._validate_graph_serial(label_list)
-        subject_set = set(subjects)
+            return None
+        subject_set = set(self.graph.nodes())
 
         # per-component work lists: report pairs for subjects, plus the
         # labels incoming references may demand of any node.
@@ -419,16 +575,24 @@ class Validator:
         for component in partition.components:
             pairs: List[Tuple[ObjectTerm, ShapeLabel]] = []
             for node in sorted(component, key=lambda term: term.sort_key()):
-                wanted = list(label_list) if node in subject_set else []
-                for label in sorted(partition.demanded.get(node, ())):
-                    if label not in wanted:
-                        wanted.append(label)
+                if restrict is not None and node not in restrict:
+                    # scan-expansion (or demanded) node: work pairs only for
+                    # the demanded labels the context has not settled —
+                    # settled ones are seeded below instead.
+                    wanted = [
+                        label
+                        for label in sorted(partition.demanded.get(node, ()))
+                        if not context.is_confirmed(node, label)
+                        and not context.is_failed(node, label)
+                    ]
+                else:
+                    wanted = list(label_list) if node in subject_set else []
+                    for label in sorted(partition.demanded.get(node, ())):
+                        if label not in wanted:
+                            wanted.append(label)
                 pairs.extend((node, label) for label in wanted)
             component_pairs.append(pairs)
 
-        # verdicts settled by earlier runs carry over, exactly as in the
-        # serial shared-context path; new ones are merged back afterwards.
-        context = self._bulk_context()
         settled: Dict[ObjectTerm, List[Tuple[ShapeLabel, bool]]] = {}
         seed_confirmed, seed_failed = context.settled_verdicts()
         for node, label in seed_confirmed:
@@ -436,7 +600,15 @@ class Validator:
         for node, label in seed_failed:
             settled.setdefault(node, []).append((label, False))
 
+        # the snapshot must describe the same graph the partition was derived
+        # from: if anything mutated the graph between partitioning and
+        # capture, the stamped generation moves past the one recorded above.
         snapshot = self.graph.snapshot(partition.nodes)
+        if snapshot.generation != generation:
+            raise StaleSnapshotError(
+                f"graph mutated during parallel scheduling (generation "
+                f"{generation} -> {snapshot.generation}); re-run validation"
+            )
         init_args = (self.schema, spec, snapshot, self.max_recursion_depth,
                      sys.getrecursionlimit(), compiled)
         entries: Dict[Tuple[ObjectTerm, ShapeLabel], ValidationReportEntry] = {}
@@ -454,10 +626,17 @@ class Validator:
                     if not pairs:
                         continue
                     # seed the task with every settled verdict about the
-                    # nodes this batch references outside itself.
+                    # nodes this batch references outside itself — plus, on
+                    # restricted runs, the still-valid verdicts of batch
+                    # members that need no re-run.
                     targets: set = set()
                     for comp_index in batch:
                         targets.update(partition.external_targets[comp_index])
+                        if restrict is not None:
+                            targets.update(
+                                node for node in partition.components[comp_index]
+                                if node not in restrict
+                            )
                     batch_confirmed: List[Tuple[ObjectTerm, ShapeLabel]] = []
                     batch_failed: List[Tuple[ObjectTerm, ShapeLabel]] = []
                     for node in targets:
@@ -478,16 +657,168 @@ class Validator:
                         new_failed.append(pair)
         # the merge protocol: only settled verdicts enter the shared context.
         context.seed_settled(new_confirmed, new_failed)
+        return entries
 
-        report = ValidationReport()
-        conforming: List[Tuple[ObjectTerm, ShapeLabel]] = []
-        for node in subjects:
+    # -- incremental revalidation --------------------------------------------------
+    def revalidate(self, labels: Optional[Sequence[Union[ShapeLabel, str]]] = None,
+                   jobs: Optional[int] = None) -> RevalidationResult:
+        """Revalidate only what the graph's mutations can have changed.
+
+        Consumes the graph's change journal against the last full
+        ``validate_graph`` baseline: the dirty subjects are closed under
+        reverse reference-reachability (:func:`repro.shex.partition.affected_nodes`),
+        the shared context drops exactly those nodes' settled verdicts
+        (:meth:`ValidationContext.retract_nodes`), and only the affected
+        subjects are re-run — through the serial bulk loop or, with
+        ``jobs > 1``, through the parallel scheduler restricted to the
+        affected components.  Everything else (verdicts, HAMT typing entries,
+        report entries) is reused as-is.
+
+        Falls back to a full ``validate_graph`` — flagged via
+        ``full_rebuild`` — when no baseline exists, the label set changed,
+        the journal overflowed, ``shared_context`` is off, or the shared
+        context was rebuilt behind the baseline's back.  Verdicts are
+        identical to a fresh full run either way.
+        """
+        if self.schema is None:
+            raise SchemaError("revalidate requires a schema")
+        label_list = tuple(
+            self._resolve_label(label) for label in labels
+        ) if labels else tuple(self.schema.labels())
+        n_jobs = self.jobs if jobs is None else jobs
+
+        def full_rebuild() -> RevalidationResult:
+            report = self.validate_graph(labels=label_list, jobs=n_jobs)
+            return RevalidationResult(
+                report=report, delta=report, dirty=frozenset(),
+                affected=frozenset(entry.node for entry in report.entries),
+                full_rebuild=True,
+            )
+
+        if not self._incremental_baseline_valid(label_list):
+            return full_rebuild()
+        dirty = self.graph.changes_since(self._incremental_generation)
+        if dirty is None:
+            # journal overflow (or truncation): the change set is unknowable.
+            return full_rebuild()
+        table = self._incremental_entries
+        if not dirty:
+            report = self._assemble_incremental_report(
+                label_list, table, self._incremental_typing)
+            return RevalidationResult(
+                report=report, delta=ValidationReport(), dirty=dirty,
+                affected=frozenset(), full_rebuild=False,
+            )
+
+        from .partition import affected_nodes
+
+        affected = affected_nodes(self.graph, self.schema, dirty,
+                                  index=self._schema_reference_index(),
+                                  compiled=self.compiled)
+        context = self._context
+        retracted = context.retract_nodes(affected)
+        # the retained context is now consistent with the mutated graph:
+        # re-key it so the bulk machinery below (and later calls) reuse it
+        # instead of rebuilding from scratch.
+        self._context_key = (self.graph, self.schema, self.engine,
+                             self.compiled, self.max_recursion_depth,
+                             self.graph.generation)
+
+        subject_set = set(self.graph.nodes())
+        affected_subjects = sorted(
+            (node for node in affected if node in subject_set),
+            key=lambda term: term.sort_key(),
+        )
+        new_entries: Dict[Tuple[ObjectTerm, ShapeLabel], ValidationReportEntry] = {}
+        if n_jobs is not None and n_jobs > 1 and affected_subjects:
+            parallel_entries = self._run_parallel(label_list, n_jobs,
+                                                  restrict=affected)
+        else:
+            parallel_entries = None
+        if parallel_entries is not None:
+            new_entries = parallel_entries
+        elif affected_subjects:
+            entries_list = self._validate_pairs_serial(context, label_list,
+                                                       affected_subjects)
+            new_entries = {(entry.node, entry.label): entry
+                           for entry in entries_list}
+
+        # delta-update the baseline table: drop every affected pair (this
+        # covers subjects that no longer exist), then insert the re-runs.
+        for node in affected:
             for label in label_list:
-                entry = entries[(node, label)]
-                report.entries.append(entry)
-                if entry.conforms:
-                    conforming.append((node, label))
-        report.typing = ShapeTyping.from_pairs(conforming)
+                table.pop((node, label), None)
+        delta_entries: List[ValidationReportEntry] = []
+        for node in affected_subjects:
+            for label in label_list:
+                entry = new_entries[(node, label)]
+                table[(node, label)] = entry
+                delta_entries.append(entry)
+        self._incremental_generation = self.graph.generation
+
+        delta = ValidationReport(entries=delta_entries)
+        delta.typing = ShapeTyping.from_pairs(
+            (entry.node, entry.label) for entry in delta_entries if entry.conforms
+        )
+        # the full report's typing is maintained incrementally too: drop the
+        # affected nodes' associations (persistent dissoc), fold the delta's
+        # back in — O(affected log n), never O(report).
+        typing = self._incremental_typing.without_nodes(affected)
+        typing = typing.combine(delta.typing)
+        self._incremental_typing = typing
+        report = self._assemble_incremental_report(label_list, table, typing)
+        return RevalidationResult(
+            report=report, delta=delta, dirty=dirty,
+            affected=affected, full_rebuild=False, retracted=retracted,
+        )
+
+    def _schema_reference_index(self):
+        """The schema's :class:`~repro.shex.partition.ReferenceIndex`, cached
+        per schema object so repeated revalidation rounds (and the parallel
+        scheduler) never re-walk the shape expressions."""
+        from .partition import ReferenceIndex
+
+        if self._reference_index is None \
+                or self._reference_index_schema is not self.schema:
+            self._reference_index = ReferenceIndex(self.schema)
+            self._reference_index_schema = self.schema
+        return self._reference_index
+
+    def _incremental_baseline_valid(self, label_list: Tuple[ShapeLabel, ...]) -> bool:
+        """True when the last full run's state is still incrementally usable.
+
+        Beyond a baseline existing for the same label set, the retained
+        shared context must still be the one that produced it: the identity
+        components of the context key must match the validator's current
+        sources, and the key's generation must equal the baseline generation
+        (if anything rebuilt or mutated the context since — a ``validate_node``
+        after an unseen mutation, say — its verdicts no longer pair with the
+        baseline's entries).
+        """
+        if not self.shared_context or self._incremental_entries is None \
+                or self._incremental_labels != label_list \
+                or self._context is None:
+            return False
+        key = self._context_key
+        return (key is not None
+                and key[0] is self.graph
+                and key[1] is self.schema
+                and key[2] is self.engine
+                and key[3] is self.compiled
+                and key[4] == self.max_recursion_depth
+                and key[5] == self._incremental_generation)
+
+    def _assemble_incremental_report(
+        self, label_list: Sequence[ShapeLabel],
+        table: Dict[Tuple[ObjectTerm, ShapeLabel], ValidationReportEntry],
+        typing: ShapeTyping,
+    ) -> ValidationReport:
+        """Build the full report from the baseline table, canonical order."""
+        report = ValidationReport(typing=typing)
+        entries = report.entries
+        for node in sorted(self.graph.nodes(), key=lambda term: term.sort_key()):
+            for label in label_list:
+                entries.append(table[(node, label)])
         return report
 
     # -- helpers -----------------------------------------------------------------

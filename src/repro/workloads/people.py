@@ -123,42 +123,45 @@ def generate_person_workload(
     violations = ["duplicate_age", "missing_name", "bad_age_type",
                   "extra_predicate", "knows_literal"]
 
-    for index, person in enumerate(people):
-        age = rng.randint(18, 90)
-        names = 1 + rng.randint(0, max_extra_names)
-        violation: Optional[str] = None
-        if index in invalid_indices:
-            violation = violations[index % len(violations)]
+    # one batch for the whole build: journal churn coalesces into one
+    # record per subject instead of one per triple.
+    with graph.batch():
+        for index, person in enumerate(people):
+            age = rng.randint(18, 90)
+            names = 1 + rng.randint(0, max_extra_names)
+            violation: Optional[str] = None
+            if index in invalid_indices:
+                violation = violations[index % len(violations)]
 
-        if violation == "bad_age_type":
-            graph.add(Triple(person, FOAF.age, Literal(str(age), datatype=XSD.string)))
-        else:
-            graph.add(Triple(person, FOAF.age, Literal(age)))
-            if violation == "duplicate_age":
-                graph.add(Triple(person, FOAF.age, Literal(age + 1)))
+            if violation == "bad_age_type":
+                graph.add(Triple(person, FOAF.age, Literal(str(age), datatype=XSD.string)))
+            else:
+                graph.add(Triple(person, FOAF.age, Literal(age)))
+                if violation == "duplicate_age":
+                    graph.add(Triple(person, FOAF.age, Literal(age + 1)))
 
-        if violation != "missing_name":
-            for name_index in range(names):
-                name = f"{rng.choice(_FIRST_NAMES)} {chr(65 + name_index)}."
-                graph.add(Triple(person, FOAF.name, Literal(name)))
+            if violation != "missing_name":
+                for name_index in range(names):
+                    name = f"{rng.choice(_FIRST_NAMES)} {chr(65 + name_index)}."
+                    graph.add(Triple(person, FOAF.name, Literal(name)))
 
-        if violation == "extra_predicate":
-            graph.add(Triple(person, EX.nickname, Literal("Zed")))
-        if violation == "knows_literal":
-            graph.add(Triple(person, FOAF.knows, Literal("not a person")))
+            if violation == "extra_predicate":
+                graph.add(Triple(person, EX.nickname, Literal("Zed")))
+            if violation == "knows_literal":
+                graph.add(Triple(person, FOAF.knows, Literal("not a person")))
 
-        if violation is None:
-            workload.valid_nodes.append(person)
-        else:
-            workload.invalid_nodes[person] = violation
+            if violation is None:
+                workload.valid_nodes.append(person)
+            else:
+                workload.invalid_nodes[person] = violation
 
-    # sprinkle foaf:knows arcs between *valid* people so that references do
-    # not accidentally invalidate otherwise-valid nodes.
-    valid = workload.valid_nodes
-    for person in valid:
-        for other in valid:
-            if other is not person and rng.random() < knows_probability:
-                graph.add(Triple(person, FOAF.knows, other))
+        # sprinkle foaf:knows arcs between *valid* people so that references
+        # do not accidentally invalidate otherwise-valid nodes.
+        valid = workload.valid_nodes
+        for person in valid:
+            for other in valid:
+                if other is not person and rng.random() < knows_probability:
+                    graph.add(Triple(person, FOAF.knows, other))
     return workload
 
 
@@ -219,40 +222,41 @@ def generate_community_workload(
     graph.namespaces.bind("foaf", FOAF.base)
     workload = PersonWorkload(graph=graph, schema=person_schema())
 
-    for community in range(num_communities):
-        members = [EX[f"community{community}_person{index}"]
-                   for index in range(people_per_community)]
-        num_invalid = round(people_per_community * invalid_fraction)
-        invalid_indices = (set(rng.sample(range(people_per_community), num_invalid))
-                           if num_invalid else set())
-        valid_members = []
-        for index, person in enumerate(members):
-            violation: Optional[str] = None
-            if index in invalid_indices:
-                violation = _VIOLATIONS[(community + index) % len(_VIOLATIONS)]
-            _emit_person(graph, rng, person, violation, max_extra_names)
-            if violation is None:
-                valid_members.append(person)
-                workload.valid_nodes.append(person)
-            else:
-                workload.invalid_nodes[person] = violation
-        # the ring ties the community's valid members into one SCC …
-        if len(valid_members) > 1:
-            for index, person in enumerate(valid_members):
-                follower = valid_members[(index + 1) % len(valid_members)]
-                graph.add(Triple(person, FOAF.knows, follower))
-            # … and the chords thicken it without leaving the community.
-            for person in valid_members:
-                for _ in range(knows_chords):
-                    other = rng.choice(valid_members)
-                    if other is not person:
-                        graph.add(Triple(person, FOAF.knows, other))
-        # invalid members reference the ring: upstream singleton components.
-        if valid_members:
-            for person in members:
-                if person in workload.invalid_nodes \
-                        and workload.invalid_nodes[person] != "knows_literal":
-                    graph.add(Triple(person, FOAF.knows, valid_members[0]))
+    with graph.batch():
+        for community in range(num_communities):
+            members = [EX[f"community{community}_person{index}"]
+                       for index in range(people_per_community)]
+            num_invalid = round(people_per_community * invalid_fraction)
+            invalid_indices = (set(rng.sample(range(people_per_community), num_invalid))
+                               if num_invalid else set())
+            valid_members = []
+            for index, person in enumerate(members):
+                violation: Optional[str] = None
+                if index in invalid_indices:
+                    violation = _VIOLATIONS[(community + index) % len(_VIOLATIONS)]
+                _emit_person(graph, rng, person, violation, max_extra_names)
+                if violation is None:
+                    valid_members.append(person)
+                    workload.valid_nodes.append(person)
+                else:
+                    workload.invalid_nodes[person] = violation
+            # the ring ties the community's valid members into one SCC …
+            if len(valid_members) > 1:
+                for index, person in enumerate(valid_members):
+                    follower = valid_members[(index + 1) % len(valid_members)]
+                    graph.add(Triple(person, FOAF.knows, follower))
+                # … and the chords thicken it without leaving the community.
+                for person in valid_members:
+                    for _ in range(knows_chords):
+                        other = rng.choice(valid_members)
+                        if other is not person:
+                            graph.add(Triple(person, FOAF.knows, other))
+            # invalid members reference the ring: upstream singleton components.
+            if valid_members:
+                for person in members:
+                    if person in workload.invalid_nodes \
+                            and workload.invalid_nodes[person] != "knows_literal":
+                        graph.add(Triple(person, FOAF.knows, valid_members[0]))
     return workload
 
 
@@ -266,11 +270,12 @@ def knows_chain_graph(depth: int) -> Tuple[Graph, IRI]:
         raise ValueError("depth must be non-negative")
     graph = Graph()
     people = [EX[f"chain{i}"] for i in range(depth + 1)]
-    for index, person in enumerate(people):
-        graph.add(Triple(person, FOAF.age, Literal(20 + index)))
-        graph.add(Triple(person, FOAF.name, Literal(f"Person {index}")))
-        if index + 1 < len(people):
-            graph.add(Triple(person, FOAF.knows, people[index + 1]))
+    with graph.batch():
+        for index, person in enumerate(people):
+            graph.add(Triple(person, FOAF.age, Literal(20 + index)))
+            graph.add(Triple(person, FOAF.name, Literal(f"Person {index}")))
+            if index + 1 < len(people):
+                graph.add(Triple(person, FOAF.knows, people[index + 1]))
     return graph, people[0]
 
 
@@ -284,10 +289,11 @@ def knows_cycle_graph(length: int) -> Tuple[Graph, IRI]:
         raise ValueError("length must be at least 1")
     graph = Graph()
     people = [EX[f"cycle{i}"] for i in range(length)]
-    for index, person in enumerate(people):
-        graph.add(Triple(person, FOAF.age, Literal(30 + index)))
-        graph.add(Triple(person, FOAF.name, Literal(f"Cycle {index}")))
-        graph.add(Triple(person, FOAF.knows, people[(index + 1) % length]))
+    with graph.batch():
+        for index, person in enumerate(people):
+            graph.add(Triple(person, FOAF.age, Literal(30 + index)))
+            graph.add(Triple(person, FOAF.name, Literal(f"Cycle {index}")))
+            graph.add(Triple(person, FOAF.knows, people[(index + 1) % length]))
     return graph, people[0]
 
 
@@ -312,5 +318,6 @@ def knows_tree_graph(depth: int, fanout: int = 2) -> Tuple[Graph, IRI]:
                 graph.add(Triple(node, FOAF.knows, child))
         return node
 
-    root = build(0)
+    with graph.batch():
+        root = build(0)
     return graph, root

@@ -112,67 +112,69 @@ def generate_portal_workload(
 
     workload = PortalWorkload(graph=graph, schema=portal_schema())
 
-    publishers = []
-    for index in range(num_publishers):
-        publisher = EX[f"publisher{index}"]
-        graph.add(Triple(publisher, FOAF.name, Literal(f"Agency {index}")))
-        if index % 2 == 0:
-            graph.add(Triple(publisher, FOAF.homepage, EX[f"homepage{index}"]))
-        publishers.append(publisher)
-    workload.publishers = publishers
-
     num_invalid = round(num_datasets * invalid_fraction)
     invalid_indices = set(rng.sample(range(num_datasets), num_invalid)) if num_invalid else set()
     violations = ["missing_publisher", "broken_distribution", "negative_byte_size",
                   "literal_theme", "no_distribution"]
     distribution_counter = 0
 
-    for index in range(num_datasets):
-        dataset = EX[f"dataset{index}"]
-        violation = violations[index % len(violations)] if index in invalid_indices else None
-        graph.add(Triple(dataset, DCTERMS.title, Literal(f"Dataset {index}")))
-        if rng.random() < 0.7:
-            graph.add(Triple(dataset, DCTERMS.issued,
-                             Literal(f"20{10 + index % 15:02d}-01-0{1 + index % 9}",
-                                     datatype=XSD.date)))
-        if violation != "missing_publisher":
-            graph.add(Triple(dataset, DCTERMS.publisher, rng.choice(publishers)))
-        num_themes = rng.randint(0, 2)
-        if violation == "literal_theme":
-            num_themes = max(1, num_themes)
-        for _ in range(num_themes):
+    # one batch for the whole build (see Graph.batch): one journal record
+    # per subject instead of per-triple journalling.
+    with graph.batch():
+        publishers = []
+        for index in range(num_publishers):
+            publisher = EX[f"publisher{index}"]
+            graph.add(Triple(publisher, FOAF.name, Literal(f"Agency {index}")))
+            if index % 2 == 0:
+                graph.add(Triple(publisher, FOAF.homepage, EX[f"homepage{index}"]))
+            publishers.append(publisher)
+        workload.publishers = publishers
+
+        for index in range(num_datasets):
+            dataset = EX[f"dataset{index}"]
+            violation = violations[index % len(violations)] if index in invalid_indices else None
+            graph.add(Triple(dataset, DCTERMS.title, Literal(f"Dataset {index}")))
+            if rng.random() < 0.7:
+                graph.add(Triple(dataset, DCTERMS.issued,
+                                 Literal(f"20{10 + index % 15:02d}-01-0{1 + index % 9}",
+                                         datatype=XSD.date)))
+            if violation != "missing_publisher":
+                graph.add(Triple(dataset, DCTERMS.publisher, rng.choice(publishers)))
+            num_themes = rng.randint(0, 2)
             if violation == "literal_theme":
-                graph.add(Triple(dataset, DCAT.theme, Literal(rng.choice(_THEMES))))
+                num_themes = max(1, num_themes)
+            for _ in range(num_themes):
+                if violation == "literal_theme":
+                    graph.add(Triple(dataset, DCAT.theme, Literal(rng.choice(_THEMES))))
+                else:
+                    graph.add(Triple(dataset, DCAT.theme, EX["theme/" + rng.choice(_THEMES)]))
+
+            if violation != "no_distribution":
+                for _ in range(rng.randint(1, max_distributions)):
+                    distribution = EX[f"distribution{distribution_counter}"]
+                    distribution_counter += 1
+                    workload.distributions.append(distribution)
+                    graph.add(Triple(dataset, DCAT.distribution, distribution))
+                    if rng.random() < 0.5:
+                        graph.add(Triple(distribution, DCTERMS.title,
+                                         Literal(f"Download {distribution_counter}")))
+                    broken = violation == "broken_distribution"
+                    if not broken:
+                        graph.add(Triple(distribution, DCAT.downloadURL,
+                                         EX[f"files/file{distribution_counter}.csv"]))
+                    graph.add(Triple(distribution, DCAT.mediaType,
+                                     Literal(rng.choice(_MEDIA_TYPES))))
+                    size = rng.randint(100, 10_000_000)
+                    if violation == "negative_byte_size":
+                        size = -size
+                    if rng.random() < 0.8 or violation == "negative_byte_size":
+                        graph.add(Triple(distribution, DCAT.byteSize, Literal(size)))
+                    if broken or violation == "negative_byte_size":
+                        # only one distribution needed to break the dataset
+                        break
+
+            if violation is None:
+                workload.valid_datasets.append(dataset)
             else:
-                graph.add(Triple(dataset, DCAT.theme, EX["theme/" + rng.choice(_THEMES)]))
-
-        if violation != "no_distribution":
-            for _ in range(rng.randint(1, max_distributions)):
-                distribution = EX[f"distribution{distribution_counter}"]
-                distribution_counter += 1
-                workload.distributions.append(distribution)
-                graph.add(Triple(dataset, DCAT.distribution, distribution))
-                if rng.random() < 0.5:
-                    graph.add(Triple(distribution, DCTERMS.title,
-                                     Literal(f"Download {distribution_counter}")))
-                broken = violation == "broken_distribution"
-                if not broken:
-                    graph.add(Triple(distribution, DCAT.downloadURL,
-                                     EX[f"files/file{distribution_counter}.csv"]))
-                graph.add(Triple(distribution, DCAT.mediaType,
-                                 Literal(rng.choice(_MEDIA_TYPES))))
-                size = rng.randint(100, 10_000_000)
-                if violation == "negative_byte_size":
-                    size = -size
-                if rng.random() < 0.8 or violation == "negative_byte_size":
-                    graph.add(Triple(distribution, DCAT.byteSize, Literal(size)))
-                if broken or violation == "negative_byte_size":
-                    # only one distribution needed to break the dataset
-                    violation = violation if violation == "no_distribution" else violation
-                    break
-
-        if violation is None:
-            workload.valid_datasets.append(dataset)
-        else:
-            workload.invalid_datasets[dataset] = violation
+                workload.invalid_datasets[dataset] = violation
     return workload

@@ -138,6 +138,15 @@ class TestValidateCommand:
         assert "max_entries=2" in captured.err
         assert "2/3 conform" in captured.out  # verdicts unchanged under eviction
 
+    def test_journal_stats_are_printed_with_cache_stats(self, data_file,
+                                                        schema_file, capsys):
+        exit_code = main(["validate", "--data", data_file, "--schema", schema_file,
+                          "--all-nodes", "--cache-stats", "--format", "summary"])
+        err = capsys.readouterr().err
+        assert exit_code == 1
+        assert "journal-stats:" in err
+        assert "tracked_subjects=" in err
+
     def test_broken_schema_reports_parse_error(self, data_file, tmp_path, capsys):
         broken = tmp_path / "broken.shex"
         broken.write_text("<S> { not valid", encoding="utf-8")
@@ -148,6 +157,53 @@ class TestValidateCommand:
 
 
 class TestOtherCommands:
+    def test_revalidate_applies_a_change_set_incrementally(
+            self, data_file, schema_file, tmp_path, capsys):
+        # :mary fails in the base data (duplicate age); the change set
+        # repairs her, so the incremental pass must flip her to conforming
+        fix = tmp_path / "fix.ttl"
+        fix.write_text(
+            "@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n"
+            "@prefix : <http://example.org/> .\n"
+            ":mary foaf:age 65 .\n", encoding="utf-8")
+        name = tmp_path / "name.ttl"
+        name.write_text(
+            "@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n"
+            "@prefix : <http://example.org/> .\n"
+            ':mary foaf:name "Mary" .\n', encoding="utf-8")
+        exit_code = main(["revalidate", "--data", data_file,
+                          "--schema", schema_file,
+                          "--add", str(name), "--remove", str(fix),
+                          "--format", "summary", "--cache-stats"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "3/3 conform" in captured.out
+        assert "revalidate: +1/-1 triples" in captured.err
+        assert "dirty subject(s)" in captured.err
+        assert "journal-stats:" in captured.err
+
+    def test_revalidate_delta_only_output(self, data_file, schema_file,
+                                          tmp_path, capsys):
+        extra = tmp_path / "extra.ttl"
+        extra.write_text(
+            "@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n"
+            "@prefix : <http://example.org/> .\n"
+            ":mary foaf:age 99 .\n", encoding="utf-8")
+        exit_code = main(["revalidate", "--data", data_file,
+                          "--schema", schema_file, "--add", str(extra),
+                          "--delta-only", "--format", "summary"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        # only mary's pair was recomputed: the delta holds a single entry
+        assert "0/1 conform" in captured.out
+
+    def test_revalidate_requires_a_change_set(self, data_file, schema_file,
+                                              capsys):
+        exit_code = main(["revalidate", "--data", data_file,
+                          "--schema", schema_file])
+        assert exit_code == 2
+        assert "change set" in capsys.readouterr().err
+
     def test_check_schema(self, schema_file, capsys):
         assert main(["check-schema", schema_file]) == 0
         output = capsys.readouterr().out

@@ -1,0 +1,606 @@
+"""Incremental revalidation: journal, batching, retraction, revalidate.
+
+The subsystem spans every layer — the graph's bounded change journal and
+batch coalescing, the HAMT's persistent ``dissoc``, the reverse
+reference-reachability closure, the context's retraction protocol and the
+validator's ``revalidate`` — so this module tests each layer in isolation
+and then the end-to-end contract: *revalidate verdicts equal a fresh full
+run* on every mutation pattern.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf import (
+    EX,
+    FOAF,
+    XSD,
+    ChangeJournal,
+    Graph,
+    GraphError,
+    Literal,
+    StaleSnapshotError,
+    Triple,
+)
+from repro.shex import Validator
+from repro.shex.hamt import HamtMap
+from repro.shex.partition import ReferenceIndex, affected_nodes
+from repro.shex.schema import SchemaError
+from repro.shex.typing import ShapeLabel, ShapeTyping
+from repro.workloads import (
+    generate_community_workload,
+    generate_person_workload,
+    person_schema,
+)
+
+
+def _verdicts(report):
+    return {(entry.node, str(entry.label)): entry.conforms for entry in report}
+
+
+def _triples(*specs):
+    return [Triple(*spec) for spec in specs]
+
+
+# --------------------------------------------------------------------- journal
+class TestChangeJournal:
+    def test_records_and_answers_changes_since(self):
+        journal = ChangeJournal()
+        journal.record(EX.a, 1)
+        journal.record(EX.b, 2)
+        assert journal.changes_since(0) == {EX.a, EX.b}
+        assert journal.changes_since(1) == {EX.b}
+        assert journal.changes_since(2) == frozenset()
+
+    def test_re_dirtying_updates_the_epoch(self):
+        journal = ChangeJournal()
+        journal.record(EX.a, 1)
+        journal.record(EX.a, 5)
+        assert journal.changes_since(4) == {EX.a}
+
+    def test_overflow_answers_none_for_older_generations(self):
+        journal = ChangeJournal(max_entries=2)
+        journal.record(EX.a, 1)
+        journal.record(EX.b, 2)
+        journal.record(EX.c, 3)  # overflows: three distinct subjects
+        assert journal.overflows == 1
+        assert journal.changes_since(0) is None
+        assert journal.changes_since(2) is None
+        # generations from the overflow on are answerable again
+        journal.record(EX.d, 4)
+        assert journal.changes_since(3) == {EX.d}
+
+    def test_rejects_a_zero_bound(self):
+        with pytest.raises(ValueError):
+            ChangeJournal(max_entries=0)
+
+    def test_stats_counters(self):
+        journal = ChangeJournal(max_entries=10)
+        journal.record(EX.a, 1)
+        stats = journal.stats()
+        assert stats["tracked_subjects"] == 1
+        assert stats["records"] == 1
+        assert stats["overflows"] == 0
+        assert stats["max_entries"] == 10
+
+
+class TestGraphJournalIntegration:
+    def test_mutations_are_journalled_per_subject(self):
+        graph = Graph()
+        start = graph.generation
+        graph.add(Triple(EX.a, EX.p, Literal(1)))
+        graph.add(Triple(EX.b, EX.p, Literal(2)))
+        assert graph.changes_since(start) == {EX.a, EX.b}
+        mid = graph.generation
+        graph.discard(Triple(EX.a, EX.p, Literal(1)))
+        assert graph.changes_since(mid) == {EX.a}
+
+    def test_duplicate_add_is_not_a_change(self):
+        graph = Graph()
+        graph.add(Triple(EX.a, EX.p, Literal(1)))
+        generation = graph.generation
+        graph.add(Triple(EX.a, EX.p, Literal(1)))
+        assert graph.generation == generation
+        assert graph.changes_since(generation) == frozenset()
+
+    def test_clear_truncates_the_journal(self):
+        graph = Graph()
+        start = graph.generation
+        graph.add(Triple(EX.a, EX.p, Literal(1)))
+        graph.clear()
+        assert graph.changes_since(start) is None
+
+    def test_batch_coalesces_journal_records(self):
+        graph = Graph()
+        start = graph.generation
+        with graph.batch():
+            for index in range(50):
+                graph.add(Triple(EX.a, EX.p, Literal(index)))
+                graph.add(Triple(EX.b, EX.p, Literal(index)))
+        # the generation counts every effective mutation (so derived state
+        # stays stale-detectable even mid-batch) …
+        assert graph.generation == start + 100
+        # … but the journal gets one record per touched subject, not 100
+        assert graph.changes_since(start) == {EX.a, EX.b}
+        assert graph.journal.stats()["records"] == 2
+
+    def test_reads_inside_a_batch_see_current_triples(self):
+        graph = Graph()
+        graph.add(Triple(EX.a, EX.p, Literal(1)))
+        assert len(graph.neighbourhood(EX.a)) == 1
+        with graph.batch():
+            graph.add(Triple(EX.a, EX.p, Literal(2)))
+            assert len(graph.neighbourhood(EX.a)) == 2
+
+    def test_noop_batch_leaves_the_generation_untouched(self):
+        graph = Graph()
+        graph.add(Triple(EX.a, EX.p, Literal(1)))
+        generation = graph.generation
+        with graph.batch():
+            pass  # empty batch
+        with graph.batch():
+            graph.add(Triple(EX.a, EX.p, Literal(1)))  # idempotent replay
+        graph.remove_all([Triple(EX.b, EX.p, Literal(9))])  # absent triple
+        assert graph.generation == generation
+        assert graph.changes_since(generation) == frozenset()
+
+    def test_changes_since_inside_a_batch_raises(self):
+        graph = Graph()
+        with graph.batch():
+            graph.add(Triple(EX.a, EX.p, Literal(1)))
+            with pytest.raises(GraphError):
+                graph.changes_since(0)
+
+    def test_nested_batches_coalesce_into_the_outermost(self):
+        graph = Graph()
+        start = graph.generation
+        with graph.batch():
+            graph.add(Triple(EX.a, EX.p, Literal(1)))
+            with graph.batch():
+                graph.add(Triple(EX.b, EX.p, Literal(1)))
+            # the inner end_batch journals nothing yet
+            assert graph.journal.stats()["records"] == 0
+        assert graph.changes_since(start) == {EX.a, EX.b}
+        assert graph.journal.stats()["records"] == 2
+
+    def test_end_batch_without_begin_raises(self):
+        with pytest.raises(GraphError):
+            Graph().end_batch()
+
+    def test_add_all_and_remove_all(self):
+        graph = Graph()
+        triples = _triples((EX.a, EX.p, Literal(1)), (EX.b, EX.p, Literal(2)))
+        start = graph.generation
+        graph.add_all(triples)
+        assert set(graph) == set(triples)
+        assert graph.changes_since(start) == {EX.a, EX.b}
+        assert graph.generation == start + 2
+        mid = graph.generation
+        graph.remove_all(triples + _triples((EX.c, EX.p, Literal(3))))  # absent ok
+        assert len(graph) == 0
+        assert graph.changes_since(mid) == {EX.a, EX.b}
+
+    def test_constructor_load_is_one_batch(self):
+        triples = [Triple(EX[f"s{i}"], EX.p, Literal(i)) for i in range(100)]
+        graph = Graph(triples)
+        assert graph.journal.stats()["records"] == 100  # one per subject
+
+    def test_parsers_load_in_one_batch(self):
+        turtle = ("@prefix : <http://example.org/> .\n"
+                  ":a :p 1 .\n:a :q 2 .\n:b :p 2 .\n")
+        graph = Graph.parse(turtle)
+        assert graph.journal.stats()["records"] == 2  # :a and :b, not 3
+        ntriples = ('<http://example.org/a> <http://example.org/p> '
+                    '"1"^^<http://www.w3.org/2001/XMLSchema#integer> .\n'
+                    '<http://example.org/a> <http://example.org/q> '
+                    '"2"^^<http://www.w3.org/2001/XMLSchema#integer> .\n')
+        graph = Graph.parse(ntriples, format="ntriples")
+        assert graph.journal.stats()["records"] == 1
+
+    def test_bulk_helpers_accept_live_generators_over_the_same_graph(self):
+        graph = Graph()
+        graph.add_all(Triple(EX.a, EX.p, Literal(i)) for i in range(5))
+        graph.add(Triple(EX.b, EX.p, Literal(0)))
+        # 'delete this subject' through a live query over the same graph
+        graph.remove_all(graph.triples(subject=EX.a))
+        assert len(graph) == 1
+        # and re-adding from a live query over another pattern
+        graph.add_all(graph.triples(predicate=EX.p))
+        assert len(graph) == 1
+
+    def test_mid_batch_snapshot_staleness_is_detected(self):
+        graph = Graph()
+        with graph.batch():
+            graph.add(Triple(EX.a, EX.p, Literal(1)))
+            snapshot = graph.snapshot()
+            graph.add(Triple(EX.b, EX.p, Literal(2)))
+            with pytest.raises(StaleSnapshotError):
+                snapshot.ensure_fresh(graph)
+
+
+class TestStaleSnapshot:
+    def test_fresh_snapshot_passes_and_chains(self):
+        graph = Graph(_triples((EX.a, EX.p, Literal(1))))
+        snapshot = graph.snapshot()
+        assert snapshot.ensure_fresh(graph) is snapshot
+
+    def test_stale_snapshot_raises(self):
+        graph = Graph(_triples((EX.a, EX.p, Literal(1))))
+        snapshot = graph.snapshot()
+        graph.add(Triple(EX.b, EX.p, Literal(2)))
+        with pytest.raises(StaleSnapshotError) as excinfo:
+            snapshot.ensure_fresh(graph)
+        assert "generation" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------- HAMT dissoc
+class TestHamtDissoc:
+    def test_dissoc_removes_and_shares(self):
+        mapping = HamtMap.from_items((EX[f"n{i}"], i) for i in range(100))
+        smaller = mapping.dissoc(EX.n42)
+        assert len(smaller) == 99
+        assert EX.n42 not in smaller
+        assert EX.n41 in smaller
+        assert len(mapping) == 100  # persistent: the original is untouched
+
+    def test_dissoc_absent_key_returns_self(self):
+        mapping = HamtMap.from_items([(EX.a, 1)])
+        assert mapping.dissoc(EX.b) is mapping
+        assert HamtMap.empty().dissoc(EX.a) is HamtMap.empty()
+
+    def test_dissoc_restores_canonical_shape(self):
+        # removing a key yields a map equal (and equal-hash) to one that
+        # never contained it — the shape is canonical for the key set
+        keys = [EX[f"n{i}"] for i in range(64)]
+        full = HamtMap.from_items((key, 0) for key in keys)
+        for victim in keys[::7]:
+            removed = full.dissoc(victim)
+            rebuilt = HamtMap.from_items(
+                (key, 0) for key in keys if key is not victim)
+            assert removed == rebuilt
+            assert hash(removed) == hash(rebuilt)
+
+    def test_dissoc_to_empty(self):
+        mapping = HamtMap.from_items([(EX.a, 1)])
+        assert mapping.dissoc(EX.a) is HamtMap.empty()
+
+    def test_typing_without_nodes(self):
+        label = ShapeLabel("S")
+        typing = ShapeTyping.from_pairs(
+            (EX[f"n{i}"], label) for i in range(20))
+        pruned = typing.without_nodes([EX.n3, EX.n7, EX.missing])
+        assert len(pruned) == 18
+        assert not pruned.has(EX.n3, label)
+        assert pruned.has(EX.n4, label)
+        assert typing.without_nodes([]) is typing
+        assert typing.without_nodes([EX.absent]) is typing
+
+
+# ------------------------------------------------------------ affected closure
+class TestAffectedNodes:
+    def test_reverse_index_exposes_referrer_labels(self):
+        index = ReferenceIndex(person_schema())
+        assert index.referrer_labels_for(FOAF.knows) == {ShapeLabel("Person")}
+        assert index.referrer_labels_for(FOAF.age) == frozenset()
+
+    def test_dirty_only_without_references(self):
+        schema = person_schema()
+        graph = Graph(_triples((EX.a, FOAF.age, Literal(3))))
+        assert affected_nodes(graph, schema, {EX.a}) == {EX.a}
+
+    def test_closure_follows_reference_edges_backwards(self):
+        schema = person_schema()
+        graph = Graph()
+        chain = [EX.p0, EX.p1, EX.p2, EX.p3]
+        with graph.batch():
+            for person in chain:
+                graph.add(Triple(person, FOAF.age, Literal(30)))
+                graph.add(Triple(person, FOAF.name, Literal("x")))
+            for left, right in zip(chain, chain[1:]):
+                graph.add(Triple(left, FOAF.knows, right))
+        # dirtying the chain's tail affects every upstream referrer …
+        assert affected_nodes(graph, schema, {EX.p3}) == set(chain)
+        # … but dirtying the head affects only the head
+        assert affected_nodes(graph, schema, {EX.p0}) == {EX.p0}
+
+    def test_closure_stays_inside_the_community(self):
+        workload = generate_community_workload(
+            num_communities=4, people_per_community=6, seed=5)
+        member = workload.valid_nodes[0]
+        community = str(member.value).rsplit("_", 1)[0]
+        closure = affected_nodes(workload.graph, workload.schema, {member})
+        assert member in closure
+        assert all(str(node.value).startswith(community) for node in closure)
+
+    def test_compiled_pruning_stops_at_statically_decided_targets(self):
+        from repro.shex.compiled import CompiledSchema
+
+        schema = person_schema()
+        graph = Graph()
+        with graph.batch():
+            # referrer -> target, where the target is statically rejectable
+            # (missing required predicates entirely)
+            graph.add(Triple(EX.referrer, FOAF.age, Literal(30)))
+            graph.add(Triple(EX.referrer, FOAF.name, Literal("r")))
+            graph.add(Triple(EX.referrer, FOAF.knows, EX.target))
+            graph.add(Triple(EX.target, EX.unrelated, Literal(1)))
+            # the target references a third node
+            graph.add(Triple(EX.target, FOAF.knows, EX.third))
+            graph.add(Triple(EX.third, FOAF.age, Literal(30)))
+            graph.add(Triple(EX.third, FOAF.name, Literal("t")))
+        compiled = CompiledSchema(schema)
+        # third dirty: the walk reaches target; target's demanded labels are
+        # statically decided and target itself is clean, so propagation stops
+        pruned = affected_nodes(graph, schema, {EX.third}, compiled=compiled)
+        assert pruned == {EX.third, EX.target}
+        # without the compiled schema the referrer is (soundly) included
+        unpruned = affected_nodes(graph, schema, {EX.third})
+        assert unpruned == {EX.third, EX.target, EX.referrer}
+        # a *dirty* statically-decided node always propagates
+        dirty_target = affected_nodes(graph, schema, {EX.target},
+                                      compiled=compiled)
+        assert EX.referrer in dirty_target
+
+
+# ------------------------------------------------------------------ retraction
+class TestRetractNodes:
+    def test_retracts_settled_verdicts_and_counts_them(self):
+        workload = generate_person_workload(num_people=10, seed=2)
+        validator = Validator(workload.graph, workload.schema)
+        validator.validate_graph()
+        context = validator._bulk_context()
+        node = workload.valid_nodes[0]
+        label = ShapeLabel("Person")
+        assert context.is_confirmed(node, label)
+        dropped = context.retract_nodes([node])
+        assert dropped >= 1
+        assert not context.is_confirmed(node, label)
+        assert not context.is_failed(node, label)
+
+    def test_retract_empty_set_is_a_noop(self):
+        workload = generate_person_workload(num_people=5, seed=2)
+        validator = Validator(workload.graph, workload.schema)
+        validator.validate_graph()
+        context = validator._bulk_context()
+        before = context.typing
+        assert context.retract_nodes([]) == 0
+        assert context.typing is before
+
+    def test_retract_during_validation_raises(self):
+        from repro.shex.schema import ValidationContext
+
+        workload = generate_person_workload(num_people=5, seed=2)
+        validator = Validator(workload.graph, workload.schema)
+        context = validator._bulk_context()
+        context.assume(EX.someone, ShapeLabel("Person"))
+        with pytest.raises(SchemaError):
+            context.retract_nodes([EX.someone])
+        assert isinstance(context, ValidationContext)
+
+
+# ------------------------------------------------------------------ revalidate
+class TestRevalidate:
+    def _fresh_verdicts(self, graph, schema):
+        return _verdicts(Validator(graph.copy(), schema).validate_graph())
+
+    def test_first_call_is_a_full_rebuild(self):
+        workload = generate_person_workload(num_people=8, seed=1)
+        validator = Validator(workload.graph, workload.schema)
+        result = validator.revalidate()
+        assert result.full_rebuild
+        assert _verdicts(result.report) == self._fresh_verdicts(
+            workload.graph, workload.schema)
+
+    def test_incremental_matches_fresh_run_after_edits(self):
+        workload = generate_community_workload(
+            num_communities=5, people_per_community=7, seed=9)
+        graph, schema = workload.graph, workload.schema
+        validator = Validator(graph, schema)
+        validator.validate_graph()
+
+        victim = workload.valid_nodes[0]
+        graph.add(Triple(victim, FOAF.age, Literal(200)))  # duplicate age
+        result = validator.revalidate()
+        assert not result.full_rebuild
+        assert victim in result.dirty
+        entry = result.report.entry_for(victim, "Person")
+        assert entry is not None and not entry.conforms
+        assert _verdicts(result.report) == self._fresh_verdicts(graph, schema)
+        assert result.report.typing == Validator(
+            graph.copy(), schema).validate_graph().typing
+
+    def test_repairing_a_node_revalidates_its_referrers(self):
+        schema = person_schema()
+        graph = Graph()
+        with graph.batch():
+            graph.add(Triple(EX.a, FOAF.age, Literal(30)))
+            graph.add(Triple(EX.a, FOAF.name, Literal("a")))
+            graph.add(Triple(EX.a, FOAF.knows, EX.b))
+            graph.add(Triple(EX.b, FOAF.age, Literal(31)))
+            # b is broken: no name, so a fails too (its reference fails)
+        validator = Validator(graph, schema)
+        report = validator.validate_graph()
+        assert not report.entry_for(EX.a, "Person").conforms
+        graph.add(Triple(EX.b, FOAF.name, Literal("b")))  # repair b
+        result = validator.revalidate()
+        assert not result.full_rebuild
+        assert EX.a in result.affected  # reverse reachability pulled a in
+        assert result.report.entry_for(EX.a, "Person").conforms
+        assert result.report.entry_for(EX.b, "Person").conforms
+        assert _verdicts(result.report) == self._fresh_verdicts(graph, schema)
+
+    def test_subject_addition_and_removal(self):
+        workload = generate_person_workload(num_people=6, seed=4)
+        graph, schema = workload.graph, workload.schema
+        validator = Validator(graph, schema)
+        validator.validate_graph()
+        # brand-new subject
+        graph.add_all(_triples(
+            (EX.newcomer, FOAF.age, Literal(20)),
+            (EX.newcomer, FOAF.name, Literal("New")),
+        ))
+        result = validator.revalidate()
+        assert not result.full_rebuild
+        assert result.report.entry_for(EX.newcomer, "Person").conforms
+        assert _verdicts(result.report) == self._fresh_verdicts(graph, schema)
+        # remove it again: its entries must disappear from the report
+        graph.remove_all(list(graph.triples(subject=EX.newcomer)))
+        result = validator.revalidate()
+        assert not result.full_rebuild
+        assert result.report.entry_for(EX.newcomer, "Person") is None
+        assert _verdicts(result.report) == self._fresh_verdicts(graph, schema)
+
+    def test_noop_revalidate_recomputes_nothing(self):
+        workload = generate_person_workload(num_people=6, seed=4)
+        validator = Validator(workload.graph, workload.schema)
+        baseline = validator.validate_graph()
+        result = validator.revalidate()
+        assert not result.full_rebuild
+        assert len(result.delta) == 0
+        assert result.retracted == 0
+        assert _verdicts(result.report) == _verdicts(baseline)
+
+    def test_delta_contains_exactly_the_affected_subject_pairs(self):
+        workload = generate_community_workload(
+            num_communities=4, people_per_community=6, seed=11)
+        graph, schema = workload.graph, workload.schema
+        validator = Validator(graph, schema)
+        baseline = validator.validate_graph()
+        victim = workload.valid_nodes[0]
+        graph.add(Triple(victim, EX.nickname, Literal("Zed")))
+        result = validator.revalidate()
+        delta_nodes = {entry.node for entry in result.delta}
+        subject_set = set(graph.nodes())
+        assert delta_nodes == {node for node in result.affected
+                               if node in subject_set}
+        # unaffected entries are reused object-identically from the baseline
+        untouched = next(node for node in workload.valid_nodes
+                         if node not in result.affected)
+        reused = result.report.entry_for(untouched, "Person")
+        assert any(reused is entry for entry in baseline)
+        # the victim's entry is not
+        recomputed = result.report.entry_for(victim, "Person")
+        assert all(recomputed is not entry for entry in baseline)
+
+    def test_journal_overflow_forces_full_rebuild(self):
+        workload = generate_person_workload(num_people=6, seed=4)
+        graph = Graph(list(workload.graph), journal_max_entries=2)
+        validator = Validator(graph, workload.schema)
+        validator.validate_graph()
+        with graph.batch():
+            for index in range(5):  # 5 distinct subjects > bound of 2
+                graph.add(Triple(EX[f"extra{index}"], FOAF.age, Literal(1)))
+        result = validator.revalidate()
+        assert result.full_rebuild
+        assert _verdicts(result.report) == self._fresh_verdicts(
+            graph, workload.schema)
+
+    def test_label_set_change_forces_full_rebuild(self):
+        workload = generate_person_workload(num_people=5, seed=4)
+        validator = Validator(workload.graph, workload.schema)
+        validator.validate_graph(labels=["Person"])
+        result = validator.revalidate()  # same labels, resolved by default
+        assert not result.full_rebuild
+
+    def test_restricted_partition_covers_only_the_affected_subgraph(self):
+        from repro.shex.partition import partition_reference_graph
+
+        workload = generate_community_workload(
+            num_communities=6, people_per_community=6, seed=13)
+        graph, schema = workload.graph, workload.schema
+        member = workload.valid_nodes[0]
+        closure = affected_nodes(graph, schema, {member})
+        full = partition_reference_graph(graph, schema)
+        restricted = partition_reference_graph(graph, schema,
+                                               restrict_to=closure)
+        # proportional to the closure, not the graph
+        assert len(restricted.nodes) < len(full.nodes)
+        assert closure <= set(restricted.nodes)
+        # the closure's SCCs coincide with the full partition's restriction
+        full_components = {
+            frozenset(component) for component in full.components
+            if set(component) & closure
+        }
+        restricted_components = {
+            frozenset(component) for component in restricted.components
+            if set(component) & closure
+        }
+        assert full_components == restricted_components
+
+    def test_parallel_revalidate_matches_serial(self):
+        workload = generate_community_workload(
+            num_communities=6, people_per_community=6, seed=13)
+        graph, schema = workload.graph, workload.schema
+        validator = Validator(graph, schema)
+        validator.validate_graph(jobs=2)
+        victim = workload.valid_nodes[0]
+        graph.add(Triple(victim, FOAF.age,
+                         Literal("bad", datatype=XSD.string)))
+        result = validator.revalidate(jobs=2)
+        assert not result.full_rebuild
+        assert _verdicts(result.report) == self._fresh_verdicts(graph, schema)
+        assert result.report.typing == Validator(
+            graph.copy(), schema).validate_graph().typing
+
+    def test_parallel_revalidate_derives_unsettled_demanded_chains(self):
+        # a label-subset baseline can leave demanded reference chains
+        # unsettled: A demands B of o only after the edit, and (o, B) in
+        # turn recurses into t — the restricted scheduler must expand its
+        # subgraph (and worker snapshot) to cover the whole unsettled chain
+        from repro.shex import Schema
+
+        schema = Schema.from_shexc("""
+            PREFIX ex: <http://example.org/>
+            PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+            <A> { ex:p @<B> * , ex:name xsd:string }
+            <B> { ex:q @<C> * , ex:name xsd:string }
+            <C> { ex:name xsd:string }
+        """)
+        graph = Graph()
+        with graph.batch():
+            graph.add(Triple(EX.s, EX.name, Literal("s")))
+            graph.add(Triple(EX.o, EX.name, Literal("o")))
+            graph.add(Triple(EX.o, EX.q, EX.t))
+            graph.add(Triple(EX.t, EX.name, Literal("t")))
+        validator = Validator(graph, schema)
+        validator.validate_graph(labels=["A"], jobs=2)
+        graph.add(Triple(EX.s, EX.p, EX.o))
+        result = validator.revalidate(labels=["A"], jobs=2)
+        assert not result.full_rebuild
+        fresh = Validator(graph.copy(), schema).validate_graph(labels=["A"])
+        assert _verdicts(result.report) == _verdicts(fresh)
+        assert result.report.entry_for(EX.s, "A").conforms
+
+    def test_without_shared_context_degenerates_to_full(self):
+        workload = generate_person_workload(num_people=5, seed=4)
+        validator = Validator(workload.graph, workload.schema,
+                              shared_context=False)
+        validator.validate_graph()
+        result = validator.revalidate()
+        assert result.full_rebuild
+
+    def test_mutation_seen_by_validate_node_invalidates_the_baseline(self):
+        workload = generate_person_workload(num_people=5, seed=4)
+        graph, schema = workload.graph, workload.schema
+        validator = Validator(graph, schema)
+        validator.validate_graph()
+        graph.add(Triple(EX.stranger, FOAF.age, Literal(3)))
+        # a bulk-context consumer rebuilds the context at the new generation;
+        # the baseline no longer pairs with it, so revalidate must not trust it
+        validator.conforming_nodes("Person")
+        result = validator.revalidate()
+        assert result.full_rebuild
+        assert _verdicts(result.report) == self._fresh_verdicts(graph, schema)
+
+    def test_revalidate_stats_counters(self):
+        workload = generate_person_workload(num_people=6, seed=4)
+        validator = Validator(workload.graph, workload.schema)
+        validator.validate_graph()
+        workload.graph.add(Triple(EX.person0, FOAF.age, Literal(999)))
+        result = validator.revalidate()
+        stats = result.stats()
+        assert stats["dirty_subjects"] == 1
+        assert stats["revalidated_pairs"] == len(result.delta)
+        assert stats["reused_pairs"] == len(result.report) - len(result.delta)
+        assert stats["full_rebuild"] == 0

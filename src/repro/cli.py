@@ -27,7 +27,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .rdf import Graph, ParseError
+from .rdf import ColumnarGraph, Graph, ParseError, TripleStore
 from .shex import Schema, SchemaError, Validator
 from .shex.cache import DerivativeCache
 from .shex.reporting import format_csv, format_text, report_to_json, summarize
@@ -88,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--cache-max-entries", type=int, default=None, metavar="N",
                           help="bound the global derivative cache to N entries "
                                "with LRU eviction (default: unbounded)")
+    validate.add_argument("--store", choices=["dict", "columnar"], default="dict",
+                          help="graph storage backend: 'dict' (hash-indexed, "
+                               "default) or 'columnar' (dictionary-encoded "
+                               "sorted int-id indexes with streaming ingest; "
+                               "verdicts are identical)")
     validate.add_argument("--format", choices=["text", "json", "csv", "summary"],
                           default="text", dest="output_format")
     validate.add_argument("--include-stats", action="store_true",
@@ -119,6 +124,8 @@ def build_parser() -> argparse.ArgumentParser:
     revalidate.add_argument("--cache-stats", action="store_true",
                             help="print change-journal and revalidation "
                                  "counters to stderr")
+    revalidate.add_argument("--store", choices=["dict", "columnar"], default="dict",
+                            help="graph storage backend (see 'validate --store')")
     revalidate.add_argument("--format", choices=["text", "json", "csv", "summary"],
                             default="text", dest="output_format")
     revalidate.add_argument("--include-stats", action="store_true",
@@ -153,7 +160,19 @@ def _read_file(path: str) -> str:
         raise SystemExit(f"error: cannot read {path}: {error}")
 
 
-def _load_graph(path: str, data_format: str) -> Graph:
+def _load_graph(path: str, data_format: str, store: str = "dict") -> TripleStore:
+    if store == "columnar":
+        if data_format == "ntriples":
+            # Stream line-by-line so the decoded triple list never has to be
+            # held in memory alongside the encoded segments.
+            graph = ColumnarGraph()
+            try:
+                with Path(path).open(encoding="utf-8") as lines:
+                    graph.ingest_ntriples(lines)
+            except OSError as error:
+                raise SystemExit(f"error: cannot read {path}: {error}")
+            return graph
+        return ColumnarGraph.parse(_read_file(path), format=data_format)
     return Graph.parse(_read_file(path), format=data_format)
 
 
@@ -169,13 +188,23 @@ def _build_engine(name: str):
     return name
 
 
-def _print_journal_stats(graph: Graph) -> None:
+def _print_journal_stats(graph: TripleStore) -> None:
     stats = graph.journal.stats()
     print("journal-stats: "
           f"tracked_subjects={stats['tracked_subjects']} "
           f"records={stats['records']} "
           f"overflows={stats['overflows']} "
           f"max_entries={stats['max_entries']}", file=sys.stderr)
+
+
+def _print_store_stats(graph: TripleStore) -> None:
+    stats = graph.store_stats()
+    dictionary = stats.pop("dictionary", None)
+    rendered = " ".join(f"{key}={value}" for key, value in stats.items())
+    print(f"store-stats: {rendered}", file=sys.stderr)
+    if dictionary is not None:
+        rendered = " ".join(f"{key}={value}" for key, value in dictionary.items())
+        print(f"dictionary-stats: {rendered}", file=sys.stderr)
 
 
 def _render_report(report: ValidationReport, output_format: str,
@@ -200,7 +229,7 @@ def _command_validate(args: argparse.Namespace) -> int:
     if args.jobs > 1 and (args.shape_map or args.shape_map_file):
         raise SystemExit("error: --jobs > 1 needs a whole-graph mode "
                          "(--all-nodes or --shape); shape maps validate serially")
-    graph = _load_graph(args.data, args.data_format)
+    graph = _load_graph(args.data, args.data_format, args.store)
     schema = _load_schema(args.schema)
     engine_options = {}
     wants_cache = (args.bulk or args.cache_stats
@@ -228,6 +257,7 @@ def _command_validate(args: argparse.Namespace) -> int:
 
     sys.stdout.write(_render_report(report, args.output_format, args.include_stats))
     if args.cache_stats:
+        _print_store_stats(graph)
         _print_journal_stats(graph)
         totals = report.total_stats()
         if validator.compiled is None:
@@ -273,7 +303,7 @@ def _command_revalidate(args: argparse.Namespace) -> int:
     if not args.add and not args.remove:
         raise SystemExit("error: revalidate needs a change set "
                          "(--add and/or --remove)")
-    graph = _load_graph(args.data, args.data_format)
+    graph = _load_graph(args.data, args.data_format, args.store)
     schema = _load_schema(args.schema)
     labels = [args.shape] if args.shape else None
     validator = Validator(graph, schema, jobs=args.jobs,
@@ -305,6 +335,7 @@ def _command_revalidate(args: argparse.Namespace) -> int:
           + (" (full rebuild)" if result.full_rebuild else ""),
           file=sys.stderr)
     if args.cache_stats:
+        _print_store_stats(graph)
         _print_journal_stats(graph)
         print("revalidate-stats: "
               f"retracted_verdicts={stats['retracted_verdicts']} "

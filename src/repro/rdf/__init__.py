@@ -27,12 +27,15 @@ from .errors import (
     RDFError,
     StaleSnapshotError,
 )
+from .columnar import ColumnarGraph
+from .dictionary import TermDictionary
 from .graph import (
     ChangeJournal,
     Graph,
     NeighbourhoodSnapshot,
     NeighbourhoodView,
     OrderedTriples,
+    TripleStore,
     decomposition_count,
     decompositions,
 )
@@ -69,8 +72,9 @@ __all__ = [
     # terms
     "Term", "IRI", "BNode", "Literal", "Triple", "SubjectTerm", "ObjectTerm",
     "is_subject_term", "is_predicate_term", "is_object_term",
-    # graph
-    "Graph", "ChangeJournal", "NeighbourhoodSnapshot", "NeighbourhoodView",
+    # graph / storage layer
+    "Graph", "TripleStore", "ColumnarGraph", "TermDictionary",
+    "ChangeJournal", "NeighbourhoodSnapshot", "NeighbourhoodView",
     "OrderedTriples", "decompositions", "decomposition_count",
     # namespaces
     "Namespace", "NamespaceManager",

@@ -1,0 +1,225 @@
+"""Dictionary encoding: interning RDF terms as dense integer ids.
+
+The columnar store (:mod:`repro.rdf.columnar`) keeps every index as sorted
+arrays of 64-bit integers instead of nested dictionaries of term objects.
+The :class:`TermDictionary` provides the bidirectional mapping that makes
+this possible:
+
+* every distinct IRI, blank node and literal is interned once and assigned a
+  dense id from a **per-kind id range** (IRIs from 0, blank nodes from
+  ``BNODE_BASE``, literals from ``LITERAL_BASE``), so the ``isinstance``
+  checks the validation layers perform constantly (is this object a literal?
+  can it be a subject?) become integer range tests with no decode,
+* encoding is **string-keyed** (``encode_iri("...")`` interns a lexical form
+  directly), so the streaming N-Triples ingest path never has to build — or
+  retain — term objects for data that only ever lives in the int indexes,
+* decoding is lazy and memoised: a term object is materialised at most once
+  per id, and only when something actually crosses the id/term boundary
+  (report entries, journal exports, neighbourhood scans).  The
+  ``decoded_terms`` counter exposes exactly how many ids were materialised,
+  which ``--cache-stats`` reports as the store's decode cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from .errors import GraphError
+from .terms import BNode, IRI, Literal, Term
+
+__all__ = [
+    "TermDictionary",
+    "IRI_BASE",
+    "BNODE_BASE",
+    "LITERAL_BASE",
+]
+
+#: per-kind id ranges: 2**40 ids per kind keeps every id far inside the
+#: signed-64-bit columns of the columnar store while making the kind of any
+#: id a pair of integer comparisons.
+IRI_BASE = 0
+BNODE_BASE = 1 << 40
+LITERAL_BASE = 1 << 41
+_KIND_CAPACITY = 1 << 40
+
+#: literal intern key: (lexical, datatype IRI string, language tag or None).
+_LiteralKey = Tuple[str, str, Optional[str]]
+
+
+class TermDictionary:
+    """Bidirectional term ↔ dense-integer-id mapping with per-kind ranges.
+
+    Encoding interns; :meth:`lookup` answers "is this term known?" without
+    growing the dictionary (pattern queries over a columnar graph must not
+    intern every term they are asked about).  Ids are stable for the
+    lifetime of the dictionary and never reused.
+    """
+
+    __slots__ = (
+        "_iri_ids", "_iri_values",
+        "_bnode_ids", "_bnode_values",
+        "_literal_ids", "_literal_values",
+        "_terms", "_sort_keys",
+    )
+
+    def __init__(self) -> None:
+        self._iri_ids: Dict[str, int] = {}
+        self._iri_values: List[str] = []
+        self._bnode_ids: Dict[str, int] = {}
+        self._bnode_values: List[str] = []
+        self._literal_ids: Dict[_LiteralKey, int] = {}
+        self._literal_values: List[_LiteralKey] = []
+        #: flat id → term memo — one dict for all three kinds, so the hot
+        #: decode path (and the scan loops that inline ``_terms.get``) is a
+        #: single hash probe with no range dispatch.
+        self._terms: Dict[int, Union[IRI, BNode, Literal]] = {}
+        #: id → term sort key, memoised (scan ordering sorts id pairs by
+        #: these instead of building term sort keys per scan).
+        self._sort_keys: Dict[int, tuple] = {}
+
+    @property
+    def decoded_terms(self) -> int:
+        """Number of term objects materialised from ids so far."""
+        return len(self._terms)
+
+    # ------------------------------------------------------------------ encode
+    def encode_iri(self, value: str) -> int:
+        """Intern an IRI by lexical value and return its id."""
+        tid = self._iri_ids.get(value)
+        if tid is None:
+            index = len(self._iri_values)
+            if index >= _KIND_CAPACITY:  # pragma: no cover - 2**40 IRIs
+                raise GraphError("term dictionary IRI range exhausted")
+            tid = IRI_BASE + index
+            self._iri_ids[value] = tid
+            self._iri_values.append(value)
+        return tid
+
+    def encode_bnode(self, node_id: str) -> int:
+        """Intern a blank node by local identifier and return its id."""
+        tid = self._bnode_ids.get(node_id)
+        if tid is None:
+            index = len(self._bnode_values)
+            if index >= _KIND_CAPACITY:  # pragma: no cover
+                raise GraphError("term dictionary blank-node range exhausted")
+            tid = BNODE_BASE + index
+            self._bnode_ids[node_id] = tid
+            self._bnode_values.append(node_id)
+        return tid
+
+    def encode_literal(self, lexical: str, datatype: str,
+                       lang: Optional[str] = None) -> int:
+        """Intern a literal by ``(lexical, datatype IRI, lang)`` and return its id."""
+        key = (lexical, datatype, lang)
+        tid = self._literal_ids.get(key)
+        if tid is None:
+            index = len(self._literal_values)
+            if index >= _KIND_CAPACITY:  # pragma: no cover
+                raise GraphError("term dictionary literal range exhausted")
+            tid = LITERAL_BASE + index
+            self._literal_ids[key] = tid
+            self._literal_values.append(key)
+        return tid
+
+    def encode(self, term: Term) -> int:
+        """Intern any term object and return its id."""
+        if isinstance(term, IRI):
+            return self.encode_iri(term.value)
+        if isinstance(term, BNode):
+            return self.encode_bnode(term.id)
+        if isinstance(term, Literal):
+            return self.encode_literal(term.lexical, term.datatype.value, term.lang)
+        raise GraphError(f"cannot encode {type(term).__name__} into a term dictionary")
+
+    def lookup(self, term: Term) -> Optional[int]:
+        """Return the id of ``term`` or ``None`` — never interns.
+
+        Pattern queries use this: asking a graph about a term it has never
+        seen must not grow the dictionary.
+        """
+        if isinstance(term, IRI):
+            return self._iri_ids.get(term.value)
+        if isinstance(term, BNode):
+            return self._bnode_ids.get(term.id)
+        if isinstance(term, Literal):
+            return self._literal_ids.get((term.lexical, term.datatype.value, term.lang))
+        return None
+
+    # ------------------------------------------------------------------ decode
+    def decode(self, tid: int) -> Union[IRI, BNode, Literal]:
+        """Materialise the term for ``tid`` (memoised, one object per id)."""
+        term = self._terms.get(tid)
+        if term is not None:
+            return term
+        if tid >= LITERAL_BASE:
+            lexical, datatype, lang = self._literal_values[tid - LITERAL_BASE]
+            if lang is not None:
+                term = Literal(lexical, lang=lang)
+            else:
+                term = Literal(lexical, datatype=IRI(datatype))
+        elif tid >= BNODE_BASE:
+            term = BNode(self._bnode_values[tid - BNODE_BASE])
+        else:
+            term = IRI(self._iri_values[tid])
+        self._terms[tid] = term
+        return term
+
+    # ------------------------------------------------------------- id algebra
+    @staticmethod
+    def is_iri_id(tid: int) -> bool:
+        """Range test replacing ``isinstance(term, IRI)``."""
+        return 0 <= tid < BNODE_BASE
+
+    @staticmethod
+    def is_bnode_id(tid: int) -> bool:
+        """Range test replacing ``isinstance(term, BNode)``."""
+        return BNODE_BASE <= tid < LITERAL_BASE
+
+    @staticmethod
+    def is_literal_id(tid: int) -> bool:
+        """Range test replacing ``isinstance(term, Literal)``."""
+        return tid >= LITERAL_BASE
+
+    @staticmethod
+    def is_subject_id(tid: int) -> bool:
+        """Range test replacing ``is_subject_term`` (``Vs = I ∪ B``)."""
+        return tid < LITERAL_BASE
+
+    def sort_key(self, tid: int) -> tuple:
+        """The term's :meth:`~repro.rdf.terms.Term.sort_key`, without decoding.
+
+        Memoised per id: ordering a neighbourhood scan sorts id pairs by
+        these keys, so the term objects themselves are only materialised for
+        the triples the scan actually returns.
+        """
+        key = self._sort_keys.get(tid)
+        if key is None:
+            if tid >= LITERAL_BASE:
+                lexical, datatype, lang = self._literal_values[tid - LITERAL_BASE]
+                key = (2, lexical, datatype, lang or "")
+            elif tid >= BNODE_BASE:
+                key = (1, self._bnode_values[tid - BNODE_BASE])
+            else:
+                key = (0, self._iri_values[tid])
+            self._sort_keys[tid] = key
+        return key
+
+    # ------------------------------------------------------------------ stats
+    def __len__(self) -> int:
+        return (len(self._iri_values) + len(self._bnode_values)
+                + len(self._literal_values))
+
+    def stats(self) -> Dict[str, int]:
+        """Summary counters for ``--cache-stats`` and the benchmarks."""
+        return {
+            "terms": len(self),
+            "iris": len(self._iri_values),
+            "bnodes": len(self._bnode_values),
+            "literals": len(self._literal_values),
+            "decoded_terms": self.decoded_terms,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TermDictionary(<{len(self._iri_values)} IRIs, "
+                f"{len(self._bnode_values)} bnodes, "
+                f"{len(self._literal_values)} literals>)")

@@ -8,7 +8,7 @@ the building block of the Turtle serialiser's escaping rules.
 from __future__ import annotations
 
 import re
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from .errors import ParseError
 from .graph import Graph
@@ -17,6 +17,7 @@ from .terms import BNode, IRI, Literal, ObjectTerm, SubjectTerm, Triple
 __all__ = [
     "parse_ntriples",
     "iter_ntriples",
+    "iter_ntriples_lines",
     "serialize_ntriples",
     "unescape_string",
     "escape_string",
@@ -138,9 +139,16 @@ def _parse_object(line: str, pos: int, lineno: int) -> tuple[ObjectTerm, int]:
     return term, match.end()
 
 
-def iter_ntriples(data: str) -> Iterator[Triple]:
-    """Yield triples from N-Triples text, skipping comments and blank lines."""
-    for lineno, raw_line in enumerate(data.splitlines(), start=1):
+def iter_ntriples_lines(lines: Iterable[str]) -> Iterator[Triple]:
+    """Yield triples from an iterable of N-Triples lines, one at a time.
+
+    This is the streaming entry point: ``lines`` can be an open file handle
+    or any other lazy line source, and only the line currently being parsed
+    is held in memory.  The columnar store's segment-bounded ingest path
+    feeds on this, encoding each yielded triple into integer ids and letting
+    the term objects go.
+    """
+    for lineno, raw_line in enumerate(lines, start=1):
         line = raw_line.strip()
         if not line or line.startswith("#"):
             continue
@@ -150,6 +158,11 @@ def iter_ntriples(data: str) -> Iterator[Triple]:
         if not _END_RE.match(raw_line, pos):
             raise ParseError("expected '.' at end of triple", lineno, pos)
         yield Triple(subject, predicate, obj)
+
+
+def iter_ntriples(data: str) -> Iterator[Triple]:
+    """Yield triples from N-Triples text, skipping comments and blank lines."""
+    return iter_ntriples_lines(data.splitlines())
 
 
 def parse_ntriples(data: str) -> Graph:

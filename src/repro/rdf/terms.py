@@ -14,6 +14,7 @@ which is what both the backtracking and the derivative matchers require.
 from __future__ import annotations
 
 import itertools
+import operator as _operator
 import re
 import threading
 from dataclasses import dataclass
@@ -344,53 +345,78 @@ def is_object_term(term: object) -> bool:
     return isinstance(term, (IRI, BNode, Literal))
 
 
-@dataclass(frozen=True, order=False)
-class Triple:
+class Triple(tuple):
     """An RDF triple ``⟨s, p, o⟩``.
 
     Validity of the three positions is enforced at construction time, matching
     the vocabulary constraints of Section 2 of the paper.
+
+    The class is a ``tuple`` subclass, not a dataclass: the storage layer
+    hashes triples constantly (the dict store's indexes and neighbourhood
+    frozensets) and the columnar store materialises them in bulk on every
+    scan, so construction, hashing and equality all running at C speed is a
+    measurable win.  Field access stays attribute-style (``triple.subject``)
+    through ``itemgetter`` properties.
     """
 
-    subject: SubjectTerm
-    predicate: IRI
-    object: ObjectTerm
+    __slots__ = ()
 
-    def __post_init__(self):
-        if not is_subject_term(self.subject):
+    def __new__(cls, subject: SubjectTerm, predicate: IRI,
+                object: ObjectTerm) -> "Triple":
+        if not is_subject_term(subject):
             raise TypeError(
-                f"triple subject must be an IRI or BNode, got {type(self.subject).__name__}"
+                f"triple subject must be an IRI or BNode, got {type(subject).__name__}"
             )
-        if not is_predicate_term(self.predicate):
+        if not is_predicate_term(predicate):
             raise TypeError(
-                f"triple predicate must be an IRI, got {type(self.predicate).__name__}"
+                f"triple predicate must be an IRI, got {type(predicate).__name__}"
             )
-        if not is_object_term(self.object):
+        if not is_object_term(object):
             raise TypeError(
                 f"triple object must be an IRI, BNode or Literal, "
-                f"got {type(self.object).__name__}"
+                f"got {type(object).__name__}"
             )
+        return tuple.__new__(cls, (subject, predicate, object))
 
-    def __iter__(self):
-        yield self.subject
-        yield self.predicate
-        yield self.object
+    subject = property(_operator.itemgetter(0))
+    predicate = property(_operator.itemgetter(1))
+    object = property(_operator.itemgetter(2))
 
+    def __getnewargs__(self) -> tuple:
+        return (self[0], self[1], self[2])
+
+    def __repr__(self) -> str:
+        return (f"Triple(subject={self[0]!r}, predicate={self[1]!r}, "
+                f"object={self[2]!r})")
+
+    # ordering follows the term sort keys (as the dataclass version did),
+    # not the element-wise tuple comparison inherited from ``tuple``.
     def __lt__(self, other: "Triple") -> bool:
         if not isinstance(other, Triple):
             return NotImplemented
         return self.sort_key() < other.sort_key()
 
+    def __le__(self, other: "Triple") -> bool:
+        if not isinstance(other, Triple):
+            return NotImplemented
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "Triple") -> bool:
+        if not isinstance(other, Triple):
+            return NotImplemented
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "Triple") -> bool:
+        if not isinstance(other, Triple):
+            return NotImplemented
+        return self.sort_key() >= other.sort_key()
+
     def sort_key(self) -> tuple:
-        return (
-            self.subject.sort_key(),
-            self.predicate.sort_key(),
-            self.object.sort_key(),
-        )
+        return (self[0].sort_key(), self[1].sort_key(), self[2].sort_key())
 
     def n3(self) -> str:
         """Return the N-Triples serialisation of this triple (without newline)."""
-        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+        return f"{self[0].n3()} {self[1].n3()} {self[2].n3()} ."
 
     def __str__(self) -> str:
         return self.n3()
@@ -403,7 +429,20 @@ class Triple:
     ) -> "Triple":
         """Return a copy of this triple with some positions replaced."""
         return Triple(
-            subject if subject is not None else self.subject,
-            predicate if predicate is not None else self.predicate,
-            object if object is not None else self.object,
+            subject if subject is not None else self[0],
+            predicate if predicate is not None else self[1],
+            object if object is not None else self[2],
         )
+
+
+def unchecked_triple(subject: SubjectTerm, predicate: IRI,
+                     obj: ObjectTerm) -> Triple:
+    """Build a :class:`Triple` from positions already known to be valid.
+
+    The dictionary-encoded store rebuilds triples from ids whose per-kind
+    ranges (see :mod:`repro.rdf.dictionary`) already guarantee the
+    vocabulary constraints of Section 2, so the constructor's ``isinstance``
+    checks are pure overhead on its scan paths.  Only use this with
+    positions that went through validation once before.
+    """
+    return tuple.__new__(Triple, (subject, predicate, obj))

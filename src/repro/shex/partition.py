@@ -33,7 +33,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from ..rdf.graph import Graph
 from ..rdf.terms import IRI, Literal, ObjectTerm, SubjectTerm
-from .compiled import CompiledSchema, predicate_counts
+from .compiled import CompiledSchema, LazyNeighbourhood, store_counts
 from .expressions import Arc, iter_subexpressions
 from .node_constraints import PredicateSet, ShapeRef
 from .schema import Schema
@@ -183,6 +183,7 @@ def reference_edges(
     #: (target, label) → prefilter-decided?, computed once per pair.
     decided: Dict[Tuple[ObjectTerm, ShapeLabel], bool] = {}
     counts: Dict[ObjectTerm, Dict[IRI, int]] = {}
+    neighbourhood_any = getattr(graph, "neighbourhood_any", graph.neighbourhood)
     if subjects is None:
         triple_source: Iterable = graph
     else:
@@ -202,13 +203,18 @@ def reference_edges(
                 key = (target, label)
                 verdict = decided.get(key)
                 if verdict is None:
-                    neighbourhood = graph.neighbourhood(target)
                     target_counts = counts.get(target)
                     if target_counts is None:
-                        target_counts = predicate_counts(neighbourhood)
+                        # counts come straight from the store indexes; the
+                        # neighbourhood stays lazy so count-only decisions
+                        # never materialise the target's triples.
+                        target_counts = store_counts(graph, target)
                         counts[target] = target_counts
                     verdict = (label in compiled
-                               and compiled.decides(label, neighbourhood, target_counts))
+                               and compiled.decides(
+                                   label,
+                                   LazyNeighbourhood(neighbourhood_any, target),
+                                   target_counts))
                     decided[key] = verdict
                 if not verdict:
                     needs_edge = True
@@ -256,29 +262,39 @@ def affected_nodes(
         return frozenset(dirty)
     affected: Set[ObjectTerm] = set(dirty)
     frontier: List[ObjectTerm] = list(dirty)
+    # the columnar store walks in-edges natively over its OSP int columns
+    # (one binary search per segment, predicates decoded once through the
+    # dictionary's memo); the dict store falls back to its OSP hash index.
+    in_edges = getattr(graph, "in_edges", None)
+    neighbourhood_any = getattr(graph, "neighbourhood_any", graph.neighbourhood)
     while frontier:
         node = frontier.pop()
         if isinstance(node, Literal):
             continue
         referrers: Set[SubjectTerm] = set()
         demanded: Set[ShapeLabel] = set()
-        for triple in graph.triples(obj=node):
+        if in_edges is not None:
+            edge_iter: Iterable = in_edges(node)
+        else:
+            edge_iter = ((triple.predicate, triple.subject)
+                         for triple in graph.triples(obj=node))
+        for predicate, subject in edge_iter:
             # the reverse index gates the backward walk: the edge matters
             # only if some shape checked against the *subject* contains a
             # reference arc this predicate can trigger …
-            if not index.referrer_labels_for(triple.predicate):
+            if not index.referrer_labels_for(predicate):
                 continue
-            referrers.add(triple.subject)
+            referrers.add(subject)
             # … while the forward index supplies the labels the edge can
             # demand of the *object* (the static-decidability check below).
-            demanded.update(index.labels_for(triple.predicate))
+            demanded.update(index.labels_for(predicate))
         if not referrers:
             continue
         if compiled is not None and node not in dirty:
-            neighbourhood = graph.neighbourhood(node)
-            counts = predicate_counts(neighbourhood)
+            counts = store_counts(graph, node)
             if all(
-                label in compiled and compiled.decides(label, neighbourhood, counts)
+                label in compiled and compiled.decides(
+                    label, LazyNeighbourhood(neighbourhood_any, node), counts)
                 for label in demanded
             ):
                 continue

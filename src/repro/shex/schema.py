@@ -164,6 +164,25 @@ class Schema:
 #: shared empty neighbourhood (literals, node-free subjects) — one instance.
 _EMPTY_NEIGHBOURHOOD: FrozenSet[Triple] = frozenset()
 
+
+class _LazyNeighbourhood:
+    """An iterable ``Σgₙ`` proxy that defers the scan until iterated.
+
+    When predicate counts come straight from the store, most prefilter
+    decisions never look at a triple; handing the prefilter this proxy means
+    the neighbourhood is only materialised for shapes with value screens
+    (the store caches the scan, so repeated iteration costs one lookup).
+    """
+
+    __slots__ = ("_fetch", "_node")
+
+    def __init__(self, fetch, node):
+        self._fetch = fetch
+        self._node = node
+
+    def __iter__(self):
+        return iter(self._fetch(self._node))
+
 #: sentinel dependency depth marking an outcome forced by the recursion-depth
 #: budget; it never resolves (no frame ever settles at this depth), so the
 #: poison propagates to every enclosing frame and nothing gets cached.
@@ -263,6 +282,10 @@ class ValidationContext:
         # neighbourhood representation through ``neighbourhood_any``.
         self._neighbourhood_any = getattr(graph, "neighbourhood_any",
                                           graph.neighbourhood)
+        # stores that can count out-edges per predicate without building
+        # neighbourhood triples (both triple stores can; snapshots cannot)
+        # let the prefilter decide count-only shapes with no triples at all.
+        self._graph_predicate_counts = getattr(graph, "predicate_counts", None)
 
     # -- typing bookkeeping -----------------------------------------------------
     @property
@@ -438,16 +461,22 @@ class ValidationContext:
         shared by every label the node is checked against.
         """
         if isinstance(node, Literal):
-            neighbourhood = _EMPTY_NEIGHBOURHOOD
-        else:
-            neighbourhood = self._neighbourhood_any(node)
+            return _EMPTY_NEIGHBOURHOOD, self._pred_counts.setdefault(node, {})
         counts = self._pred_counts.get(node)
-        if counts is None:
-            counts = {}
-            for triple in neighbourhood:
-                predicate = triple.predicate
-                counts[predicate] = counts.get(predicate, 0) + 1
+        if counts is None and self._graph_predicate_counts is not None:
+            # id-native stores count per predicate without materialising a
+            # single triple; the neighbourhood itself stays lazy, because
+            # the prefilter only iterates it when value screens apply.
+            counts = self._graph_predicate_counts(node)
             self._pred_counts[node] = counts
+        if counts is not None:
+            return _LazyNeighbourhood(self._neighbourhood_any, node), counts
+        neighbourhood = self._neighbourhood_any(node)
+        counts = {}
+        for triple in neighbourhood:
+            predicate = triple.predicate
+            counts[predicate] = counts.get(predicate, 0) + 1
+        self._pred_counts[node] = counts
         return neighbourhood, counts
 
     def _record_decision(self, node: ObjectTerm, label: ShapeLabel,

@@ -262,6 +262,16 @@ class Validator:
             self._atoms_adopted = True
         return self._compiled
 
+    def store_stats(self) -> Dict[str, object]:
+        """Storage-layer counters of the validated graph.
+
+        A passthrough to :meth:`TripleStore.store_stats`, so callers holding
+        only the validator (services, the CLI) can report backend counters —
+        dictionary size, segment counts, index bytes, ids decoded at report
+        time — without reaching into the graph.
+        """
+        return self.graph.store_stats()
+
     # -- contexts ---------------------------------------------------------------
     def _new_context(self) -> ValidationContext:
         return ValidationContext(self.graph, self.schema,

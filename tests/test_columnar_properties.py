@@ -1,0 +1,185 @@
+"""Property-based tests: the columnar store is observationally the dict store.
+
+The storage contract says verdicts — and everything they are derived from —
+must be independent of the backend.  Hypothesis drives random interleaved
+``add`` / ``remove`` / ``batch`` sequences over a small triple universe
+against a dict-backed :class:`Graph` and a :class:`ColumnarGraph` with a tiny
+segment size (so flushes, tombstones and revivals all happen constantly),
+then asserts the two stores agree on every observable: triple sets,
+neighbourhoods, degrees, generation deltas, ``changes_since`` and — for
+random schemas — full-run and incremental validation verdicts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import EX, XSD, ColumnarGraph, Graph, Literal, Triple
+from repro.shex import Schema, Validator
+from repro.shex.expressions import arc, interleave_all, optional, plus, star
+from repro.shex.node_constraints import DatatypeConstraint, shape_ref, value_set
+
+NODES = [EX[f"n{i}"] for i in range(5)]
+PREDICATES = [EX.p, EX.q, EX.r]
+LABELS = ["A", "B"]
+OBJECTS = [Literal(1), Literal(2), Literal("x"),
+           Literal("3", datatype=XSD.string)] + NODES[:3]
+UNIVERSE = [Triple(subject, predicate, obj)
+            for subject in NODES
+            for predicate in PREDICATES
+            for obj in OBJECTS]
+
+#: tiny segments: a dozen operations already span several flushes.
+SEGMENT_SIZE = 3
+
+
+def constraints() -> st.SearchStrategy:
+    return st.one_of(
+        st.builds(lambda values: value_set(*values),
+                  st.lists(st.sampled_from([1, 2, "x"]), min_size=1,
+                           max_size=2, unique=True)),
+        st.just(DatatypeConstraint(XSD.integer)),
+        st.just(DatatypeConstraint(XSD.string)),
+        st.sampled_from([shape_ref(label) for label in LABELS]),
+    )
+
+
+def shapes() -> st.SearchStrategy:
+    def build(arcs):
+        return interleave_all(*[
+            modifier(arc(predicate, constraint))
+            for (predicate, constraint, modifier) in arcs
+        ])
+
+    modifiers = st.sampled_from([lambda e: e, star, optional, plus])
+    return st.builds(
+        build,
+        st.lists(st.tuples(st.sampled_from(PREDICATES), constraints(),
+                           modifiers),
+                 min_size=1, max_size=3),
+    )
+
+
+def schemas() -> st.SearchStrategy[Schema]:
+    return st.builds(
+        lambda a, b: Schema({"A": a, "B": b}),
+        shapes(), shapes(),
+    )
+
+
+def operations() -> st.SearchStrategy[list]:
+    edit = st.one_of(
+        st.tuples(st.just("add"), st.sampled_from(UNIVERSE)),
+        st.tuples(st.just("remove"), st.sampled_from(UNIVERSE)),
+    )
+    batched = st.tuples(st.just("batch"),
+                        st.lists(edit, min_size=1, max_size=5))
+    return st.lists(st.one_of(edit, batched), min_size=1, max_size=12)
+
+
+def _apply(graph, ops):
+    for kind, payload in ops:
+        if kind == "add":
+            graph.add(payload)
+        elif kind == "remove":
+            graph.discard(payload)
+        else:
+            with graph.batch():
+                for inner_kind, triple in payload:
+                    if inner_kind == "add":
+                        graph.add(triple)
+                    else:
+                        graph.discard(triple)
+
+
+def _verdicts(report):
+    return {(entry.node, str(entry.label)): entry.conforms for entry in report}
+
+
+class TestStoreObservables:
+    @settings(max_examples=60, deadline=None)
+    @given(initial=st.lists(st.sampled_from(UNIVERSE), max_size=8),
+           ops=operations())
+    def test_stores_agree_on_every_observable(self, initial, ops):
+        dict_graph = Graph(initial)
+        columnar = ColumnarGraph(initial, segment_size=SEGMENT_SIZE)
+        start_dict, start_col = dict_graph.generation, columnar.generation
+
+        _apply(dict_graph, ops)
+        _apply(columnar, ops)
+
+        assert columnar.to_set() == dict_graph.to_set()
+        assert len(columnar) == len(dict_graph)
+        assert columnar == dict_graph and dict_graph == columnar
+        assert set(columnar.nodes()) == set(dict_graph.nodes())
+        assert set(columnar.all_nodes()) == set(dict_graph.all_nodes())
+        for node in NODES:
+            assert columnar.neighbourhood(node) == dict_graph.neighbourhood(node)
+            assert list(columnar.neighbourhood_ordered(node)) \
+                == list(dict_graph.neighbourhood_ordered(node))
+            assert set(columnar.neighbourhood_any(node)) \
+                == set(dict_graph.neighbourhood_any(node))
+            assert columnar.degree(node) == dict_graph.degree(node)
+            assert columnar.predicate_counts(node) \
+                == dict_graph.predicate_counts(node)
+
+        # generation bumps count effective mutations: identical across stores
+        assert dict_graph.generation - start_dict \
+            == columnar.generation - start_col
+        assert columnar.changes_since(start_col) \
+            == dict_graph.changes_since(start_dict)
+
+    @settings(max_examples=40, deadline=None)
+    @given(initial=st.lists(st.sampled_from(UNIVERSE), max_size=8),
+           ops=operations())
+    def test_pattern_queries_agree(self, initial, ops):
+        dict_graph = Graph(initial)
+        columnar = ColumnarGraph(initial, segment_size=SEGMENT_SIZE)
+        _apply(dict_graph, ops)
+        _apply(columnar, ops)
+        for subject in NODES[:2]:
+            assert set(columnar.triples(subject=subject)) \
+                == set(dict_graph.triples(subject=subject))
+        for predicate in PREDICATES:
+            assert set(columnar.triples(predicate=predicate)) \
+                == set(dict_graph.triples(predicate=predicate))
+        for obj in (OBJECTS[0], NODES[0]):
+            assert set(columnar.triples(obj=obj)) \
+                == set(dict_graph.triples(obj=obj))
+            assert set(columnar.in_edges(obj)) \
+                == {(t.predicate, t.subject)
+                    for t in dict_graph.triples(obj=obj)}
+
+
+class TestVerdictIndependence:
+    @settings(max_examples=25, deadline=None)
+    @given(schema=schemas(),
+           initial=st.lists(st.sampled_from(UNIVERSE), max_size=10))
+    def test_full_run_verdicts_are_store_independent(self, schema, initial):
+        dict_graph = Graph(initial)
+        columnar = ColumnarGraph(initial, segment_size=SEGMENT_SIZE)
+        dict_report = Validator(dict_graph, schema).validate_graph()
+        col_report = Validator(columnar, schema).validate_graph()
+        assert _verdicts(col_report) == _verdicts(dict_report)
+        assert col_report.typing == dict_report.typing
+
+    @settings(max_examples=20, deadline=None)
+    @given(schema=schemas(),
+           initial=st.lists(st.sampled_from(UNIVERSE), max_size=8),
+           ops=operations())
+    def test_revalidate_verdicts_are_store_independent(self, schema, initial,
+                                                       ops):
+        dict_graph = Graph(initial)
+        columnar = ColumnarGraph(initial, segment_size=SEGMENT_SIZE)
+        dict_validator = Validator(dict_graph, schema)
+        col_validator = Validator(columnar, schema)
+        dict_validator.validate_graph()
+        col_validator.validate_graph()
+
+        _apply(dict_graph, ops)
+        _apply(columnar, ops)
+
+        dict_result = dict_validator.revalidate()
+        col_result = col_validator.revalidate()
+        assert _verdicts(col_result.report) == _verdicts(dict_result.report)
+        assert col_result.report.typing == dict_result.report.typing

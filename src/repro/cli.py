@@ -16,6 +16,9 @@ The CLI makes the library usable without writing Python::
     python -m repro sparql --data people.ttl --query query.rq
     python -m repro generate-workload --kind person --size 50 --output people.ttl
 
+    # validation as a service: warm schema + maintained verdicts over HTTP
+    python -m repro serve --schema person.shex --port 8080 --data people.ttl
+
 Exit status: 0 when everything conforms (or the syntax check passes),
 1 when at least one node fails validation, 2 on usage or parse errors.
 """
@@ -28,6 +31,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from .rdf import ColumnarGraph, Graph, ParseError, TripleStore
+from .service.api import ServiceError
 from .shex import Schema, SchemaError, Validator
 from .shex.cache import DerivativeCache
 from .shex.reporting import format_csv, format_text, report_to_json, summarize
@@ -81,10 +85,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "(static prefilter + predicate-indexed atom "
                                "tables); verdicts are identical, this is an "
                                "escape hatch for measurement and debugging")
-    validate.add_argument("--cache-stats", action="store_true",
-                          help="print derivative-cache hit/miss/eviction counters "
-                               "to stderr after validation (enables the global "
-                               "derivative cache like --bulk)")
+    validate.add_argument("--cache-stats", nargs="?", const="text",
+                          choices=["text", "json"], default=None,
+                          help="print the unified ServiceStats counters "
+                               "(store/journal/prefilter/cache) to stderr after "
+                               "validation; '=json' emits the same structure "
+                               "GET /stats serves.  Enables the global "
+                               "derivative cache like --bulk")
     validate.add_argument("--cache-max-entries", type=int, default=None, metavar="N",
                           help="bound the global derivative cache to N entries "
                                "with LRU eviction (default: unbounded)")
@@ -121,15 +128,43 @@ def build_parser() -> argparse.ArgumentParser:
     revalidate.add_argument("--delta-only", action="store_true",
                             help="print only the recomputed (delta) entries "
                                  "instead of the full updated report")
-    revalidate.add_argument("--cache-stats", action="store_true",
-                            help="print change-journal and revalidation "
-                                 "counters to stderr")
+    revalidate.add_argument("--cache-stats", nargs="?", const="text",
+                            choices=["text", "json"], default=None,
+                            help="print the unified ServiceStats counters and "
+                                 "revalidation stats to stderr ('=json' for "
+                                 "the machine-readable structure)")
     revalidate.add_argument("--store", choices=["dict", "columnar"], default="dict",
                             help="graph storage backend (see 'validate --store')")
     revalidate.add_argument("--format", choices=["text", "json", "csv", "summary"],
                             default="text", dest="output_format")
     revalidate.add_argument("--include-stats", action="store_true",
                             help="include work counters in JSON output")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="long-lived validation service: warm schema, maintained "
+             "verdicts, JSON over HTTP")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 picks an ephemeral port and prints it)")
+    serve.add_argument("--schema", required=True,
+                       help="ShExC schema loaded once and kept warm")
+    serve.add_argument("--data", help="optionally preload this RDF file as "
+                                      "the first graph (validated at startup)")
+    serve.add_argument("--data-format", choices=["turtle", "ntriples"],
+                       default="turtle")
+    serve.add_argument("--store", choices=["dict", "columnar"], default="dict",
+                       help="storage backend for the preloaded graph")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="default SCC-parallel worker count per graph")
+    serve.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="hash-partition subjects across N worker "
+                            "processes (the sharded scheduler; 0/1: off)")
+    serve.add_argument("--cache-max-entries", type=int, default=None,
+                       metavar="N",
+                       help="bound each graph's derivative cache (LRU)")
+    serve.add_argument("--no-precompile", action="store_true",
+                       help="disable the compiled-schema fast paths")
 
     check_schema = subparsers.add_parser("check-schema", help="parse a ShExC schema and report errors")
     check_schema.add_argument("schema", help="path to a ShExC schema file")
@@ -188,23 +223,19 @@ def _build_engine(name: str):
     return name
 
 
-def _print_journal_stats(graph: TripleStore) -> None:
-    stats = graph.journal.stats()
-    print("journal-stats: "
-          f"tracked_subjects={stats['tracked_subjects']} "
-          f"records={stats['records']} "
-          f"overflows={stats['overflows']} "
-          f"max_entries={stats['max_entries']}", file=sys.stderr)
+def _print_service_stats(stats, mode: str) -> None:
+    """Emit the unified ServiceStats block to stderr (text or JSON).
 
+    The same object ``GET /stats`` serves: ``--cache-stats`` prints the
+    classic prefixed ``key=value`` lines, ``--cache-stats=json`` the
+    versioned JSON payload.
+    """
+    if mode == "json":
+        import json as _json
 
-def _print_store_stats(graph: TripleStore) -> None:
-    stats = graph.store_stats()
-    dictionary = stats.pop("dictionary", None)
-    rendered = " ".join(f"{key}={value}" for key, value in stats.items())
-    print(f"store-stats: {rendered}", file=sys.stderr)
-    if dictionary is not None:
-        rendered = " ".join(f"{key}={value}" for key, value in dictionary.items())
-        print(f"dictionary-stats: {rendered}", file=sys.stderr)
+        print(_json.dumps(stats.to_json()), file=sys.stderr)
+    else:
+        print(stats.format_text(), file=sys.stderr)
 
 
 def _render_report(report: ValidationReport, output_format: str,
@@ -229,64 +260,52 @@ def _command_validate(args: argparse.Namespace) -> int:
     if args.jobs > 1 and (args.shape_map or args.shape_map_file):
         raise SystemExit("error: --jobs > 1 needs a whole-graph mode "
                          "(--all-nodes or --shape); shape maps validate serially")
+    from .service.session import ValidationSession, collect_stats
+
     graph = _load_graph(args.data, args.data_format, args.store)
     schema = _load_schema(args.schema)
-    engine_options = {}
-    wants_cache = (args.bulk or args.cache_stats
-                   or args.cache_max_entries is not None)
-    if wants_cache and args.engine == "derivatives":
-        # one global derivative cache shared by every node in the run,
-        # optionally bounded for long-running services
-        engine_options["cache"] = DerivativeCache(max_entries=args.cache_max_entries)
-    validator = Validator(graph, schema, engine=_build_engine(args.engine),
-                          shared_context=not args.per_node, jobs=args.jobs,
-                          precompile=not args.no_precompile,
-                          **engine_options)
+    wants_cache = bool(args.bulk or args.cache_stats
+                       or args.cache_max_entries is not None)
+    session = None
+    if args.per_node:
+        # the paper-faithful fresh-context-per-node baseline keeps the bare
+        # Validator: the session facade is built around the shared context
+        engine_options = {}
+        if wants_cache and args.engine == "derivatives":
+            engine_options["cache"] = DerivativeCache(
+                max_entries=args.cache_max_entries)
+        validator = Validator(graph, schema, engine=_build_engine(args.engine),
+                              shared_context=False, jobs=args.jobs,
+                              precompile=not args.no_precompile,
+                              **engine_options)
+    else:
+        session = ValidationSession(
+            graph, schema, engine=_build_engine(args.engine), jobs=args.jobs,
+            precompile=not args.no_precompile, use_cache=wants_cache,
+            cache_max_entries=args.cache_max_entries)
+        validator = session.validator
 
     if args.shape_map or args.shape_map_file:
         text = args.shape_map or _read_file(args.shape_map_file)
         shape_map = parse_shape_map(text, graph.namespaces)
         report = validator.validate_map(shape_map.resolve(graph))
     elif args.shape:
-        report = validator.validate_graph(labels=[args.shape])
+        report = session.validate(labels=[args.shape]) if session \
+            else validator.validate_graph(labels=[args.shape])
     elif args.all_nodes:
-        report = validator.validate_graph()
+        report = session.validate() if session else validator.validate_graph()
     else:
         raise SystemExit(
             "error: choose --shape-map/--shape-map-file, --shape or --all-nodes")
 
     sys.stdout.write(_render_report(report, args.output_format, args.include_stats))
     if args.cache_stats:
-        _print_store_stats(graph)
-        _print_journal_stats(graph)
-        totals = report.total_stats()
-        if validator.compiled is None:
-            print("prefilter-stats: disabled (--no-precompile or no schema)",
-                  file=sys.stderr)
+        if session is not None and not (args.shape_map or args.shape_map_file):
+            stats = session.stats()
         else:
-            print("prefilter-stats: "
-                  f"accepts={totals.prefilter_accepts} "
-                  f"rejects={totals.prefilter_rejects} "
-                  f"reference_checks={totals.reference_checks} "
-                  f"schema={validator.compiled.stats()}", file=sys.stderr)
-        cache = getattr(validator.engine, "cache", None)
-        if cache is None:
-            print("cache-stats: no derivative cache active "
-                  f"(engine {args.engine!r})", file=sys.stderr)
-        else:
-            stats = cache.stats()
-            bound = stats["max_entries"] or "unbounded"
-            print("cache-stats: "
-                  f"hits={stats['hits']} misses={stats['misses']} "
-                  f"evictions={stats['evictions']} "
-                  f"derivatives={stats['derivatives']} "
-                  f"constraint_verdicts={stats['constraint_verdicts']} "
-                  f"max_entries={bound} "
-                  f"hit_rate={cache.hit_rate:.1%}", file=sys.stderr)
-            if args.jobs > 1:
-                print("cache-stats: note: with --jobs > 1 derivative caches "
-                      "are worker-local; the counters above cover only the "
-                      "coordinating process", file=sys.stderr)
+            stats = collect_stats(validator, report.total_stats(),
+                                  {"jobs": args.jobs})
+        _print_service_stats(stats, args.cache_stats)
     return 0 if report.conforms else 1
 
 
@@ -303,44 +322,80 @@ def _command_revalidate(args: argparse.Namespace) -> int:
     if not args.add and not args.remove:
         raise SystemExit("error: revalidate needs a change set "
                          "(--add and/or --remove)")
+    from .service.session import ValidationSession
+
     graph = _load_graph(args.data, args.data_format, args.store)
     schema = _load_schema(args.schema)
     labels = [args.shape] if args.shape else None
-    validator = Validator(graph, schema, jobs=args.jobs,
-                          precompile=not args.no_precompile)
-    validator.validate_graph(labels=labels)
+    session = ValidationSession(graph, schema, jobs=args.jobs,
+                                precompile=not args.no_precompile,
+                                use_cache=False)
+    session.validate(labels=labels)
 
-    added = removed = 0
-    with graph.batch():
-        if args.add:
-            additions = _load_graph(args.add, args.data_format)
-            before = len(graph)
-            graph.add_all(additions)
-            added = len(graph) - before
-        if args.remove:
-            removals = _load_graph(args.remove, args.data_format)
-            before = len(graph)
-            graph.remove_all(removals)
-            removed = before - len(graph)
-
-    result = validator.revalidate(labels=labels)
+    additions = _load_graph(args.add, args.data_format) if args.add else ()
+    removals = _load_graph(args.remove, args.data_format) if args.remove else ()
+    # the CLI opts into the silent full-rebuild fallback a long-lived
+    # service would refuse (there, the typed journal-overflow error)
+    response, result = session.apply_changes(
+        add=additions, remove=removals, labels=labels,
+        allow_full_rebuild=True)
     shown = result.delta if args.delta_only else result.report
     sys.stdout.write(_render_report(shown, args.output_format, args.include_stats))
-    stats = result.stats()
-    print(f"revalidate: +{added}/-{removed} triples, "
-          f"{stats['dirty_subjects']} dirty subject(s), "
-          f"{stats['affected_nodes']} affected node(s), "
-          f"{stats['revalidated_pairs']} pair(s) revalidated, "
-          f"{stats['reused_pairs']} reused"
-          + (" (full rebuild)" if result.full_rebuild else ""),
+    print(f"revalidate: +{response.added}/-{response.removed} triples, "
+          f"{response.dirty_subjects} dirty subject(s), "
+          f"{response.affected_nodes} affected node(s), "
+          f"{response.revalidated_pairs} pair(s) revalidated, "
+          f"{response.reused_pairs} reused"
+          + (" (full rebuild)" if response.full_rebuild else ""),
           file=sys.stderr)
     if args.cache_stats:
-        _print_store_stats(graph)
-        _print_journal_stats(graph)
+        _print_service_stats(session.stats(), args.cache_stats)
         print("revalidate-stats: "
-              f"retracted_verdicts={stats['retracted_verdicts']} "
-              f"full_rebuild={bool(stats['full_rebuild'])}", file=sys.stderr)
+              f"retracted_verdicts={response.retracted_verdicts} "
+              f"full_rebuild={response.full_rebuild}", file=sys.stderr)
     return 0 if result.report.conforms else 1
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the validation service until interrupted.
+
+    The schema is loaded (and compiled) once; every graph gets a warm
+    :class:`~repro.service.session.ValidationSession` whose maintained
+    baseline answers verdict queries without fresh runs.  With ``--data``
+    the file is preloaded and validated before the socket starts accepting.
+    """
+    if args.jobs < 1:
+        raise SystemExit("error: --jobs must be at least 1")
+    if args.shards < 0:
+        raise SystemExit("error: --shards must be at least 0")
+    from .service.server import serve
+    from .service.session import ValidationSession
+
+    schema = _load_schema(args.schema)
+    server = serve(schema, host=args.host, port=args.port,
+                   jobs=args.jobs, shards=args.shards,
+                   precompile=not args.no_precompile,
+                   cache_max_entries=args.cache_max_entries)
+    if args.data:
+        graph = _load_graph(args.data, args.data_format, args.store)
+        session = ValidationSession(
+            graph, schema, jobs=args.jobs, shards=args.shards,
+            precompile=not args.no_precompile,
+            cache_max_entries=args.cache_max_entries)
+        report = session.validate()
+        graph_id = server.service.register(session)
+        print(f"serve: preloaded {args.data} as {graph_id} "
+              f"({len(graph)} triples, {len(report)} pairs, "
+              f"conforms={report.conforms})", file=sys.stderr)
+    print(f"serve: listening on http://{server.host}:{server.port} "
+          f"(jobs={args.jobs}, shards={args.shards})", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
 
 
 def _command_check_schema(args: argparse.Namespace) -> int:
@@ -402,6 +457,7 @@ def _command_generate(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "validate": _command_validate,
     "revalidate": _command_revalidate,
+    "serve": _command_serve,
     "check-schema": _command_check_schema,
     "check-data": _command_check_data,
     "sparql": _command_sparql,
@@ -416,6 +472,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = _COMMANDS[args.command]
     try:
         return handler(args)
+    except ServiceError as error:
+        print(f"error [{error.code}]: {error}", file=sys.stderr)
+        return 2
     except (ParseError, SchemaError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -53,7 +53,7 @@ from .namespaces import (
     Namespace,
     NamespaceManager,
 )
-from .ntriples import parse_ntriples, serialize_ntriples
+from .ntriples import parse_ntriples, parse_term, serialize_ntriples
 from .terms import (
     BNode,
     IRI,
@@ -82,7 +82,7 @@ __all__ = [
     # datatypes
     "is_valid_lexical", "to_python_value", "canonical_lexical", "datatype_matches",
     # serialisation
-    "parse_ntriples", "serialize_ntriples", "parse_turtle", "serialize_turtle",
+    "parse_ntriples", "parse_term", "serialize_ntriples", "parse_turtle", "serialize_turtle",
     # errors
     "RDFError", "NamespaceError", "DatatypeError", "ParseError", "GraphError",
     "StaleSnapshotError",

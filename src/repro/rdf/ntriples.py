@@ -18,6 +18,7 @@ __all__ = [
     "parse_ntriples",
     "iter_ntriples",
     "iter_ntriples_lines",
+    "parse_term",
     "serialize_ntriples",
     "unescape_string",
     "escape_string",
@@ -137,6 +138,21 @@ def _parse_object(line: str, pos: int, lineno: int) -> tuple[ObjectTerm, int]:
         else:
             term = Literal(lexical)
     return term, match.end()
+
+
+def parse_term(text: str) -> ObjectTerm:
+    """Parse one N-Triples term (``<iri>``, ``_:bnode`` or a literal).
+
+    The service layer's query-string contract: verdict queries name nodes in
+    N-Triples syntax, the one representation every term already knows how to
+    emit (:meth:`~repro.rdf.terms.Term.n3`).  Raises :class:`ParseError` on
+    malformed input or trailing garbage.
+    """
+    stripped = text.strip()
+    term, pos = _parse_object(stripped, 0, 1)
+    if stripped[pos:].strip():
+        raise ParseError(f"trailing characters after term: {stripped[pos:]!r}", 1, pos)
+    return term
 
 
 def iter_ntriples_lines(lines: Iterable[str]) -> Iterator[Triple]:

@@ -1,0 +1,38 @@
+"""Validation as a service: session facade, HTTP server, caching client.
+
+One request/response contract (:mod:`repro.service.api`) shared by the CLI,
+the in-process :class:`ValidationSession` facade, the ``repro serve`` HTTP
+server and the :class:`ServiceClient`.  See ``docs/architecture.md``,
+"Validation as a service".
+"""
+
+from .api import (
+    API_VERSION,
+    DeltaRequest,
+    DeltaResponse,
+    ServiceError,
+    ServiceStats,
+    ValidationRequest,
+    VerdictResponse,
+)
+from .client import ServiceClient, VerdictCache
+from .server import ReproServer, ValidationService, serve
+from .session import ValidationSession
+from .sharding import ShardedValidator, shard_of
+
+__all__ = [
+    "API_VERSION",
+    "DeltaRequest",
+    "DeltaResponse",
+    "ReproServer",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceStats",
+    "ShardedValidator",
+    "ValidationRequest",
+    "ValidationService",
+    "ValidationSession",
+    "VerdictCache",
+    "serve",
+    "shard_of",
+]

@@ -1,0 +1,216 @@
+"""A thin blocking client with a generation-invalidated verdict cache.
+
+Modelled on the GerryDB client (profile-based sessions whose persistent
+client-side cache is a first-class object): :class:`VerdictCache` can be
+constructed, inspected, shared between clients and handed back in — it is
+not an anonymous dict hidden in the transport.
+
+The invalidation contract is the graph ``generation`` every server response
+carries: a cached verdict is served only while its generation equals the
+latest generation the client has seen for that graph; the moment a delta
+response (or any response) reports a newer generation, older entries stop
+being answers.  ``offline=True`` flips the client into cache-only mode —
+hits are served locally, misses raise ``offline-cache-miss`` (HTTP never
+happens), so a warmed client keeps answering point queries through server
+downtime, at the freshness of its last contact.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Any, Dict, Optional, Tuple, Union
+
+from .api import (
+    DeltaRequest,
+    DeltaResponse,
+    ServiceError,
+    ServiceStats,
+    ValidationRequest,
+    VerdictResponse,
+)
+
+__all__ = ["VerdictCache", "ServiceClient"]
+
+
+class VerdictCache:
+    """A first-class local verdict store keyed ``(graph_id, node, shape)``.
+
+    Entries remember the generation they describe.  :meth:`get` answers only
+    when the entry's generation equals the requested one; :meth:`observe`
+    advances a graph's high-water generation and drops every entry the
+    advance invalidated.  Counters (hits / misses / invalidations) make the
+    cache's behaviour testable and benchmarkable.
+    """
+
+    def __init__(self):
+        self._entries: Dict[Tuple[str, str, str], VerdictResponse] = {}
+        self._generations: Dict[str, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def latest_generation(self, graph_id: str) -> Optional[int]:
+        return self._generations.get(graph_id)
+
+    def observe(self, graph_id: str, generation: int) -> None:
+        """Record that ``graph_id`` is now at ``generation``; invalidate."""
+        known = self._generations.get(graph_id)
+        if known is not None and generation <= known:
+            return
+        self._generations[graph_id] = generation
+        stale = [key for key, verdict in self._entries.items()
+                 if key[0] == graph_id and verdict.generation != generation]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+
+    def get(self, graph_id: str, node: str, shape: str,
+            generation: Optional[int] = None) -> Optional[VerdictResponse]:
+        wanted = generation if generation is not None \
+            else self._generations.get(graph_id)
+        verdict = self._entries.get((graph_id, node, shape))
+        if verdict is not None and (wanted is None
+                                    or verdict.generation == wanted):
+            self.hits += 1
+            return verdict
+        self.misses += 1
+        return None
+
+    def put(self, graph_id: str, verdict: VerdictResponse,
+            shape_key: Optional[str] = None) -> None:
+        """Store ``verdict``; ``shape_key`` overrides the cache key's shape
+        component (the client uses ``""`` for default-shape queries so the
+        next default-shape lookup hits)."""
+        self.observe(graph_id, verdict.generation)
+        if verdict.generation == self._generations.get(graph_id):
+            key_shape = verdict.shape if shape_key is None else shape_key
+            self._entries[(graph_id, verdict.node, key_shape)] = verdict
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "invalidations": self.invalidations}
+
+
+class ServiceClient:
+    """Blocking HTTP client for a ``repro serve`` endpoint.
+
+    Parameters
+    ----------
+    host, port:
+        the server address.
+    cache:
+        a :class:`VerdictCache` to use (default: a private fresh one);
+        passing one in shares or persists it across clients, GerryDB-style.
+    offline:
+        answer verdict queries from the cache only and never touch the
+        network; a miss raises ``offline-cache-miss`` (503).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 80, *,
+                 cache: Optional[VerdictCache] = None,
+                 offline: bool = False, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.offline = offline
+        self.timeout = timeout
+        self.cache = cache if cache is not None else VerdictCache()
+
+    # -- transport -----------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        if self.offline:
+            raise ServiceError("offline-cache-miss",
+                               f"client is offline; cannot {method} {path}",
+                               503)
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = json.dumps(payload).encode("utf-8") \
+                if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+            if response.status >= 400:
+                raise ServiceError.from_json(text)
+            data = json.loads(text)
+        except (ConnectionError, OSError) as error:
+            raise ServiceError("connection-failed",
+                               f"cannot reach {self.host}:{self.port}: {error}",
+                               503) from error
+        finally:
+            connection.close()
+        generation = data.get("generation")
+        graph_id = data.get("graph_id")
+        if isinstance(generation, int) and isinstance(graph_id, str):
+            self.cache.observe(graph_id, generation)
+        return data
+
+    # -- the lifecycle, client-side --------------------------------------------------
+    def load_graph(self, request: ValidationRequest) -> Dict[str, Any]:
+        """``POST /graphs``: load + initial full validation on the server."""
+        data = self._request("POST", "/graphs", request.to_json())
+        graph_id = data.get("graph_id")
+        generation = data.get("generation")
+        if isinstance(graph_id, str) and isinstance(generation, int):
+            self.cache.observe(graph_id, generation)
+        return data
+
+    def apply_delta(self, graph_id: str,
+                    request: DeltaRequest) -> DeltaResponse:
+        """``POST /graphs/{id}/delta``; the response generation invalidates
+        every cached verdict the mutation may have changed."""
+        data = self._request("POST", f"/graphs/{graph_id}/delta",
+                             request.to_json())
+        response = DeltaResponse.from_json(data)
+        self.cache.observe(graph_id, response.generation)
+        return response
+
+    def verdict(self, graph_id: str, node: str,
+                shape: Optional[str] = None,
+                include_reason: bool = False) -> VerdictResponse:
+        """One ``(node, shape)`` verdict, cache first.
+
+        A cache hit never touches the network.  A miss fetches, stores and
+        returns; in offline mode a miss raises ``offline-cache-miss``.
+        """
+        shape_key = shape or ""
+        cached = self.cache.get(graph_id, node, shape_key)
+        if cached is not None and (include_reason is False
+                                   or cached.reason is not None):
+            return cached
+        if self.offline:
+            raise ServiceError(
+                "offline-cache-miss",
+                f"offline client has no cached verdict for ({node!r}, "
+                f"{shape or '<start>'!r}) at the current generation", 503)
+        query = f"node={_quote(node)}"
+        if shape:
+            query += f"&shape={_quote(shape)}"
+        if include_reason:
+            query += "&reason=1"
+        data = self._request("GET", f"/graphs/{graph_id}/verdicts?{query}")
+        verdict = VerdictResponse.from_json(data)
+        self.cache.put(graph_id, verdict, shape_key=shape_key)
+        if shape is not None:
+            self.cache.put(graph_id, verdict)
+        return verdict
+
+    def graph_stats(self, graph_id: str) -> ServiceStats:
+        data = self._request("GET", f"/graphs/{graph_id}/stats")
+        return ServiceStats.from_json(data)
+
+    def server_stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def drop_graph(self, graph_id: str) -> None:
+        self._request("DELETE", f"/graphs/{graph_id}")
+
+
+def _quote(value: str) -> str:
+    from urllib.parse import quote
+
+    return quote(value, safe="")

@@ -1,0 +1,267 @@
+"""``repro serve``: validation-as-a-service over stdlib HTTP.
+
+The server loads a schema once, keeps each graph's
+:class:`~repro.service.session.ValidationSession` warm (shared context,
+compiled schema, global derivative cache, maintained baseline) and answers:
+
+========  ==============================  =======================================
+method    path                            body / query → response
+========  ==============================  =======================================
+POST      ``/graphs``                     :class:`ValidationRequest` → graph id,
+                                          generation, conforms (runs the initial
+                                          full validation)
+POST      ``/graphs/{id}/delta``          :class:`DeltaRequest` →
+                                          :class:`DeltaResponse` (journal →
+                                          closure → retract → re-run)
+GET       ``/graphs/{id}/verdicts``       ``?node=&shape=&reason=`` →
+                                          :class:`VerdictResponse`, served from
+                                          the maintained typing — never a fresh
+                                          run
+GET       ``/graphs/{id}/stats``          :class:`ServiceStats`
+GET       ``/stats``                      server-wide stats (per-graph blocks)
+========  ==============================  =======================================
+
+Transport is ``http.server.ThreadingHTTPServer`` — one OS thread per
+connection, no new runtime dependencies; per-graph mutual exclusion lives in
+the session lock, so concurrent delta posts serialize and verdict reads
+never observe a half-retracted baseline.  :class:`ServiceError` maps to its
+``http_status`` with the error JSON as the body; every success response
+carries the graph ``generation`` for client-side cache invalidation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..shex.schema import Schema
+from .api import (
+    API_VERSION,
+    DeltaRequest,
+    ServiceError,
+    ValidationRequest,
+)
+from .session import ValidationSession
+
+__all__ = ["ValidationService", "ReproServer", "serve"]
+
+_GRAPH_PATH = re.compile(r"^/graphs/([A-Za-z0-9_.-]+)(?:/([a-z]+))?$")
+
+
+class ValidationService:
+    """The transport-independent core: a registry of warm sessions.
+
+    The HTTP handler (and tests, directly) call these methods; every
+    failure is a :class:`ServiceError`, never a bare exception.
+    """
+
+    def __init__(self, schema: Optional[Schema] = None, *,
+                 jobs: int = 1, shards: int = 0,
+                 precompile: bool = True,
+                 cache_max_entries: Optional[int] = None):
+        self.schema = schema
+        self.jobs = jobs
+        self.shards = shards
+        self.precompile = precompile
+        self.cache_max_entries = cache_max_entries
+        self._sessions: Dict[str, ValidationSession] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def create_graph(self, request: ValidationRequest) -> Dict[str, Any]:
+        """Load a graph, run the initial full validation, register it."""
+        session = ValidationSession.from_request(
+            request, default_schema=self.schema,
+            default_jobs=self.jobs, default_shards=self.shards,
+            precompile=self.precompile,
+            cache_max_entries=self.cache_max_entries)
+        report = session.validate(labels=request.labels)
+        with self._lock:
+            graph_id = f"g{next(self._ids)}"
+            self._sessions[graph_id] = session
+        return {
+            "version": API_VERSION,
+            "graph_id": graph_id,
+            "generation": session.generation,
+            "conforms": report.conforms,
+            "triples": len(session.graph),
+            "pairs": len(report),
+        }
+
+    def register(self, session: ValidationSession) -> str:
+        """Adopt an already-built session (the CLI's ``--data`` preload)."""
+        with self._lock:
+            graph_id = f"g{next(self._ids)}"
+            self._sessions[graph_id] = session
+        return graph_id
+
+    def session(self, graph_id: str) -> ValidationSession:
+        with self._lock:
+            session = self._sessions.get(graph_id)
+        if session is None:
+            raise ServiceError("graph-not-found",
+                               f"no graph {graph_id!r} on this server", 404)
+        return session
+
+    def drop_graph(self, graph_id: str) -> None:
+        with self._lock:
+            session = self._sessions.pop(graph_id, None)
+        if session is None:
+            raise ServiceError("graph-not-found",
+                               f"no graph {graph_id!r} on this server", 404)
+        session.close()
+
+    def stats(self) -> Dict[str, Any]:
+        """Server-wide stats: one :class:`ServiceStats` block per graph."""
+        with self._lock:
+            sessions = dict(self._sessions)
+        return {
+            "version": API_VERSION,
+            "graphs": {graph_id: session.stats().to_json()
+                       for graph_id, session in sorted(sessions.items())},
+        }
+
+
+def _make_handler(service: ValidationService):
+    class _Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-serve/1"
+
+        # -- plumbing -----------------------------------------------------------
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            pass  # request logging stays out of stderr (tests, benchmarks)
+
+        def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _read_body(self) -> str:
+            length = int(self.headers.get("Content-Length") or 0)
+            return self.rfile.read(length).decode("utf-8") if length else ""
+
+        def _dispatch(self, method: str) -> None:
+            try:
+                status, payload = self._route(method)
+            except ServiceError as error:
+                status, payload = error.http_status, error.to_json()
+            except Exception as error:  # noqa: BLE001 - the service boundary
+                status = 500
+                payload = ServiceError(
+                    "internal", f"{type(error).__name__}: {error}",
+                    500).to_json()
+            self._send_json(status, payload)
+
+        # -- routing ------------------------------------------------------------
+        def _route(self, method: str) -> Tuple[int, Dict[str, Any]]:
+            split = urlsplit(self.path)
+            path = split.path.rstrip("/") or "/"
+            query = parse_qs(split.query)
+            if method == "GET" and path == "/stats":
+                return 200, service.stats()
+            if method == "POST" and path == "/graphs":
+                request = ValidationRequest.from_json(self._read_body())
+                return 201, service.create_graph(request)
+            match = _GRAPH_PATH.match(path)
+            if not match:
+                raise ServiceError("not-found",
+                                   f"no route {method} {path}", 404)
+            graph_id, tail = match.group(1), match.group(2)
+            session = service.session(graph_id)
+            if method == "POST" and tail == "delta":
+                request = DeltaRequest.from_json(self._read_body())
+                response = session.apply_delta(request)
+                return 200, response.to_json()
+            if method == "GET" and tail == "verdicts":
+                node = (query.get("node") or [None])[0]
+                if not node:
+                    raise ServiceError("bad-request",
+                                       "query parameter 'node' is required",
+                                       400)
+                shape = (query.get("shape") or [None])[0]
+                reason = (query.get("reason") or ["0"])[0]
+                verdict = session.verdict(
+                    node, shape, include_reason=reason in ("1", "true", "yes"))
+                return 200, verdict.to_json()
+            if method == "GET" and tail == "stats":
+                return 200, session.stats().to_json()
+            if method == "DELETE" and tail is None:
+                service.drop_graph(graph_id)
+                return 200, {"version": API_VERSION, "graph_id": graph_id,
+                             "dropped": True}
+            raise ServiceError("not-found", f"no route {method} {path}", 404)
+
+        def do_GET(self):  # noqa: N802 - stdlib naming
+            self._dispatch("GET")
+
+        def do_POST(self):  # noqa: N802
+            self._dispatch("POST")
+
+        def do_DELETE(self):  # noqa: N802
+            self._dispatch("DELETE")
+
+    return _Handler
+
+
+class ReproServer:
+    """The HTTP front: bind, serve (foreground or background), shut down.
+
+    ``port=0`` binds an ephemeral port (tests, benchmarks); read it back
+    from :attr:`port` after construction.
+    """
+
+    def __init__(self, service: ValidationService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(service))
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def start_background(self) -> "ReproServer":
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "ReproServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def serve(schema: Optional[Schema] = None, *, host: str = "127.0.0.1",
+          port: int = 0, jobs: int = 1, shards: int = 0,
+          precompile: bool = True,
+          cache_max_entries: Optional[int] = None) -> ReproServer:
+    """Build a ready-to-start server (the CLI and tests both enter here)."""
+    service = ValidationService(schema, jobs=jobs, shards=shards,
+                                precompile=precompile,
+                                cache_max_entries=cache_max_entries)
+    return ReproServer(service, host=host, port=port)

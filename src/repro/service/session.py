@@ -1,0 +1,345 @@
+"""The :class:`ValidationSession` facade: one lifecycle for every surface.
+
+A session owns a graph, a warm :class:`~repro.shex.validator.Validator`
+(shared context, compiled schema, global derivative cache) and a lock, and
+exposes the service lifecycle the CLI, the HTTP server and in-process
+callers all share:
+
+``validate()``
+    the initial (or explicit) full run — records the maintained baseline.
+``apply_changes()`` / ``apply_delta()``
+    a batched mutation routed through the change journal → closure →
+    retraction → re-run loop; serialized by the session lock so two deltas
+    can never interleave ``retract_nodes`` with a running validation.
+``verdict()``
+    a point query answered **from the maintained typing** — no engine, no
+    fresh run, ever.  If the baseline cannot answer, the session raises a
+    typed :class:`~repro.service.api.ServiceError`; it never silently falls
+    back to validating.
+``stats()``
+    the unified :class:`~repro.service.api.ServiceStats` counters.
+
+Failures surface as :class:`ServiceError` with stable codes (see
+``api.py``), which the HTTP layer maps to non-200 statuses verbatim.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+from ..rdf import ColumnarGraph, Graph, ParseError, TripleStore
+from ..rdf.errors import GraphError, StaleSnapshotError
+from ..rdf.ntriples import iter_ntriples, parse_term
+from ..rdf.terms import ObjectTerm, Triple
+from ..shex.results import MatchStats
+from ..shex.schema import Schema, SchemaError
+from ..shex.typing import ShapeLabel
+from ..shex.validator import (
+    IncrementalFallback,
+    RevalidationResult,
+    ValidationReport,
+    Validator,
+)
+from .api import (
+    DeltaRequest,
+    DeltaResponse,
+    ServiceStats,
+    ValidationRequest,
+    VerdictResponse,
+)
+from .api import ServiceError
+from .sharding import ShardedValidator
+
+__all__ = ["ValidationSession", "collect_stats"]
+
+LabelArg = Union[ShapeLabel, str, None]
+
+
+def collect_stats(validator: Validator, totals: MatchStats,
+                  session_info: Optional[dict] = None) -> ServiceStats:
+    """Snapshot a validator's subsystem counters into one :class:`ServiceStats`.
+
+    The single source of the unified stats structure: sessions build theirs
+    here, and the CLI's non-session paths (``--per-node``) reuse it so
+    ``--cache-stats`` output is one format everywhere.
+    """
+    graph = validator.graph
+    try:
+        store = dict(graph.store_stats())
+    except GraphError:  # pragma: no cover - defensive
+        store = {}
+    journal = dict(graph.journal.stats()) if hasattr(graph, "journal") else {}
+    compiled = validator.compiled
+    if compiled is None:
+        prefilter = {}
+    else:
+        prefilter = {
+            "accepts": totals.prefilter_accepts,
+            "rejects": totals.prefilter_rejects,
+            "reference_checks": totals.reference_checks,
+            "schema": dict(compiled.stats()),
+        }
+    cache_obj = getattr(validator.engine, "cache", None)
+    if cache_obj is None:
+        cache = {}
+    else:
+        cache = dict(cache_obj.stats())
+        cache["hit_rate"] = round(cache_obj.hit_rate, 4)
+    context = getattr(validator, "_context", None)
+    verdicts = dict(context.settled_counts()) if context is not None else {}
+    entries = getattr(validator, "_incremental_entries", None)
+    verdicts["maintained_pairs"] = len(entries) if entries else 0
+    return ServiceStats(
+        generation=getattr(graph, "generation", 0),
+        store=store, journal=journal, prefilter=prefilter,
+        cache=cache, verdicts=verdicts,
+        session=dict(session_info or {}))
+
+
+class ValidationSession:
+    """A warm, lock-serialized validation lifecycle around one graph.
+
+    Parameters mirror the :class:`Validator` knobs a service exposes:
+    ``jobs`` picks the SCC-parallel scheduler, ``shards`` the hash-sharded
+    one (``shards > 1`` wins; both ``1`` means serial), ``precompile`` the
+    compiled-schema fast paths, ``use_cache``/``cache_max_entries`` the
+    global derivative cache.  The session takes ownership of ``graph``:
+    mutate it only through :meth:`apply_changes`, or the maintained baseline
+    goes stale and verdict queries start failing with ``stale-baseline``.
+    """
+
+    def __init__(self, graph: TripleStore, schema: Schema, *,
+                 engine: Union[str, object, None] = None,
+                 jobs: int = 1, shards: int = 0,
+                 precompile: bool = True,
+                 use_cache: bool = True,
+                 cache_max_entries: Optional[int] = None,
+                 max_recursion_depth: int = 500):
+        engine_options = {}
+        engine_name = engine if isinstance(engine, str) else None
+        if use_cache and engine_name in (None, "derivatives"):
+            from ..shex.cache import DerivativeCache
+
+            engine_options["cache"] = DerivativeCache(
+                max_entries=cache_max_entries)
+        self.graph = graph
+        self.schema = schema
+        self.jobs = max(jobs, 1)
+        self.shards = max(shards, 0)
+        if self.shards > 1:
+            self.validator: Validator = ShardedValidator(
+                graph, schema, engine=engine, shards=self.shards,
+                precompile=precompile,
+                max_recursion_depth=max_recursion_depth, **engine_options)
+        else:
+            self.validator = Validator(
+                graph, schema, engine=engine, jobs=self.jobs,
+                precompile=precompile,
+                max_recursion_depth=max_recursion_depth, **engine_options)
+        self._lock = threading.RLock()
+        self._totals = MatchStats()
+        self._full_runs = 0
+        self._delta_rounds = 0
+        self._verdict_queries = 0
+        self._closed = False
+
+    # -- construction from the wire ------------------------------------------------
+    @classmethod
+    def from_request(cls, request: ValidationRequest, *,
+                     default_schema: Optional[Schema] = None,
+                     default_jobs: int = 1,
+                     default_shards: int = 0,
+                     precompile: bool = True,
+                     cache_max_entries: Optional[int] = None,
+                     ) -> "ValidationSession":
+        """Build a session from a :class:`ValidationRequest` payload.
+
+        Parse failures become typed errors: ``schema-error`` for the ShExC
+        text, ``parse-error`` for the RDF payload — the codes the server
+        returns as HTTP 400.
+        """
+        if request.schema:
+            try:
+                schema = Schema.from_shexc(request.schema)
+            except (ParseError, SchemaError) as error:
+                raise ServiceError("schema-error", str(error), 400) from error
+        elif default_schema is not None:
+            schema = default_schema
+        else:
+            raise ServiceError("schema-error",
+                               "no schema in the request and the server has "
+                               "no preloaded schema", 400)
+        try:
+            if request.store == "columnar":
+                graph: TripleStore = ColumnarGraph.parse(
+                    request.data, format=request.data_format)
+            else:
+                graph = Graph.parse(request.data, format=request.data_format)
+        except ParseError as error:
+            raise ServiceError("parse-error", str(error), 400) from error
+        jobs = request.jobs if request.jobs is not None else default_jobs
+        shards = request.shards if request.shards is not None else default_shards
+        if jobs < 1 or shards < 0:
+            raise ServiceError("bad-request",
+                               "jobs must be >= 1 and shards >= 0", 400)
+        return cls(graph, schema, jobs=jobs, shards=shards,
+                   precompile=precompile,
+                   cache_max_entries=cache_max_entries)
+
+    # -- lifecycle -----------------------------------------------------------------
+    def validate(self, labels: Optional[Sequence[LabelArg]] = None,
+                 jobs: Optional[int] = None) -> ValidationReport:
+        """Run (or re-run) the full validation and refresh the baseline."""
+        with self._lock:
+            self._check_open()
+            try:
+                report = self.validator.validate_graph(labels=labels, jobs=jobs)
+            except StaleSnapshotError as error:
+                raise ServiceError("stale-snapshot", str(error), 409) from error
+            self._full_runs += 1
+            self._totals = report.total_stats()
+            return report
+
+    def apply_changes(self, add: Iterable[Triple] = (),
+                      remove: Iterable[Triple] = (),
+                      labels: Optional[Sequence[LabelArg]] = None,
+                      allow_full_rebuild: bool = False,
+                      ) -> Tuple[DeltaResponse, RevalidationResult]:
+        """Apply one batched mutation and revalidate incrementally.
+
+        The whole edit lands as a single change-journal batch; the
+        incremental pass re-runs only the affected closure.  When the
+        journal cannot answer (overflow) or no baseline exists, the delta
+        *is applied* but revalidation raises ``journal-overflow`` /
+        ``no-baseline`` (HTTP 409) unless ``allow_full_rebuild`` opts into
+        the unbounded full re-run.  Recovery after the error: send an empty
+        delta with ``allow_full_rebuild=True`` (or call :meth:`validate`).
+        """
+        with self._lock:
+            self._check_open()
+            graph = self.graph
+            added = removed = 0
+            add = list(add)
+            remove = list(remove)
+            with graph.batch():
+                if add:
+                    before = len(graph)
+                    graph.add_all(add)
+                    added = len(graph) - before
+                if remove:
+                    before = len(graph)
+                    graph.remove_all(remove)
+                    removed = before - len(graph)
+            try:
+                result = self.validator.revalidate(
+                    labels=labels, allow_full_rebuild=allow_full_rebuild)
+            except IncrementalFallback as error:
+                raise ServiceError(error.reason,
+                                   f"delta applied (+{added}/-{removed}) but "
+                                   f"not revalidated: {error}", 409) from error
+            except StaleSnapshotError as error:
+                raise ServiceError("stale-snapshot", str(error), 409) from error
+            self._delta_rounds += 1
+            self._totals = self._totals.merge(result.delta.total_stats())
+            stats = result.stats()
+            response = DeltaResponse(
+                generation=self.validator.maintained_generation or 0,
+                added=added, removed=removed,
+                dirty_subjects=stats["dirty_subjects"],
+                affected_nodes=stats["affected_nodes"],
+                revalidated_pairs=stats["revalidated_pairs"],
+                reused_pairs=stats["reused_pairs"],
+                retracted_verdicts=stats["retracted_verdicts"],
+                full_rebuild=result.full_rebuild,
+                conforms=result.report.conforms,
+            )
+            return response, result
+
+    def apply_delta(self, request: DeltaRequest) -> DeltaResponse:
+        """The wire-level delta entry point: N-Triples text in, counters out."""
+        try:
+            add = list(iter_ntriples(request.add)) if request.add else []
+            remove = list(iter_ntriples(request.remove)) if request.remove else []
+        except ParseError as error:
+            raise ServiceError("parse-error", str(error), 400) from error
+        response, _ = self.apply_changes(
+            add=add, remove=remove, labels=request.labels,
+            allow_full_rebuild=request.allow_full_rebuild)
+        return response
+
+    def verdict(self, node: Union[ObjectTerm, str],
+                shape: LabelArg = None,
+                include_reason: bool = False) -> VerdictResponse:
+        """Serve one verdict from the maintained typing — never a fresh run.
+
+        ``node`` may be a term or its N-Triples rendering; ``shape`` a label
+        or name (default: the schema's start shape).  The response's
+        ``generation`` is the baseline generation, which this method
+        guarantees equals the graph's current generation — otherwise it
+        raises ``stale-baseline`` instead of serving outdated state.
+        """
+        with self._lock:
+            self._check_open()
+            self._verdict_queries += 1
+            generation = self.validator.maintained_generation
+            if generation is None:
+                raise ServiceError(
+                    "no-baseline",
+                    "no maintained baseline; run a full validation first", 409)
+            if generation != getattr(self.graph, "generation", generation):
+                raise ServiceError(
+                    "stale-baseline",
+                    "the graph mutated outside the session; re-run "
+                    "validation to refresh the baseline", 409)
+            if isinstance(node, str):
+                try:
+                    term = parse_term(node)
+                except ParseError as error:
+                    raise ServiceError("parse-error",
+                                       f"bad node term: {error}", 400) from error
+            else:
+                term = node
+            try:
+                label = self.validator._resolve_label(shape)
+            except SchemaError as error:
+                raise ServiceError("bad-request", str(error), 400) from error
+            entry = self.validator.maintained_entry(term, label)
+            if entry is None:
+                raise ServiceError(
+                    "verdict-not-found",
+                    f"({term.n3()}, {label.name}) is outside the maintained "
+                    f"baseline", 404)
+            reason: Optional[str] = None
+            if include_reason and entry.reason:
+                reason = entry.reason
+            return VerdictResponse(node=term.n3(), shape=label.name,
+                                   conforms=entry.conforms,
+                                   generation=generation, reason=reason)
+
+    # -- observability -------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Snapshot every subsystem counter into one :class:`ServiceStats`."""
+        with self._lock:
+            self._check_open()
+            return collect_stats(self.validator, self._totals, {
+                "full_runs": self._full_runs,
+                "delta_rounds": self._delta_rounds,
+                "verdict_queries": self._verdict_queries,
+                "jobs": self.jobs,
+                "shards": self.shards,
+            })
+
+    @property
+    def generation(self) -> int:
+        return getattr(self.graph, "generation", 0)
+
+    def close(self) -> None:
+        """Mark the session unusable; later calls raise ``session-closed``."""
+        with self._lock:
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("session-closed",
+                               "this validation session was closed", 409)

@@ -1,0 +1,155 @@
+"""Hash-sharded bulk validation: the service's first scale-out rung.
+
+:class:`ShardedValidator` partitions the *subjects* (not the reference-graph
+components) across worker processes by a deterministic hash of their
+N-Triples rendering, so a graph whose reference structure collapses into few
+big components — where the SCC scheduler degenerates to serial — still
+spreads across ``shards`` workers.
+
+Correctness rides entirely on the existing settled-verdict merge protocol:
+each shard task gets the full neighbourhood snapshot plus *every* verdict the
+shared context has settled (``seed_settled``), derives cross-shard reference
+targets locally from the snapshot when they are not seeded, and reports back
+only the verdicts its context settled (``settled_verdicts`` minus the
+seeds).  Provisional, hypothesis-dependent and budget-poisoned state never
+crosses a process boundary, exactly as in the SCC scheduler — so verdicts
+are identical to the serial path by the same argument
+(``docs/architecture.md``, "settled-verdict merge rule").  Cross-shard
+targets may be derived redundantly by several shards; redundant derivation
+of a *settled* verdict is idempotent.
+"""
+
+from __future__ import annotations
+
+import sys
+import zlib
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.errors import StaleSnapshotError
+from ..rdf.terms import Literal, ObjectTerm
+from ..shex.results import ValidationReportEntry
+from ..shex.typing import ShapeLabel
+from ..shex.validator import (
+    Validator,
+    _parallel_worker_init,
+    _parallel_worker_run,
+)
+
+__all__ = ["ShardedValidator", "shard_of"]
+
+
+def shard_of(node: ObjectTerm, shards: int) -> int:
+    """The shard owning ``node``: ``crc32`` of its N-Triples rendering.
+
+    Deterministic across processes and interpreter runs (unlike python's
+    salted ``hash``), so a client, the scheduler and every worker agree on
+    the partition without coordination.
+    """
+    return zlib.crc32(node.n3().encode("utf-8")) % shards
+
+
+class ShardedValidator(Validator):
+    """A :class:`Validator` whose parallel scheduler shards by subject hash.
+
+    Both ``validate_graph`` and ``revalidate`` route through the overridden
+    ``_run_parallel``, so full runs and incremental rounds shard the same
+    way.  ``shards <= 1`` (or too little work) falls back to the inherited
+    behaviour.
+    """
+
+    def __init__(self, *args, shards: int = 2, **kwargs):
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        # the parallel entry points trigger on jobs > 1; one worker per shard
+        kwargs.setdefault("jobs", shards if shards > 1 else 1)
+        super().__init__(*args, **kwargs)
+        self.shards = shards
+
+    def _run_parallel(self, label_list: Sequence[ShapeLabel], jobs: int,
+                      restrict: Optional[FrozenSet[ObjectTerm]] = None,
+                      ) -> Optional[Dict[Tuple[ObjectTerm, ShapeLabel],
+                                         ValidationReportEntry]]:
+        if self.shards <= 1:
+            return super()._run_parallel(label_list, jobs, restrict)
+        from concurrent.futures import ProcessPoolExecutor
+
+        if not self.shared_context:
+            raise ValueError(
+                "sharded validation shares settled verdicts across shards "
+                "and is incompatible with shared_context=False")
+        spec = self._worker_engine_spec
+        if spec is None:
+            raise ValueError(
+                "sharded validation needs an engine constructible by name "
+                "so worker processes can rebuild it")
+
+        compiled = self.compiled
+        context = self._bulk_context()
+        generation = getattr(self.graph, "generation", None)
+        subject_set = set(self.graph.nodes())
+
+        if restrict is not None:
+            # incremental round: re-run exactly the affected closure.  The
+            # snapshot covers the closure plus its demanded-but-unsettled
+            # expansion (workers derive those chains in-context); everything
+            # else the closure references is settled and travels as a seed.
+            index = self._schema_reference_index()
+            snapshot_nodes: Set[ObjectTerm] = set(
+                self._restrict_scan_set(restrict, context, index))
+            work_nodes = [node for node in restrict if node in subject_set]
+        else:
+            # full run: every subject gets work pairs; every non-literal
+            # object must be snapshot-resolvable because any worker may
+            # recurse into it while deriving a cross-shard reference.
+            snapshot_nodes = set(subject_set)
+            for triple in self.graph:
+                if not isinstance(triple.object, Literal):
+                    snapshot_nodes.add(triple.object)
+            work_nodes = list(subject_set)
+        if len(work_nodes) <= 1:
+            return None
+
+        buckets: List[List[ObjectTerm]] = [[] for _ in range(self.shards)]
+        for node in sorted(work_nodes, key=lambda term: term.sort_key()):
+            buckets[shard_of(node, self.shards)].append(node)
+
+        seed_confirmed, seed_failed = context.settled_verdicts()
+        snapshot = self.graph.snapshot(snapshot_nodes)
+        if snapshot.generation != generation:
+            raise StaleSnapshotError(
+                f"graph mutated during sharded scheduling (generation "
+                f"{generation} -> {snapshot.generation}); re-run validation")
+        init_args = (self.schema, spec, snapshot, self.max_recursion_depth,
+                     sys.getrecursionlimit(), compiled)
+
+        entries: Dict[Tuple[ObjectTerm, ShapeLabel], ValidationReportEntry] = {}
+        new_confirmed: List[Tuple[ObjectTerm, ShapeLabel]] = []
+        new_failed: List[Tuple[ObjectTerm, ShapeLabel]] = []
+        seen: Set[Tuple[ObjectTerm, ShapeLabel]] = set()
+        with ProcessPoolExecutor(max_workers=self.shards,
+                                 initializer=_parallel_worker_init,
+                                 initargs=init_args) as pool:
+            futures = []
+            for bucket in buckets:
+                pairs = [(node, label) for node in bucket
+                         for label in label_list]
+                if not pairs:
+                    continue
+                futures.append(pool.submit(
+                    _parallel_worker_run, pairs, seed_confirmed, seed_failed))
+            for future in futures:
+                worker_entries, confirmed, failed = future.result()
+                for entry in worker_entries:
+                    entries[(entry.node, entry.label)] = entry
+                # two shards can settle the same cross-shard target; the
+                # verdicts agree (determinism), keep the first occurrence
+                for pair in confirmed:
+                    if pair not in seen:
+                        seen.add(pair)
+                        new_confirmed.append(pair)
+                for pair in failed:
+                    if pair not in seen:
+                        seen.add(pair)
+                        new_failed.append(pair)
+        context.seed_settled(new_confirmed, new_failed)
+        return entries

@@ -385,6 +385,20 @@ class ValidationContext:
         self._provisional_by_depth.clear()
         return dropped
 
+    def settled_counts(self) -> Dict[str, int]:
+        """Counts of the settled verdicts this context holds.
+
+        A session hook for the service layer's ``ServiceStats``: the size of
+        the warm verdict state a long-lived server keeps between requests.
+        Provisional entries are counted separately (non-zero only while a
+        validation is in progress or after an aborted run).
+        """
+        return {
+            "confirmed": sum(len(labels) for _, labels in self._confirmed.items()),
+            "failed": sum(len(labels) for labels in self._failed.values()),
+            "provisional": len(self._provisional),
+        }
+
     # -- the cross-context merge protocol -----------------------------------------
     def seed_settled(
         self,

@@ -43,8 +43,26 @@ from .results import MatchResult, MatchStats, ValidationReportEntry
 from .schema import Schema, SchemaError, ValidationContext
 from .typing import ShapeLabel, ShapeTyping
 
-__all__ = ["Validator", "ValidationReport", "RevalidationResult", "get_engine",
-           "ENGINES"]
+__all__ = ["Validator", "ValidationReport", "RevalidationResult",
+           "IncrementalFallback", "get_engine", "ENGINES"]
+
+
+class IncrementalFallback(Exception):
+    """Raised by ``revalidate(allow_full_rebuild=False)`` instead of rebuilding.
+
+    ``reason`` is a stable machine-readable code: ``"journal-overflow"`` (the
+    graph's change journal overflowed, so the change set is unknowable) or
+    ``"no-baseline"`` (no usable incremental baseline: first run, label-set
+    change, ``shared_context`` off, or the shared context was invalidated
+    behind the baseline's back).  Long-lived services set
+    ``allow_full_rebuild=False`` so an unbounded full re-run never hides
+    inside what looks like a cheap delta; they map this exception to a typed
+    service error (:class:`repro.service.api.ServiceError`).
+    """
+
+    def __init__(self, reason: str, message: str):
+        super().__init__(message)
+        self.reason = reason
 
 
 #: registry of engine factories keyed by their public names.
@@ -202,6 +220,15 @@ class Validator:
         keyword options forwarded to the engine factory (e.g.
         ``simplify=False``, ``budget=10_000`` or ``cache=True`` to give the
         derivative engine a global cross-node derivative cache).
+
+    .. deprecated:: PR 7
+        Constructing a ``Validator`` directly for *service-shaped* use —
+        load once, keep warm, apply deltas, answer point queries — is
+        superseded by :class:`repro.service.ValidationSession`, the facade
+        the CLI, the HTTP server and the python client all share (one
+        request/response contract, typed errors, unified stats).  Every
+        ``Validator(...)`` kwarg keeps working; only the ad-hoc wiring each
+        caller used to repeat around it is deprecated.
     """
 
     def __init__(self, graph: Graph, schema: Optional[Schema] = None,
@@ -545,29 +572,8 @@ class Validator:
         generation = getattr(self.graph, "generation", None)
         scan: Optional[Set[ObjectTerm]] = None
         if restrict is not None:
-            # expand the closure with every reference target whose demanded
-            # verdicts the context has NOT settled, transitively: workers
-            # must be able to derive those (a seed cannot cover them), so
-            # they need work pairs, scheduling edges and snapshot coverage
-            # like any closure member.  Typically empty — a full baseline
-            # settles everything it demands — but a label-subset baseline
-            # can leave demanded chains unsettled.
             index = self._schema_reference_index()
-            scan = set(restrict)
-            frontier: List[ObjectTerm] = list(scan)
-            while frontier:
-                source = frontier.pop()
-                if isinstance(source, Literal):
-                    continue
-                for triple in self.graph.triples(subject=source):
-                    target = triple.object
-                    if isinstance(target, Literal) or target in scan:
-                        continue
-                    if any(not context.is_confirmed(target, label)
-                           and not context.is_failed(target, label)
-                           for label in index.labels_for(triple.predicate)):
-                        scan.add(target)
-                        frontier.append(target)
+            scan = self._restrict_scan_set(restrict, context, index)
             partition = partition_reference_graph(
                 self.graph, self.schema, compiled=compiled,
                 restrict_to=scan, index=index)
@@ -669,9 +675,38 @@ class Validator:
         context.seed_settled(new_confirmed, new_failed)
         return entries
 
+    # -- session hooks --------------------------------------------------------------
+    @property
+    def maintained_generation(self) -> Optional[int]:
+        """Graph generation of the maintained baseline (None before a run).
+
+        The service layer stamps this into every response so clients can
+        invalidate their local verdict caches when the graph moves.
+        """
+        return self._incremental_generation
+
+    def maintained_entry(self, node: ObjectTerm,
+                         label: Union[ShapeLabel, str, None] = None
+                         ) -> Optional[ValidationReportEntry]:
+        """Serve a ``(node, label)`` verdict from the maintained baseline.
+
+        This is the warm read path of validation-as-a-service: the entry
+        comes straight from the delta-updated table the last
+        ``validate_graph`` / ``revalidate`` round left behind — no engine, no
+        context, no fresh run.  Returns ``None`` when no baseline exists or
+        the pair is not part of it (unknown subject, label outside the
+        baseline's label set).  Callers are responsible for checking
+        :attr:`maintained_generation` against the graph's generation; the
+        entry describes the graph *as of the baseline*.
+        """
+        if self._incremental_entries is None:
+            return None
+        return self._incremental_entries.get((node, self._resolve_label(label)))
+
     # -- incremental revalidation --------------------------------------------------
     def revalidate(self, labels: Optional[Sequence[Union[ShapeLabel, str]]] = None,
-                   jobs: Optional[int] = None) -> RevalidationResult:
+                   jobs: Optional[int] = None,
+                   allow_full_rebuild: bool = True) -> RevalidationResult:
         """Revalidate only what the graph's mutations can have changed.
 
         Consumes the graph's change journal against the last full
@@ -688,7 +723,10 @@ class Validator:
         ``full_rebuild`` — when no baseline exists, the label set changed,
         the journal overflowed, ``shared_context`` is off, or the shared
         context was rebuilt behind the baseline's back.  Verdicts are
-        identical to a fresh full run either way.
+        identical to a fresh full run either way.  With
+        ``allow_full_rebuild=False`` the fallback raises
+        :class:`IncrementalFallback` instead, so services can refuse (or
+        surface) the unbounded re-run.
         """
         if self.schema is None:
             raise SchemaError("revalidate requires a schema")
@@ -697,7 +735,9 @@ class Validator:
         ) if labels else tuple(self.schema.labels())
         n_jobs = self.jobs if jobs is None else jobs
 
-        def full_rebuild() -> RevalidationResult:
+        def full_rebuild(reason: str, message: str) -> RevalidationResult:
+            if not allow_full_rebuild:
+                raise IncrementalFallback(reason, message)
             report = self.validate_graph(labels=label_list, jobs=n_jobs)
             return RevalidationResult(
                 report=report, delta=report, dirty=frozenset(),
@@ -706,11 +746,17 @@ class Validator:
             )
 
         if not self._incremental_baseline_valid(label_list):
-            return full_rebuild()
+            return full_rebuild(
+                "no-baseline",
+                "no usable incremental baseline (first run, label-set change "
+                "or invalidated shared context); a full run is required")
         dirty = self.graph.changes_since(self._incremental_generation)
         if dirty is None:
             # journal overflow (or truncation): the change set is unknowable.
-            return full_rebuild()
+            return full_rebuild(
+                "journal-overflow",
+                "the graph's change journal overflowed since the baseline; "
+                "the change set is unknowable and a full run is required")
         table = self._incremental_entries
         if not dirty:
             report = self._assemble_incremental_report(
@@ -781,6 +827,37 @@ class Validator:
             report=report, delta=delta, dirty=dirty,
             affected=affected, full_rebuild=False, retracted=retracted,
         )
+
+    def _restrict_scan_set(self, restrict: FrozenSet[ObjectTerm],
+                           context: ValidationContext,
+                           index) -> Set[ObjectTerm]:
+        """Expand a restricted closure over demanded-but-unsettled targets.
+
+        Workers re-running only ``restrict`` must be able to derive every
+        reference target whose demanded verdicts the context has NOT settled,
+        transitively: a seed cannot cover those, so they need work pairs,
+        scheduling edges and snapshot coverage like any closure member.
+        Typically the expansion is empty — a full baseline settles everything
+        it demands — but a label-subset baseline can leave demanded chains
+        unsettled.  Shared by the SCC scheduler and the hash-sharded service
+        scheduler (:class:`repro.service.sharding.ShardedValidator`).
+        """
+        scan = set(restrict)
+        frontier: List[ObjectTerm] = list(scan)
+        while frontier:
+            source = frontier.pop()
+            if isinstance(source, Literal):
+                continue
+            for triple in self.graph.triples(subject=source):
+                target = triple.object
+                if isinstance(target, Literal) or target in scan:
+                    continue
+                if any(not context.is_confirmed(target, label)
+                       and not context.is_failed(target, label)
+                       for label in index.labels_for(triple.predicate)):
+                    scan.add(target)
+                    frontier.append(target)
+        return scan
 
     def _schema_reference_index(self):
         """The schema's :class:`~repro.shex.partition.ReferenceIndex`, cached

@@ -1,0 +1,199 @@
+"""End-to-end tests for ``repro serve``: HTTP round-trips through
+:class:`ServiceClient`, typed wire errors, and the client verdict cache."""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.service import (
+    DeltaRequest,
+    ServiceClient,
+    ServiceError,
+    ValidationRequest,
+    VerdictCache,
+    serve,
+)
+from repro.shex import Validator
+from repro.workloads import (
+    PAPER_EXAMPLE_TURTLE,
+    PERSON_SCHEMA_SHEXC,
+    paper_example_graph,
+    person_schema,
+)
+
+MARY_FIX_ADD = ('<http://example.org/mary> '
+                '<http://xmlns.com/foaf/0.1/name> "Mary" .\n')
+MARY_FIX_REMOVE = ('<http://example.org/mary> <http://xmlns.com/foaf/0.1/age> '
+                   '"65"^^<http://www.w3.org/2001/XMLSchema#integer> .\n')
+JOHN = "<http://example.org/john>"
+MARY = "<http://example.org/mary>"
+
+
+@pytest.fixture
+def server():
+    with serve(person_schema()) as srv:
+        srv.start_background()
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.host, server.port)
+
+
+def load_paper_graph(client):
+    return client.load_graph(ValidationRequest(data=PAPER_EXAMPLE_TURTLE))
+
+
+class TestRoundTrip:
+    def test_load_delta_verdict_stats(self, client):
+        loaded = client.load_graph(ValidationRequest(
+            data=PAPER_EXAMPLE_TURTLE, schema=PERSON_SCHEMA_SHEXC))
+        graph_id = loaded["graph_id"]
+        assert loaded["conforms"] is False and loaded["triples"] == 8
+
+        mary = client.verdict(graph_id, MARY)
+        assert not mary.conforms
+
+        delta = client.apply_delta(graph_id, DeltaRequest(
+            add=MARY_FIX_ADD, remove=MARY_FIX_REMOVE))
+        assert delta.generation > loaded["generation"]
+        assert delta.conforms and not delta.full_rebuild
+
+        fixed = client.verdict(graph_id, MARY)
+        assert fixed.conforms and fixed.generation == delta.generation
+
+        stats = client.graph_stats(graph_id)
+        assert stats.generation == delta.generation
+        assert stats.session["delta_rounds"] == 1
+        wide = client.server_stats()
+        assert graph_id in wide["graphs"]
+
+    def test_uses_the_preloaded_server_schema(self, client):
+        loaded = load_paper_graph(client)  # request carries no schema text
+        assert client.verdict(loaded["graph_id"], JOHN).conforms
+
+    def test_verdicts_match_a_direct_validator_run(self, client):
+        graph_id = load_paper_graph(client)["graph_id"]
+        direct = Validator(paper_example_graph(),
+                           person_schema()).validate_graph()
+        for entry in direct.entries:
+            verdict = client.verdict(graph_id, entry.node.n3(),
+                                     entry.label.name)
+            assert verdict.conforms == entry.conforms
+
+    def test_reason_is_opt_in_over_the_wire(self, client):
+        graph_id = load_paper_graph(client)["graph_id"]
+        assert client.verdict(graph_id, MARY).reason is None
+        explained = client.verdict(graph_id, MARY, include_reason=True)
+        assert explained.reason
+
+    def test_drop_graph(self, client):
+        graph_id = load_paper_graph(client)["graph_id"]
+        client.drop_graph(graph_id)
+        with pytest.raises(ServiceError) as exc:
+            client.verdict(graph_id, JOHN)
+        assert exc.value.code == "graph-not-found"
+
+
+class TestWireErrors:
+    def _raw(self, server, method, path, body=None):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            conn.request(method, path, body=body,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            return response.status, json.loads(response.read().decode("utf-8"))
+        finally:
+            conn.close()
+
+    def test_unknown_graph_is_404(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.verdict("g999", JOHN)
+        assert exc.value.code == "graph-not-found"
+        assert exc.value.http_status == 404
+
+    def test_unknown_route_is_404(self, server):
+        status, payload = self._raw(server, "GET", "/nope")
+        assert status == 404 and payload["error"] == "not-found"
+
+    def test_malformed_body_is_400(self, server):
+        status, payload = self._raw(server, "POST", "/graphs", body="{nope")
+        assert status == 400 and payload["error"] == "bad-request"
+
+    def test_missing_node_param_is_400(self, client, server):
+        graph_id = load_paper_graph(client)["graph_id"]
+        status, payload = self._raw(server, "GET",
+                                    f"/graphs/{graph_id}/verdicts")
+        assert status == 400 and payload["error"] == "bad-request"
+
+    def test_delta_parse_error_is_400(self, client):
+        graph_id = load_paper_graph(client)["graph_id"]
+        with pytest.raises(ServiceError) as exc:
+            client.apply_delta(graph_id, DeltaRequest(add="<broken"))
+        assert exc.value.code == "parse-error"
+        assert exc.value.http_status == 400
+
+    def test_schema_error_is_400(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.load_graph(ValidationRequest(data="", schema="<S> { nope"))
+        assert exc.value.code == "schema-error"
+
+    def test_verdict_not_found_is_404(self, client):
+        graph_id = load_paper_graph(client)["graph_id"]
+        with pytest.raises(ServiceError) as exc:
+            client.verdict(graph_id, "<http://example.org/nobody>")
+        assert exc.value.code == "verdict-not-found"
+
+    def test_connection_refused_is_typed(self):
+        dead = ServiceClient("127.0.0.1", 9)  # discard port: nothing listens
+        with pytest.raises(ServiceError) as exc:
+            dead.server_stats()
+        assert exc.value.code == "connection-failed"
+        assert exc.value.http_status == 503
+
+
+class TestClientCache:
+    def test_verdict_cache_hit_skips_the_wire(self, client):
+        graph_id = load_paper_graph(client)["graph_id"]
+        first = client.verdict(graph_id, JOHN)
+        second = client.verdict(graph_id, JOHN)
+        assert first == second
+        stats = client.cache.stats()
+        assert stats["hits"] == 1 and stats["entries"] >= 1
+
+    def test_generation_bump_invalidates_cached_verdicts(self, client):
+        graph_id = load_paper_graph(client)["graph_id"]
+        stale = client.verdict(graph_id, MARY)
+        assert not stale.conforms
+        client.apply_delta(graph_id, DeltaRequest(
+            add=MARY_FIX_ADD, remove=MARY_FIX_REMOVE))
+        assert client.cache.stats()["invalidations"] >= 1
+        fresh = client.verdict(graph_id, MARY)  # refetched, not served stale
+        assert fresh.conforms
+        assert fresh.generation > stale.generation
+
+    def test_offline_mode_serves_warm_hits_only(self, server):
+        cache = VerdictCache()
+        online = ServiceClient(server.host, server.port, cache=cache)
+        graph_id = load_paper_graph(online)["graph_id"]
+        online.verdict(graph_id, JOHN)
+
+        offline = ServiceClient(server.host, server.port, cache=cache,
+                                offline=True)
+        assert offline.verdict(graph_id, JOHN).conforms  # warm hit
+        with pytest.raises(ServiceError) as exc:
+            offline.verdict(graph_id, MARY)  # cold miss
+        assert exc.value.code == "offline-cache-miss"
+        assert exc.value.http_status == 503
+
+    def test_cache_is_per_graph(self, client):
+        first = load_paper_graph(client)["graph_id"]
+        second = load_paper_graph(client)["graph_id"]
+        assert first != second
+        client.verdict(first, JOHN)
+        client.verdict(second, JOHN)
+        assert client.cache.stats()["hits"] == 0  # distinct keys, no collision

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""B16 — resident shard fleet: warm delta rounds vs fork-per-run sharding.
+
+PR 8 promotes :class:`~repro.service.sharding.ShardedValidator` from a
+fork-a-pool-per-run scheduler into a *resident* fleet: shard worker
+processes live for the session, each owning a shard-local graph replica,
+change journal and maintained baseline, so a delta round is a pair of queue
+round-trips instead of a pool spawn + full state pickle.  This benchmark
+drives both modes through the same session API and gates the claims:
+
+* **warm resident rounds vs refork rounds** (full runs gate ≥3×,
+  ``--min-speedup``): identical community workloads take the same sequence
+  of delta + full-verdict-sweep rounds through a ``shards=2`` resident
+  session and a ``shards=2`` ``resident=False`` (PR 7 fork-per-run) session;
+  mean round wall time must favour the resident fleet,
+* **per-round byte identity** (gates every run): each round's
+  :class:`DeltaResponse` and every default (reason-less) verdict response
+  must serialise byte-identically across serial, ``--jobs 2``, resident
+  ``--shards 2`` and refork ``--shards 2`` sessions,
+* **fleet health** (gates every run): the resident fleet must finish with
+  zero respawns and the same worker pids it started with — the speedup has
+  to come from residency, not from degraded serial fallbacks.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py            # full run
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_fleet.py --json BENCH_fleet.json
+
+Exit status: 0 on success, 1 on any byte mismatch, fleet respawn, or (full
+runs) a missed resident-vs-refork speedup threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from repro.service import DeltaRequest, ValidationSession
+from repro.workloads import generate_community_workload, person_schema
+
+sys.setrecursionlimit(100_000)
+
+FOAF_AGE = "<http://xmlns.com/foaf/0.1/age>"
+FOAF_NAME = "<http://xmlns.com/foaf/0.1/name>"
+XSD_INT = "<http://www.w3.org/2001/XMLSchema#integer>"
+
+
+def _workload(scale: int, seed: int):
+    return generate_community_workload(num_communities=max(scale // 8, 2),
+                                       people_per_community=8, seed=seed)
+
+
+def _round_delta(nodes, round_index):
+    """One reversible mutation per round touching two subjects (so the
+    restricted re-run is non-trivial and the refork path really forks):
+    break a person with a duplicate age on even rounds, repair them on odd
+    rounds, and always add a valid-preserving alias to a second person."""
+    victim = nodes[round_index % len(nodes)]
+    extra = nodes[(round_index + 7) % len(nodes)]
+    breaking = f'{victim.n3()} {FOAF_AGE} "9999"^^{XSD_INT} .\n'
+    naming = f'{extra.n3()} {FOAF_NAME} "Alias{round_index}" .\n'
+    if round_index % 2 == 0:
+        return naming + breaking, ""
+    return naming, breaking
+
+
+def _verdict_blob(session, nodes):
+    return tuple(json.dumps(session.verdict(node.n3()).to_json(),
+                            sort_keys=True) for node in nodes)
+
+
+def run_fleet_rounds(scale: int, rounds: int, seed: int) -> dict:
+    """The headline comparison: identical delta + verdict-sweep rounds
+    through four sessions; resident and refork rounds are timed."""
+    modes = [
+        ("serial", {}),
+        ("jobs2", {"jobs": 2}),
+        ("resident", {"shards": 2, "resident": True}),
+        ("refork", {"shards": 2, "resident": False}),
+    ]
+    sessions = {}
+    for name, kwargs in modes:
+        workload = _workload(scale, seed)
+        sessions[name] = ValidationSession(workload.graph, person_schema(),
+                                           **kwargs)
+    nodes = sorted(_workload(scale, seed).all_nodes,
+                   key=lambda term: term.value)
+
+    byte_mismatches = 0
+    resident_times = []
+    refork_times = []
+    try:
+        for session in sessions.values():
+            session.validate()
+        fleet_before = sessions["resident"].stats().to_json()["fleet"]
+
+        for round_index in range(rounds):
+            add, remove = _round_delta(nodes, round_index)
+            request = DeltaRequest(add=add, remove=remove)
+            responses = {}
+            blobs = {}
+            for name, session in sessions.items():
+                start = time.perf_counter()
+                response = session.apply_delta(request)
+                blob = _verdict_blob(session, nodes)
+                elapsed = time.perf_counter() - start
+                responses[name] = json.dumps(response.to_json(),
+                                             sort_keys=True)
+                blobs[name] = blob
+                if name == "resident":
+                    resident_times.append(elapsed)
+                elif name == "refork":
+                    refork_times.append(elapsed)
+            if len(set(responses.values())) != 1 or len(set(blobs.values())) != 1:
+                byte_mismatches += 1
+
+        fleet_after = sessions["resident"].stats().to_json()["fleet"]
+    finally:
+        for session in sessions.values():
+            session.close()
+
+    resident_mean = statistics.mean(resident_times)
+    refork_mean = statistics.mean(refork_times)
+    return {
+        "workload": "community",
+        "nodes": len(nodes),
+        "rounds": rounds,
+        "shards": 2,
+        "resident_round_ms": round(resident_mean * 1e3, 3),
+        "refork_round_ms": round(refork_mean * 1e3, 3),
+        "speedup": round(refork_mean / resident_mean, 2)
+        if resident_mean else float("inf"),
+        "byte_identical": byte_mismatches == 0,
+        "byte_mismatch_rounds": byte_mismatches,
+        "fleet_pids_stable": fleet_before.get("pids")
+        == fleet_after.get("pids"),
+        "fleet_respawns": fleet_after.get("respawns", 0),
+        "fleet_worker_rounds": [worker.get("rounds", 0) for worker
+                                in fleet_after.get("workers", [])],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke scale; speedup reported, not gated")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the result table to PATH as JSON")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="delta + verdict-sweep rounds per mode")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required resident/refork ratio on full runs")
+    args = parser.parse_args(argv)
+
+    scale, rounds = (24, 3) if args.quick else (64, 10)
+    rounds = args.rounds if args.rounds is not None else rounds
+
+    print(f"== resident fleet vs fork-per-run sharding "
+          f"(scale={scale}, rounds={rounds}, shards=2) ==")
+    row = run_fleet_rounds(scale, rounds, args.seed)
+    print(f"  resident round : {row['resident_round_ms']}ms mean "
+          f"(delta + {row['nodes']}-verdict sweep)")
+    print(f"  refork round   : {row['refork_round_ms']}ms mean")
+    print(f"  speedup        : {row['speedup']}x "
+          f"(byte_identical={row['byte_identical']}, "
+          f"pids_stable={row['fleet_pids_stable']}, "
+          f"respawns={row['fleet_respawns']})")
+
+    failures = []
+    if not row["byte_identical"]:
+        failures.append(f"{row['byte_mismatch_rounds']} rounds were not "
+                        "byte-identical across serial/jobs/resident/refork")
+    if not row["fleet_pids_stable"]:
+        failures.append("resident fleet pids changed mid-benchmark")
+    if row["fleet_respawns"]:
+        failures.append(f"resident fleet respawned {row['fleet_respawns']} "
+                        "workers")
+    if not args.quick and row["speedup"] < args.min_speedup:
+        failures.append(f"resident speedup {row['speedup']}x is below the "
+                        f"{args.min_speedup}x threshold")
+
+    result = {
+        "benchmark": "fleet",
+        "quick": args.quick,
+        "fleet_rounds": row,
+        "failures": failures,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -160,11 +160,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=0, metavar="N",
                        help="hash-partition subjects across N worker "
                             "processes (the sharded scheduler; 0/1: off)")
+    serve.add_argument("--no-resident-shards", action="store_true",
+                       help="fork a fresh worker pool per run instead of "
+                            "keeping a resident shard fleet warm (escape "
+                            "hatch; slower deltas)")
     serve.add_argument("--cache-max-entries", type=int, default=None,
                        metavar="N",
                        help="bound each graph's derivative cache (LRU)")
     serve.add_argument("--no-precompile", action="store_true",
                        help="disable the compiled-schema fast paths")
+    serve.add_argument("--connection-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="per-connection socket timeout; stalled clients "
+                            "are dropped (0: no timeout)")
+    serve.add_argument("--max-connections", type=int, default=64, metavar="N",
+                       help="bound on concurrent connections; past it the "
+                            "accept loop queues (0: unbounded)")
+    serve.add_argument("--max-body-bytes", type=int,
+                       default=64 * 1024 * 1024, metavar="N",
+                       help="largest accepted request body; bigger "
+                            "declarations get a typed 413 (0: unbounded)")
 
     check_schema = subparsers.add_parser("check-schema", help="parse a ShExC schema and report errors")
     check_schema.add_argument("schema", help="path to a ShExC schema file")
@@ -372,14 +387,20 @@ def _command_serve(args: argparse.Namespace) -> int:
     from .service.session import ValidationSession
 
     schema = _load_schema(args.schema)
+    resident = not args.no_resident_shards
     server = serve(schema, host=args.host, port=args.port,
                    jobs=args.jobs, shards=args.shards,
+                   resident=resident,
                    precompile=not args.no_precompile,
-                   cache_max_entries=args.cache_max_entries)
+                   cache_max_entries=args.cache_max_entries,
+                   connection_timeout=args.connection_timeout or None,
+                   max_connections=args.max_connections or None,
+                   max_body_bytes=args.max_body_bytes or None)
     if args.data:
         graph = _load_graph(args.data, args.data_format, args.store)
         session = ValidationSession(
             graph, schema, jobs=args.jobs, shards=args.shards,
+            resident=resident,
             precompile=not args.no_precompile,
             cache_max_entries=args.cache_max_entries)
         report = session.validate()

@@ -16,6 +16,7 @@ from .api import (
     VerdictResponse,
 )
 from .client import ServiceClient, VerdictCache
+from .fleet import ShardFleet
 from .server import ReproServer, ValidationService, serve
 from .session import ValidationSession
 from .sharding import ShardedValidator, shard_of
@@ -28,6 +29,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceStats",
+    "ShardFleet",
     "ShardedValidator",
     "ValidationRequest",
     "ValidationService",

@@ -57,6 +57,13 @@ class ServiceError(Exception):
                                 applied but incremental revalidation refused
                                 the unbounded rebuild (retry with
                                 ``allow_full_rebuild``)
+    ``request-timeout``  408    the client stalled mid-request-body
+    ``payload-too-large`` 413   request body exceeds the server's bound
+    ``shutdown-timeout`` 500    the serve thread outlived its shutdown
+                                deadline; the listener socket was force-closed
+    ``fleet-worker-died`` 503   a resident shard worker died or went
+                                unresponsive mid-request; it is respawned and
+                                warm-loaded on the next fleet operation
     ``offline-cache-miss`` 503  offline client had no cached verdict
     ==================== ====== =============================================
     """
@@ -350,8 +357,10 @@ class ServiceStats:
     group for columnar stores), ``journal`` (change journal), ``prefilter``
     (compiled-schema counters, empty when precompilation is off), ``cache``
     (derivative cache, empty when no global cache is active), ``verdicts``
-    (settled/provisional context counts + maintained baseline size) and
-    ``session`` (request counters of the owning session).
+    (settled/provisional context counts + maintained baseline size),
+    ``session`` (request counters of the owning session) and ``fleet``
+    (resident shard fleet health: worker liveness, respawns, per-shard
+    replica counters — empty for unsharded sessions).
     """
 
     generation: int = 0
@@ -361,6 +370,7 @@ class ServiceStats:
     cache: Dict[str, Any] = field(default_factory=dict)
     verdicts: Dict[str, Any] = field(default_factory=dict)
     session: Dict[str, Any] = field(default_factory=dict)
+    fleet: Dict[str, Any] = field(default_factory=dict)
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -372,6 +382,7 @@ class ServiceStats:
             "cache": dict(self.cache),
             "verdicts": dict(self.verdicts),
             "session": dict(self.session),
+            "fleet": dict(self.fleet),
         }
 
     @classmethod
@@ -384,7 +395,8 @@ class ServiceStats:
                    prefilter=_counter_dict(data, "prefilter"),
                    cache=_counter_dict(data, "cache"),
                    verdicts=_counter_dict(data, "verdicts"),
-                   session=_counter_dict(data, "session"))
+                   session=_counter_dict(data, "session"),
+                   fleet=_counter_dict(data, "fleet"))
 
     def format_text(self) -> str:
         """Render the classic ``--cache-stats`` stderr block.
@@ -434,6 +446,14 @@ class ServiceStats:
                          f"hit_rate={hit_rate:.1%}")
         else:
             lines.append("cache-stats: no derivative cache active")
+        if self.fleet.get("started"):
+            fleet = self.fleet
+            lines.append("fleet-stats: "
+                         f"shards={fleet.get('shards', 0)} "
+                         f"resident={fleet.get('resident', False)} "
+                         f"workers_alive={fleet.get('workers_alive', 0)} "
+                         f"workers_loaded={fleet.get('workers_loaded', 0)} "
+                         f"respawns={fleet.get('respawns', 0)}")
         if self.session.get("jobs", 1) and self.session.get("jobs", 1) > 1:
             lines.append("cache-stats: note: with --jobs > 1 derivative caches "
                          "are worker-local; the counters above cover only the "

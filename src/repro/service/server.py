@@ -21,12 +21,30 @@ GET       ``/graphs/{id}/stats``          :class:`ServiceStats`
 GET       ``/stats``                      server-wide stats (per-graph blocks)
 ========  ==============================  =======================================
 
-Transport is ``http.server.ThreadingHTTPServer`` — one OS thread per
-connection, no new runtime dependencies; per-graph mutual exclusion lives in
-the session lock, so concurrent delta posts serialize and verdict reads
-never observe a half-retracted baseline.  :class:`ServiceError` maps to its
-``http_status`` with the error JSON as the body; every success response
-carries the graph ``generation`` for client-side cache invalidation.
+Transport is a hardened ``http.server.ThreadingHTTPServer`` — one OS thread
+per connection, no new runtime dependencies, but the connection path is
+bounded and timeout-guarded so hostile or unlucky clients cannot pin the
+server:
+
+* every connection carries a **socket timeout** (``connection_timeout``): a
+  client that connects and never sends is dropped cleanly instead of pinning
+  a handler thread forever;
+* request bodies are read in a **loop until Content-Length bytes arrive** —
+  a slow client's short reads no longer truncate the payload into a
+  confusing parse error; a stall mid-body maps to a typed 408, a premature
+  EOF to a typed 400, and bodies over ``max_body_bytes`` to a typed 413;
+* concurrent connections are **bounded** (``max_connections``): past the
+  bound the accept loop blocks, so a connection flood degrades into queueing
+  at the listener instead of unbounded thread growth;
+* ``shutdown`` detects a serve thread that outlives its deadline,
+  force-closes the listener socket and raises a structured
+  ``shutdown-timeout`` error instead of silently leaking the listener.
+
+Per-graph mutual exclusion lives in the session lock, so concurrent delta
+posts serialize and verdict reads never observe a half-retracted baseline.
+:class:`ServiceError` maps to its ``http_status`` with the error JSON as the
+body; every success response carries the graph ``generation`` for
+client-side cache invalidation.
 """
 
 from __future__ import annotations
@@ -52,6 +70,10 @@ __all__ = ["ValidationService", "ReproServer", "serve"]
 
 _GRAPH_PATH = re.compile(r"^/graphs/([A-Za-z0-9_.-]+)(?:/([a-z]+))?$")
 
+#: default cap on request bodies (64 MiB): far above any sane delta, far
+#: below what would let one request exhaust the process.
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+
 
 class ValidationService:
     """The transport-independent core: a registry of warm sessions.
@@ -62,11 +84,13 @@ class ValidationService:
 
     def __init__(self, schema: Optional[Schema] = None, *,
                  jobs: int = 1, shards: int = 0,
+                 resident: bool = True,
                  precompile: bool = True,
                  cache_max_entries: Optional[int] = None):
         self.schema = schema
         self.jobs = jobs
         self.shards = shards
+        self.resident = resident
         self.precompile = precompile
         self.cache_max_entries = cache_max_entries
         self._sessions: Dict[str, ValidationSession] = {}
@@ -78,6 +102,7 @@ class ValidationService:
         session = ValidationSession.from_request(
             request, default_schema=self.schema,
             default_jobs=self.jobs, default_shards=self.shards,
+            default_resident=self.resident,
             precompile=self.precompile,
             cache_max_entries=self.cache_max_entries)
         report = session.validate(labels=request.labels)
@@ -116,6 +141,14 @@ class ValidationService:
                                f"no graph {graph_id!r} on this server", 404)
         session.close()
 
+    def close(self) -> None:
+        """Close every session (releases resident shard fleets)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            session.close()
+
     def stats(self) -> Dict[str, Any]:
         """Server-wide stats: one :class:`ServiceStats` block per graph."""
         with self._lock:
@@ -133,20 +166,87 @@ def _make_handler(service: ValidationService):
         server_version = "repro-serve/1"
 
         # -- plumbing -----------------------------------------------------------
+        def setup(self):
+            # StreamRequestHandler applies self.timeout as the connection's
+            # socket timeout; a client that connects and never sends (or
+            # stalls mid-request-line) trips it and the stdlib request loop
+            # closes the connection instead of pinning this thread forever.
+            self.timeout = getattr(self.server, "connection_timeout", None)
+            super().setup()
+
         def log_message(self, format, *args):  # noqa: A002 - stdlib signature
             pass  # request logging stays out of stderr (tests, benchmarks)
 
         def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
             body = json.dumps(payload).encode("utf-8")
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
+            try:
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            except (TimeoutError, OSError):
+                # the client is gone (or too slow to take the response);
+                # drop the connection rather than crash the handler thread.
+                self.close_connection = True
 
         def _read_body(self) -> str:
-            length = int(self.headers.get("Content-Length") or 0)
-            return self.rfile.read(length).decode("utf-8") if length else ""
+            """Read exactly Content-Length bytes, or fail with a typed error.
+
+            A single ``rfile.read(length)`` silently hands a *truncated*
+            body to the JSON codec when the client disconnects mid-body —
+            the resulting parse error points at the payload instead of the
+            transport.  Reading in a loop attributes each failure mode
+            precisely: premature EOF → 400 (with byte counts), a stall that
+            trips the socket timeout → 408, an oversized declaration → 413
+            before a single body byte is read.
+            """
+            raw_length = self.headers.get("Content-Length")
+            if raw_length is None:
+                return ""
+            try:
+                length = int(raw_length)
+            except ValueError:
+                raise ServiceError(
+                    "bad-request",
+                    f"invalid Content-Length {raw_length!r}", 400) from None
+            if length <= 0:
+                return ""
+            max_bytes = getattr(self.server, "max_body_bytes", None)
+            if max_bytes is not None and length > max_bytes:
+                self.close_connection = True
+                raise ServiceError(
+                    "payload-too-large",
+                    f"request body of {length} bytes exceeds this server's "
+                    f"{max_bytes}-byte bound", 413)
+            chunks = []
+            remaining = length
+            try:
+                while remaining:
+                    chunk = self.rfile.read(min(remaining, 65536))
+                    if not chunk:
+                        self.close_connection = True
+                        raise ServiceError(
+                            "bad-request",
+                            f"request body truncated: Content-Length "
+                            f"promised {length} bytes but the connection "
+                            f"closed after {length - remaining}", 400)
+                    chunks.append(chunk)
+                    remaining -= len(chunk)
+            except TimeoutError as error:  # socket.timeout alias (3.10+)
+                self.close_connection = True
+                raise ServiceError(
+                    "request-timeout",
+                    f"client stalled mid-body: received "
+                    f"{length - remaining} of {length} bytes before the "
+                    "connection timeout", 408) from error
+            try:
+                return b"".join(chunks).decode("utf-8")
+            except UnicodeDecodeError as error:
+                raise ServiceError(
+                    "bad-request",
+                    f"request body is not valid UTF-8: {error}", 400) \
+                    from None
 
         def _dispatch(self, method: str) -> None:
             try:
@@ -211,6 +311,48 @@ def _make_handler(service: ValidationService):
     return _Handler
 
 
+class _HardenedHTTPServer(ThreadingHTTPServer):
+    """Thread-per-connection, but bounded and timeout-guarded.
+
+    A :class:`~threading.BoundedSemaphore` caps the number of in-flight
+    connections: past ``max_connections`` the accept loop blocks until a
+    handler finishes, so a connection flood queues at the listener backlog
+    instead of growing threads without bound.  ``connection_timeout`` and
+    ``max_body_bytes`` are read by the handler (see ``_make_handler``).
+    """
+
+    daemon_threads = True
+    request_queue_size = 128
+
+    def __init__(self, server_address, handler_class, *,
+                 connection_timeout: Optional[float] = None,
+                 max_connections: Optional[int] = None,
+                 max_body_bytes: Optional[int] = DEFAULT_MAX_BODY_BYTES):
+        self.connection_timeout = connection_timeout
+        self.max_body_bytes = max_body_bytes
+        self._connection_slots = (
+            threading.BoundedSemaphore(max_connections)
+            if max_connections else None)
+        super().__init__(server_address, handler_class)
+
+    def process_request(self, request, client_address):
+        if self._connection_slots is not None:
+            self._connection_slots.acquire()
+        try:
+            super().process_request(request, client_address)
+        except BaseException:
+            if self._connection_slots is not None:
+                self._connection_slots.release()
+            raise
+
+    def process_request_thread(self, request, client_address):
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            if self._connection_slots is not None:
+                self._connection_slots.release()
+
+
 class ReproServer:
     """The HTTP front: bind, serve (foreground or background), shut down.
 
@@ -219,11 +361,20 @@ class ReproServer:
     """
 
     def __init__(self, service: ValidationService,
-                 host: str = "127.0.0.1", port: int = 0):
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 connection_timeout: Optional[float] = 30.0,
+                 max_connections: Optional[int] = 64,
+                 max_body_bytes: Optional[int] = DEFAULT_MAX_BODY_BYTES,
+                 shutdown_timeout: float = 5.0):
         self.service = service
-        self._httpd = ThreadingHTTPServer((host, port), _make_handler(service))
-        self._httpd.daemon_threads = True
+        self.shutdown_timeout = shutdown_timeout
+        self._httpd = _HardenedHTTPServer(
+            (host, port), _make_handler(service),
+            connection_timeout=connection_timeout,
+            max_connections=max_connections,
+            max_body_bytes=max_body_bytes)
         self._thread: Optional[threading.Thread] = None
+        self._serving = threading.Event()
 
     @property
     def host(self) -> str:
@@ -234,20 +385,49 @@ class ReproServer:
         return self._httpd.server_address[1]
 
     def serve_forever(self) -> None:
+        self._serving.set()
         self._httpd.serve_forever()
 
     def start_background(self) -> "ReproServer":
-        self._thread = threading.Thread(target=self._httpd.serve_forever,
+        self._thread = threading.Thread(target=self.serve_forever,
                                         name="repro-serve", daemon=True)
         self._thread.start()
         return self
 
     def shutdown(self) -> None:
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
+        """Stop serving, close the listener, release every session.
+
+        ``BaseServer.shutdown()`` blocks until the serve loop acknowledges —
+        *forever*, if the loop is stuck (or was never entered).  It therefore
+        runs on a disposable thread bounded by ``shutdown_timeout``; a serve
+        thread that outlives the deadline is reported as a structured
+        ``shutdown-timeout`` error **after** the listener socket has been
+        force-closed and the sessions released, so nothing leaks even on the
+        failure path.
+        """
+        stuck = False
+        if self._serving.is_set():
+            closer = threading.Thread(target=self._httpd.shutdown,
+                                      name="repro-serve-closer", daemon=True)
+            closer.start()
+            closer.join(timeout=self.shutdown_timeout)
+            stuck = closer.is_alive()
+            if not stuck and self._thread is not None:
+                self._thread.join(timeout=self.shutdown_timeout)
+                stuck = self._thread.is_alive()
+        try:
+            self._httpd.server_close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self._thread = None
+        self.service.close()
+        if stuck:
+            raise ServiceError(
+                "shutdown-timeout",
+                f"the serve thread survived shutdown for "
+                f"{self.shutdown_timeout}s; the listener socket was "
+                "force-closed and every session released, but the thread "
+                "may still hold a stuck in-flight request", 500)
 
     def __enter__(self) -> "ReproServer":
         return self
@@ -258,10 +438,19 @@ class ReproServer:
 
 def serve(schema: Optional[Schema] = None, *, host: str = "127.0.0.1",
           port: int = 0, jobs: int = 1, shards: int = 0,
+          resident: bool = True,
           precompile: bool = True,
-          cache_max_entries: Optional[int] = None) -> ReproServer:
+          cache_max_entries: Optional[int] = None,
+          connection_timeout: Optional[float] = 30.0,
+          max_connections: Optional[int] = 64,
+          max_body_bytes: Optional[int] = DEFAULT_MAX_BODY_BYTES,
+          shutdown_timeout: float = 5.0) -> ReproServer:
     """Build a ready-to-start server (the CLI and tests both enter here)."""
     service = ValidationService(schema, jobs=jobs, shards=shards,
-                                precompile=precompile,
+                                resident=resident, precompile=precompile,
                                 cache_max_entries=cache_max_entries)
-    return ReproServer(service, host=host, port=port)
+    return ReproServer(service, host=host, port=port,
+                       connection_timeout=connection_timeout,
+                       max_connections=max_connections,
+                       max_body_bytes=max_body_bytes,
+                       shutdown_timeout=shutdown_timeout)

@@ -90,11 +90,14 @@ def collect_stats(validator: Validator, totals: MatchStats,
     verdicts = dict(context.settled_counts()) if context is not None else {}
     entries = getattr(validator, "_incremental_entries", None)
     verdicts["maintained_pairs"] = len(entries) if entries else 0
+    fleet_stats = getattr(validator, "fleet_stats", None)
+    fleet = fleet_stats() if callable(fleet_stats) else {}
     return ServiceStats(
         generation=getattr(graph, "generation", 0),
         store=store, journal=journal, prefilter=prefilter,
         cache=cache, verdicts=verdicts,
-        session=dict(session_info or {}))
+        session=dict(session_info or {}),
+        fleet=fleet)
 
 
 class ValidationSession:
@@ -112,6 +115,7 @@ class ValidationSession:
     def __init__(self, graph: TripleStore, schema: Schema, *,
                  engine: Union[str, object, None] = None,
                  jobs: int = 1, shards: int = 0,
+                 resident: bool = True,
                  precompile: bool = True,
                  use_cache: bool = True,
                  cache_max_entries: Optional[int] = None,
@@ -130,7 +134,7 @@ class ValidationSession:
         if self.shards > 1:
             self.validator: Validator = ShardedValidator(
                 graph, schema, engine=engine, shards=self.shards,
-                precompile=precompile,
+                resident=resident, precompile=precompile,
                 max_recursion_depth=max_recursion_depth, **engine_options)
         else:
             self.validator = Validator(
@@ -150,6 +154,7 @@ class ValidationSession:
                      default_schema: Optional[Schema] = None,
                      default_jobs: int = 1,
                      default_shards: int = 0,
+                     default_resident: bool = True,
                      precompile: bool = True,
                      cache_max_entries: Optional[int] = None,
                      ) -> "ValidationSession":
@@ -184,7 +189,7 @@ class ValidationSession:
             raise ServiceError("bad-request",
                                "jobs must be >= 1 and shards >= 0", 400)
         return cls(graph, schema, jobs=jobs, shards=shards,
-                   precompile=precompile,
+                   resident=default_resident, precompile=precompile,
                    cache_max_entries=cache_max_entries)
 
     # -- lifecycle -----------------------------------------------------------------
@@ -231,6 +236,12 @@ class ValidationSession:
                     before = len(graph)
                     graph.remove_all(remove)
                     removed = before - len(graph)
+            # keep resident shard replicas mirroring the coordinator graph:
+            # the same delta is broadcast to the fleet before revalidation so
+            # each shard's local journal → closure → re-run round sees it.
+            stage = getattr(self.validator, "stage_fleet_delta", None)
+            if stage is not None:
+                stage(add, remove)
             try:
                 result = self.validator.revalidate(
                     labels=labels, allow_full_rebuild=allow_full_rebuild)
@@ -335,9 +346,12 @@ class ValidationSession:
         return getattr(self.graph, "generation", 0)
 
     def close(self) -> None:
-        """Mark the session unusable; later calls raise ``session-closed``."""
+        """Mark the session unusable and release its resident shard fleet."""
         with self._lock:
             self._closed = True
+            close_fleet = getattr(self.validator, "close_fleet", None)
+            if close_fleet is not None:
+                close_fleet()
 
     def _check_open(self) -> None:
         if self._closed:

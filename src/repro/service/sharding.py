@@ -1,17 +1,29 @@
-"""Hash-sharded bulk validation: the service's first scale-out rung.
+"""Hash-sharded bulk validation: the service's scale-out scheduler.
 
 :class:`ShardedValidator` partitions the *subjects* (not the reference-graph
 components) across worker processes by a deterministic hash of their
-N-Triples rendering, so a graph whose reference structure collapses into few
-big components — where the SCC scheduler degenerates to serial — still
-spreads across ``shards`` workers.
+N-Triples rendering (:func:`shard_of`), so a graph whose reference structure
+collapses into few big components — where the SCC scheduler degenerates to
+serial — still spreads across ``shards`` workers.
 
-Correctness rides entirely on the existing settled-verdict merge protocol:
-each shard task gets the full neighbourhood snapshot plus *every* verdict the
-shared context has settled (``seed_settled``), derives cross-shard reference
-targets locally from the snapshot when they are not seeded, and reports back
-only the verdicts its context settled (``settled_verdicts`` minus the
-seeds).  Provisional, hypothesis-dependent and budget-poisoned state never
+Two scheduling backends share that partition:
+
+* **Resident fleet** (``resident=True``, the default): shard processes live
+  for the validator's lifetime (:class:`~repro.service.fleet.ShardFleet`).
+  Each worker owns a full shard-local graph replica with its own bounded
+  journal and a maintained baseline restricted to the subjects it owns;
+  deltas are broadcast to the replicas and each worker runs the PR 5
+  revalidate loop locally.  Warm rounds cost queue round-trips instead of
+  process forks and snapshot pickling.
+* **Re-fork pool** (``resident=False``): PR 7's behaviour — a fresh
+  ``ProcessPoolExecutor`` plus a neighbourhood snapshot per run.  Kept as
+  the escape hatch and as the benchmark baseline (``bench_fleet.py``).
+
+Correctness rides entirely on the existing settled-verdict merge protocol
+for both backends: each worker derives cross-shard reference targets locally
+from shard-local state when they are not already settled, and only the
+verdicts its context **settled** merge back into the coordinator's shared
+context.  Provisional, hypothesis-dependent and budget-poisoned state never
 crosses a process boundary, exactly as in the SCC scheduler — so verdicts
 are identical to the serial path by the same argument
 (``docs/architecture.md``, "settled-verdict merge rule").  Cross-shard
@@ -22,7 +34,6 @@ of a *settled* verdict is idempotent.
 from __future__ import annotations
 
 import sys
-import zlib
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..rdf.errors import StaleSnapshotError
@@ -30,22 +41,14 @@ from ..rdf.terms import Literal, ObjectTerm
 from ..shex.results import ValidationReportEntry
 from ..shex.typing import ShapeLabel
 from ..shex.validator import (
+    IncrementalFallback,
     Validator,
     _parallel_worker_init,
     _parallel_worker_run,
 )
+from .fleet import ShardFleet, shard_of
 
 __all__ = ["ShardedValidator", "shard_of"]
-
-
-def shard_of(node: ObjectTerm, shards: int) -> int:
-    """The shard owning ``node``: ``crc32`` of its N-Triples rendering.
-
-    Deterministic across processes and interpreter runs (unlike python's
-    salted ``hash``), so a client, the scheduler and every worker agree on
-    the partition without coordination.
-    """
-    return zlib.crc32(node.n3().encode("utf-8")) % shards
 
 
 class ShardedValidator(Validator):
@@ -54,35 +57,292 @@ class ShardedValidator(Validator):
     Both ``validate_graph`` and ``revalidate`` route through the overridden
     ``_run_parallel``, so full runs and incremental rounds shard the same
     way.  ``shards <= 1`` (or too little work) falls back to the inherited
-    behaviour.
+    behaviour.  With ``resident=True`` (default) the shard workers are a
+    persistent :class:`~repro.service.fleet.ShardFleet`; call
+    :meth:`close_fleet` (or let the owning session's ``close`` do it) to
+    release the processes.
     """
 
-    def __init__(self, *args, shards: int = 2, **kwargs):
+    def __init__(self, *args, shards: int = 2, resident: bool = True,
+                 fleet_response_timeout: float = 120.0,
+                 fleet_journal_limits: Optional[Sequence[Optional[int]]] = None,
+                 **kwargs):
         if shards < 1:
             raise ValueError("shards must be at least 1")
         # the parallel entry points trigger on jobs > 1; one worker per shard
         kwargs.setdefault("jobs", shards if shards > 1 else 1)
         super().__init__(*args, **kwargs)
         self.shards = shards
+        self.resident = resident
+        self._fleet: Optional[ShardFleet] = None
+        self._fleet_response_timeout = fleet_response_timeout
+        #: per-shard journal-bound overrides (test hook); ``None`` entries
+        #: inherit the coordinator graph's journal bound.
+        self._fleet_journal_limits = fleet_journal_limits
+        #: coordinator generation the replicas mirror (None = never loaded).
+        self._fleet_generation: Optional[int] = None
+        #: label tuple the replicas' baselines cover.
+        self._fleet_labels: Optional[Tuple[ShapeLabel, ...]] = None
 
+    # -- dispatch -------------------------------------------------------------
     def _run_parallel(self, label_list: Sequence[ShapeLabel], jobs: int,
                       restrict: Optional[FrozenSet[ObjectTerm]] = None,
                       ) -> Optional[Dict[Tuple[ObjectTerm, ShapeLabel],
                                          ValidationReportEntry]]:
         if self.shards <= 1:
             return super()._run_parallel(label_list, jobs, restrict)
-        from concurrent.futures import ProcessPoolExecutor
-
         if not self.shared_context:
             raise ValueError(
                 "sharded validation shares settled verdicts across shards "
                 "and is incompatible with shared_context=False")
-        spec = self._worker_engine_spec
-        if spec is None:
+        if self._worker_engine_spec is None:
             raise ValueError(
                 "sharded validation needs an engine constructible by name "
                 "so worker processes can rebuild it")
+        if not self.resident:
+            return self._run_parallel_refork(label_list, restrict)
+        if restrict is None:
+            return self._fleet_full_run(label_list)
+        return self._fleet_delta_run(label_list, restrict)
 
+    # -- resident fleet: lifecycle --------------------------------------------
+    def _ensure_fleet(self) -> ShardFleet:
+        if self._fleet is None:
+            self._fleet = ShardFleet(
+                self.shards,
+                response_timeout=self._fleet_response_timeout,
+                journal_limits=self._fleet_journal_limits)
+        self._fleet.start()
+        return self._fleet
+
+    def close_fleet(self) -> None:
+        """Shut the resident workers down (idempotent)."""
+        if self._fleet is not None:
+            self._fleet.shutdown()
+            self._fleet = None
+        self._fleet_generation = None
+        self._fleet_labels = None
+
+    def _load_payload(self, labels: Tuple[ShapeLabel, ...], triples: list,
+                      shard_index: int) -> tuple:
+        bound = None
+        if self._fleet_journal_limits is not None \
+                and shard_index < len(self._fleet_journal_limits):
+            bound = self._fleet_journal_limits[shard_index]
+        if bound is None:
+            bound = self.graph.journal.max_entries
+        return (self.schema, self._worker_engine_spec, self.compiled,
+                triples, list(labels), self.max_recursion_depth,
+                sys.getrecursionlimit(), bound)
+
+    def _fleet_load(self, fleet: ShardFleet,
+                    labels: Tuple[ShapeLabel, ...]) -> List[tuple]:
+        """(Re)load every replica from the coordinator's current graph.
+
+        Respawns dead workers first, then ships the full triple list and a
+        warm full owned run to each shard.  Returns the per-shard
+        ``(entries, confirmed, failed)`` results.
+        """
+        for worker in list(fleet.workers):
+            if worker.failed or worker.process is None \
+                    or not worker.process.is_alive():
+                fleet.respawn(worker)
+        triples = list(self.graph)
+        payloads = [self._load_payload(labels, triples, index)
+                    for index in range(fleet.shards)]
+        outcomes = fleet.broadcast("load", payloads, per_worker=True)
+        for worker in fleet.workers:
+            worker.loaded = True
+        self._fleet_generation = self.graph.generation
+        self._fleet_labels = labels
+        return outcomes
+
+    def _fleet_synced(self, fleet: ShardFleet,
+                      labels: Tuple[ShapeLabel, ...]) -> bool:
+        return (bool(fleet.workers)
+                and all(worker.loaded and not worker.failed
+                        and worker.process is not None
+                        and worker.process.is_alive()
+                        for worker in fleet.workers)
+                and self._fleet_generation == self.graph.generation
+                and self._fleet_labels == labels)
+
+    # -- resident fleet: scheduling -------------------------------------------
+    def _fleet_full_run(self, label_list: Sequence[ShapeLabel]
+                        ) -> Optional[Dict[Tuple[ObjectTerm, ShapeLabel],
+                                           ValidationReportEntry]]:
+        subject_count = sum(1 for _ in self.graph.nodes())
+        if subject_count <= 1:
+            return None
+        context = self._bulk_context()
+        labels = tuple(label_list)
+        fleet = self._ensure_fleet()
+        if self._fleet_synced(fleet, labels):
+            # warm replicas: a full owned re-run per shard, no reload.
+            outcomes = fleet.broadcast("run", list(labels))
+        else:
+            outcomes = self._fleet_load(fleet, labels)
+        return self._merge_outcomes(context, outcomes)
+
+    def _fleet_delta_run(self, label_list: Sequence[ShapeLabel],
+                         restrict: FrozenSet[ObjectTerm],
+                         ) -> Optional[Dict[Tuple[ObjectTerm, ShapeLabel],
+                                            ValidationReportEntry]]:
+        """One resident incremental round: check, revalidate, merge.
+
+        Two-phase: every shard first confirms (``check``) that its local
+        journal and baseline can answer the round *without mutating
+        anything*; only then does the ``revalidate`` broadcast run.  A
+        journal overflow on one shard therefore surfaces as a typed
+        :class:`IncrementalFallback` while every sibling's baseline is still
+        intact.
+        """
+        fleet = self._fleet
+        labels = tuple(label_list)
+        if fleet is None or not fleet.workers:
+            # no resident state yet (first run was serial/degenerate):
+            # let the coordinator's serial path answer this round.
+            return None
+        if any(worker.failed or worker.process is None
+               or not worker.process.is_alive() for worker in fleet.workers):
+            # heal: respawn + warm-load dead workers from the coordinator's
+            # current graph (the delta was already applied to it), leaving
+            # healthy replicas warm.  The reloaded shard's round below is a
+            # no-op delta; its verdicts are pulled from its fresh baseline.
+            self._heal_workers(fleet, labels)
+        if self._fleet_generation != self.graph.generation \
+                or self._fleet_labels != labels:
+            # the replicas missed a mutation (out-of-band edit between
+            # rounds): resident state is stale, answer serially and let the
+            # next full run reload the fleet.
+            return None
+
+        checks = fleet.broadcast("check", list(labels))
+        for outcome in checks:
+            if outcome is not None:
+                raise IncrementalFallback(outcome[0], outcome[1])
+        outcomes = fleet.broadcast("revalidate", list(labels))
+        context = self._bulk_context()
+        entries = self._merge_outcomes(
+            context, [(delta, confirmed, failed)
+                      for delta, confirmed, failed, _stats in outcomes])
+
+        # coverage: the caller needs every (affected subject × label) pair.
+        # A freshly healed shard reports an empty delta — pull the missing
+        # pairs from its maintained baseline instead.
+        subject_set = set(self.graph.nodes())
+        wanted = [(node, label) for node in restrict if node in subject_set
+                  for label in labels]
+        missing = [pair for pair in wanted if pair not in entries]
+        if missing:
+            by_shard: Dict[int, List[tuple]] = {}
+            for pair in missing:
+                by_shard.setdefault(shard_of(pair[0], self.shards),
+                                    []).append(pair)
+            for shard_index, pairs in by_shard.items():
+                worker = fleet.workers[shard_index]
+                for pair, entry in zip(pairs,
+                                       fleet.request(worker, "verdicts",
+                                                     pairs)):
+                    if entry is not None:
+                        entries[pair] = entry
+        still_missing = sorted({pair[0] for pair in wanted
+                                if pair not in entries},
+                               key=lambda term: term.sort_key())
+        if still_missing:
+            # safety net: derive the stragglers on the coordinator itself.
+            for entry in self._validate_pairs_serial(context, list(labels),
+                                                     still_missing):
+                entries[(entry.node, entry.label)] = entry
+        return entries
+
+    def _heal_workers(self, fleet: ShardFleet,
+                      labels: Tuple[ShapeLabel, ...]) -> None:
+        """Respawn and warm-load dead workers only; keep live replicas warm."""
+        triples = None
+        for worker in list(fleet.workers):
+            if not worker.failed and worker.process is not None \
+                    and worker.process.is_alive():
+                continue
+            fresh = fleet.respawn(worker)
+            if triples is None:
+                triples = list(self.graph)
+            fleet.request(fresh, "load",
+                          self._load_payload(labels, triples, fresh.index))
+            fresh.loaded = True
+
+    def _merge_outcomes(self, context, outcomes
+                        ) -> Dict[Tuple[ObjectTerm, ShapeLabel],
+                                  ValidationReportEntry]:
+        """Merge per-shard results under the settled-verdict protocol."""
+        entries: Dict[Tuple[ObjectTerm, ShapeLabel], ValidationReportEntry] = {}
+        new_confirmed: List[Tuple[ObjectTerm, ShapeLabel]] = []
+        new_failed: List[Tuple[ObjectTerm, ShapeLabel]] = []
+        seen: Set[Tuple[ObjectTerm, ShapeLabel]] = set()
+        for worker_entries, confirmed, failed in outcomes:
+            for entry in worker_entries:
+                entries[(entry.node, entry.label)] = entry
+            # two shards can settle the same cross-shard target; the
+            # verdicts agree (determinism), keep the first occurrence
+            for pair in confirmed:
+                if pair not in seen:
+                    seen.add(pair)
+                    new_confirmed.append(pair)
+            for pair in failed:
+                if pair not in seen:
+                    seen.add(pair)
+                    new_failed.append(pair)
+        context.seed_settled(new_confirmed, new_failed)
+        return entries
+
+    # -- resident fleet: session hooks ----------------------------------------
+    def stage_fleet_delta(self, add, remove) -> None:
+        """Broadcast an already-applied coordinator delta to the replicas.
+
+        Called by the session *after* the coordinator graph's batch, before
+        ``revalidate``.  Replicas receive the full delta (they must stay
+        whole-graph mirrors so cross-shard targets keep deriving locally);
+        only the revalidation *work* is partitioned by ownership.  A worker
+        dying mid-stage is tolerated — it is respawned and warm-loaded on
+        the next fleet operation; the survivors stay in sync.
+        """
+        fleet = self._fleet
+        if not self.resident or self.shards <= 1 or fleet is None \
+                or not any(worker.loaded for worker in fleet.workers):
+            return
+        add = list(add)
+        remove = list(remove)
+        if add or remove:
+            fleet.broadcast("apply", (add, remove), tolerate_death=True)
+        self._fleet_generation = self.graph.generation
+
+    def fleet_stats(self, include_workers: bool = True) -> Dict[str, object]:
+        """Fleet health for :class:`~repro.service.api.ServiceStats`."""
+        info: Dict[str, object] = {"resident": self.resident,
+                                   "shards": self.shards}
+        fleet = self._fleet
+        if fleet is None or not fleet.workers:
+            info["started"] = False
+            return info
+        info["started"] = True
+        info.update(fleet.health())
+        if include_workers:
+            try:
+                info["workers"] = fleet.broadcast("stats", None,
+                                                  tolerate_death=True)
+            except Exception:  # noqa: BLE001 — stats must never take a server down
+                info["workers"] = []
+        return info
+
+    # -- the PR 7 re-fork backend ---------------------------------------------
+    def _run_parallel_refork(self, label_list: Sequence[ShapeLabel],
+                             restrict: Optional[FrozenSet[ObjectTerm]] = None,
+                             ) -> Optional[Dict[Tuple[ObjectTerm, ShapeLabel],
+                                                ValidationReportEntry]]:
+        """Per-run process pool + snapshot: the pre-fleet scheduler."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        spec = self._worker_engine_spec
         compiled = self.compiled
         context = self._bulk_context()
         generation = getattr(self.graph, "generation", None)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import sys
 from dataclasses import dataclass, field
 from typing import (
+    Callable,
     Dict,
     FrozenSet,
     Iterable,
@@ -238,6 +239,7 @@ class Validator:
                  jobs: int = 1,
                  precompile: bool = True,
                  compiled: Optional[CompiledSchema] = None,
+                 subject_filter: Optional[Callable[[SubjectTerm], bool]] = None,
                  **engine_options):
         self.graph = graph
         self.schema = schema
@@ -245,6 +247,12 @@ class Validator:
         self.shared_context = shared_context
         self.max_recursion_depth = max_recursion_depth
         self.jobs = jobs
+        #: restricts which subjects appear in bulk reports and the maintained
+        #: baseline.  A resident shard worker validates (and maintains) only
+        #: the subjects it owns; reference targets outside the filter are
+        #: still derived on demand from the full local graph — the filter
+        #: governs report coverage, not reachability.
+        self.subject_filter = subject_filter
         self.precompile = precompile or compiled is not None
         self._compiled = compiled
         self._atoms_adopted = False
@@ -485,10 +493,16 @@ class Validator:
                 entries.append(entry)
         return entries
 
+    def _owns(self, node: SubjectTerm) -> bool:
+        """Whether bulk reports cover ``node`` (True without a filter)."""
+        return self.subject_filter is None or self.subject_filter(node)
+
     def _validate_graph_serial(self, label_list: Sequence[ShapeLabel]) -> ValidationReport:
         """The single-process bulk path: one shared context, sorted node order."""
         context = self._bulk_context()
-        subjects = sorted(self.graph.nodes(), key=lambda term: term.sort_key())
+        subjects = sorted((node for node in self.graph.nodes()
+                           if self._owns(node)),
+                          key=lambda term: term.sort_key())
         report = ValidationReport(
             entries=self._validate_pairs_serial(context, label_list, subjects))
         report.typing = ShapeTyping.from_pairs(
@@ -553,6 +567,12 @@ class Validator:
                 "parallel bulk validation shares settled verdicts across "
                 "components and is incompatible with shared_context=False "
                 "(the per-node baseline); use jobs=1 instead"
+            )
+        if self.subject_filter is not None:
+            raise ValueError(
+                "parallel bulk validation is incompatible with a "
+                "subject_filter (shard workers validate their owned subset "
+                "serially); use jobs=1 instead"
             )
         spec = self._worker_engine_spec
         if spec is None:
@@ -782,13 +802,20 @@ class Validator:
 
         subject_set = set(self.graph.nodes())
         affected_subjects = sorted(
-            (node for node in affected if node in subject_set),
+            (node for node in affected
+             if node in subject_set and self._owns(node)),
             key=lambda term: term.sort_key(),
         )
         new_entries: Dict[Tuple[ObjectTerm, ShapeLabel], ValidationReportEntry] = {}
         if n_jobs is not None and n_jobs > 1 and affected_subjects:
-            parallel_entries = self._run_parallel(label_list, n_jobs,
-                                                  restrict=affected)
+            try:
+                parallel_entries = self._run_parallel(label_list, n_jobs,
+                                                      restrict=affected)
+            except IncrementalFallback as error:
+                # a scheduler (e.g. the resident shard fleet) declared the
+                # restricted run unanswerable; honour the caller's rebuild
+                # policy exactly like a coordinator-detected fallback.
+                return full_rebuild(error.reason, str(error))
         else:
             parallel_entries = None
         if parallel_entries is not None:
@@ -904,6 +931,8 @@ class Validator:
         report = ValidationReport(typing=typing)
         entries = report.entries
         for node in sorted(self.graph.nodes(), key=lambda term: term.sort_key()):
+            if not self._owns(node):
+                continue
             for label in label_list:
                 entries.append(table[(node, label)])
         return report

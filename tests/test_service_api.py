@@ -86,15 +86,18 @@ service_stats = st.builds(
     cache=counters,
     verdicts=counters,
     session=counters,
+    fleet=counters,
 )
 
 service_errors = st.builds(
     ServiceError,
     code=st.sampled_from(["bad-request", "parse-error", "schema-error",
                           "graph-not-found", "journal-overflow",
-                          "stale-snapshot", "offline-cache-miss"]),
+                          "stale-snapshot", "request-timeout",
+                          "payload-too-large", "shutdown-timeout",
+                          "fleet-worker-died", "offline-cache-miss"]),
     message=text,
-    http_status=st.sampled_from([400, 404, 409, 500, 503]),
+    http_status=st.sampled_from([400, 404, 408, 409, 413, 500, 503]),
 )
 
 

@@ -5,6 +5,8 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
+import time
 
 import pytest
 
@@ -197,3 +199,152 @@ class TestClientCache:
         client.verdict(first, JOHN)
         client.verdict(second, JOHN)
         assert client.cache.stats()["hits"] == 0  # distinct keys, no collision
+
+
+def raw_request_lines(body_bytes, content_length=None):
+    """A POST /graphs request as raw bytes, body length spoofable."""
+    length = len(body_bytes) if content_length is None else content_length
+    head = (f"POST /graphs HTTP/1.1\r\n"
+            f"Host: localhost\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {length}\r\n"
+            f"\r\n").encode("ascii")
+    return head, body_bytes
+
+
+def read_http_response(sock):
+    """Read one HTTP response (status, parsed JSON body) off a raw socket."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise AssertionError(f"connection closed mid-response: {data!r}")
+        data += chunk
+    head, _, rest = data.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    length = 0
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    while len(rest) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise AssertionError("connection closed mid-body")
+        rest += chunk
+    return status, json.loads(rest[:length].decode("utf-8"))
+
+
+class TestHardenedRequestPath:
+    """Regression tests for the short-read, stalled-client and oversized-body
+    failure modes of the HTTP front."""
+
+    def test_slow_chunked_body_is_accumulated(self, server):
+        """A client trickling the body in small chunks must not be truncated:
+        ``_read_body`` loops until Content-Length bytes have arrived."""
+        body = json.dumps(ValidationRequest(
+            data=PAPER_EXAMPLE_TURTLE).to_json()).encode("utf-8")
+        head, payload = raw_request_lines(body)
+        with socket.create_connection((server.host, server.port),
+                                      timeout=10) as sock:
+            sock.sendall(head)
+            for start in range(0, len(payload), 64):
+                sock.sendall(payload[start:start + 64])
+                time.sleep(0.005)
+            status, response = read_http_response(sock)
+        assert status == 201
+        assert response["triples"] == 8
+
+    def test_truncated_body_is_typed_400(self, server):
+        """Content-Length promises more bytes than the client ever sends:
+        the server must answer a typed 400 naming the byte counts, not feed
+        a truncated payload to the JSON parser."""
+        head, payload = raw_request_lines(b'{"data": "', content_length=500)
+        with socket.create_connection((server.host, server.port),
+                                      timeout=10) as sock:
+            sock.sendall(head + payload)
+            sock.shutdown(socket.SHUT_WR)  # premature EOF mid-body
+            status, response = read_http_response(sock)
+        assert status == 400
+        assert response["error"] == "bad-request"
+        assert "truncated" in response["message"]
+        assert "500" in response["message"]
+
+    def test_stall_mid_body_is_typed_408(self):
+        """A client that sends headers plus a body prefix and then stalls
+        trips the per-connection timeout and gets a typed 408."""
+        with serve(person_schema(), connection_timeout=0.5) as srv:
+            srv.start_background()
+            head, payload = raw_request_lines(b'{"data": "', content_length=500)
+            with socket.create_connection((srv.host, srv.port),
+                                          timeout=10) as sock:
+                sock.sendall(head + payload)  # ...and never send the rest
+                status, response = read_http_response(sock)
+            assert status == 408
+            assert response["error"] == "request-timeout"
+            assert "stalled" in response["message"]
+
+    def test_silent_client_is_dropped_and_server_stays_responsive(self):
+        """A connection that never sends a byte must not pin a handler
+        thread: the socket timeout closes it, and other clients are
+        unaffected."""
+        with serve(person_schema(), connection_timeout=0.5) as srv:
+            srv.start_background()
+            with socket.create_connection((srv.host, srv.port),
+                                          timeout=10) as stalled:
+                deadline = time.monotonic() + 10
+                closed = b"x"
+                while time.monotonic() < deadline:
+                    try:
+                        closed = stalled.recv(1)
+                        break
+                    except TimeoutError:
+                        continue
+                assert closed == b""  # server closed the idle connection
+                # and the server still answers a well-behaved client
+                client = ServiceClient(srv.host, srv.port)
+                assert load_paper_graph(client)["triples"] == 8
+
+    def test_oversized_body_is_typed_413(self):
+        with serve(person_schema(), max_body_bytes=64) as srv:
+            srv.start_background()
+            client = ServiceClient(srv.host, srv.port)
+            with pytest.raises(ServiceError) as excinfo:
+                client.load_graph(ValidationRequest(data=PAPER_EXAMPLE_TURTLE))
+            assert excinfo.value.code == "payload-too-large"
+            assert excinfo.value.http_status == 413
+
+
+class TestHardenedShutdown:
+    def test_shutdown_closes_sessions_and_listener(self):
+        srv = serve(person_schema())
+        srv.start_background()
+        client = ServiceClient(srv.host, srv.port)
+        load_paper_graph(client)
+        host, port = srv.host, srv.port
+        srv.shutdown()
+        assert srv.service._sessions == {}  # sessions (and fleets) released
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=1).close()
+
+    def test_stuck_serve_thread_is_detected_and_listener_force_closed(self):
+        """A serve loop that never acknowledges shutdown must not silently
+        leak the listener: the socket is force-closed, the sessions are
+        released and a structured ``shutdown-timeout`` error is raised."""
+        srv = serve(person_schema(), shutdown_timeout=0.3)
+        host, port = srv.host, srv.port
+        # simulate a wedged serve loop: it "started" but will never service
+        # the shutdown request (BaseServer.shutdown would block forever).
+        srv._serving.set()
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                srv.shutdown()
+            assert excinfo.value.code == "shutdown-timeout"
+            assert excinfo.value.http_status == 500
+            assert srv.service._sessions == {}
+            with pytest.raises(OSError):  # listener was force-closed anyway
+                socket.create_connection((host, port), timeout=1).close()
+        finally:
+            # release the disposable closer thread blocked in
+            # BaseServer.shutdown() so it does not outlive the test.
+            srv._httpd._BaseServer__is_shut_down.set()

@@ -19,7 +19,14 @@ drives both modes through the same session API and gates the claims:
   ``--shards 2`` and refork ``--shards 2`` sessions,
 * **fleet health** (gates every run): the resident fleet must finish with
   zero respawns and the same worker pids it started with — the speedup has
-  to come from residency, not from degraded serial fallbacks.
+  to come from residency, not from degraded serial fallbacks,
+* **kill-one-worker heal round** (gates every run): after SIGKILLing one
+  shard worker, degraded reads (``allow_degraded``) must answer from the
+  surviving shard and the coordinator baseline *without blocking on the
+  dead shard or triggering a respawn*; the next delta round must heal the
+  fleet (respawn + warm load) and converge to verdicts byte-identical to
+  a never-killed serial session.  Heal latency is reported as the wall
+  time of that first post-kill round.
 
 Usage::
 
@@ -39,7 +46,14 @@ import statistics
 import sys
 import time
 
-from repro.service import DeltaRequest, ValidationSession
+from repro.service import (
+    DeltaRequest,
+    FaultPlan,
+    FaultSpec,
+    ServiceError,
+    ValidationSession,
+)
+from repro.service.fleet import shard_of
 from repro.workloads import generate_community_workload, person_schema
 
 sys.setrecursionlimit(100_000)
@@ -144,6 +158,92 @@ def run_fleet_rounds(scale: int, rounds: int, seed: int) -> dict:
     }
 
 
+def run_heal_round(scale: int, seed: int) -> dict:
+    """Kill one resident worker mid-round, exercise degraded reads during
+    the outage, then measure how long the idempotent retry takes to heal
+    the fleet and converge back to serial-identical verdicts.
+
+    The kill is a seeded :class:`FaultSpec` (the shard 0 worker
+    ``os._exit``\\ s just before its second revalidation) rather than an
+    external SIGKILL, because only a mid-round death leaves the stale
+    baseline window where degraded reads matter — a worker killed between
+    rounds is healed by the next write before anyone notices."""
+    plan = FaultPlan(specs=(
+        FaultSpec(point="fleet.crash-before-revalidate", shard=0,
+                  hits=(1,)),), seed=seed)
+    workload = _workload(scale, seed)
+    serial_workload = _workload(scale, seed)
+    session = ValidationSession(workload.graph, person_schema(), shards=2,
+                                fault_plan=plan,
+                                fleet_response_timeout=30.0)
+    serial = ValidationSession(serial_workload.graph, person_schema())
+    nodes = sorted(workload.all_nodes, key=lambda term: term.value)
+    result: dict = {"workload": "community", "nodes": len(nodes),
+                    "shards": 2, "fault_plan": plan.to_json()}
+    try:
+        session.validate()
+        serial.validate()
+
+        # one warm round first, so heal latency is measured against a
+        # settled fleet and the serial twin stays in lock-step
+        add, remove = _round_delta(nodes, 0)
+        start = time.perf_counter()
+        session.apply_delta(DeltaRequest(add=add, remove=remove))
+        result["warm_round_ms"] = round((time.perf_counter() - start) * 1e3,
+                                        3)
+        serial.apply_delta(DeltaRequest(add=add, remove=remove))
+
+        # round 1: the shard 0 worker dies before revalidating — the
+        # delta is applied but the round surfaces a typed 503
+        add, remove = _round_delta(nodes, 1)
+        request = DeltaRequest(add=add, remove=remove, delta_id="heal-1")
+        killed = False
+        try:
+            session.apply_delta(request)
+        except ServiceError as error:
+            killed = error.code == "fleet-worker-died"
+        result["worker_killed"] = killed
+
+        # degraded reads during the outage: one node owned by the dead
+        # shard, one by the survivor.  Neither may block on the corpse
+        # (the fleet timeout is 30s; anything near it means we waited on
+        # the dead worker) and neither may trigger a heal — degraded
+        # reads are read-only by contract.
+        respawns_before = session.health()["fleet"]["respawns"]
+        dead_node = next(n for n in nodes if shard_of(n, 2) == 0)
+        live_node = next(n for n in nodes if shard_of(n, 2) == 1)
+        start = time.perf_counter()
+        dead_verdict = session.verdict(dead_node.n3(), allow_degraded=True)
+        live_verdict = session.verdict(live_node.n3(), allow_degraded=True)
+        degraded_ms = (time.perf_counter() - start) * 1e3
+        result["degraded_read_ms"] = round(degraded_ms, 3)
+        result["degraded_reads_answered"] = (
+            dead_verdict.conforms is not None
+            and live_verdict.conforms is not None
+            and 0 in (dead_verdict.missing_shards or ())
+            and 0 in (live_verdict.missing_shards or ()))
+        result["degraded_reads_blocked"] = degraded_ms > 2_000.0
+        result["degraded_reads_respawned"] = \
+            session.health()["fleet"]["respawns"] != respawns_before
+
+        # the idempotent retry heals: respawn + warm load + converge,
+        # without re-applying the already-applied delta
+        start = time.perf_counter()
+        session.apply_delta(request)
+        result["heal_round_ms"] = round((time.perf_counter() - start) * 1e3,
+                                        3)
+        serial.apply_delta(DeltaRequest(add=add, remove=remove))
+        health = session.health()["fleet"]
+        result["respawns"] = health["respawns"]
+        result["workers_alive"] = health["workers_alive"]
+        result["byte_identical_after_heal"] = \
+            _verdict_blob(session, nodes) == _verdict_blob(serial, nodes)
+    finally:
+        session.close()
+        serial.close()
+    return result
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -171,6 +271,16 @@ def main(argv=None) -> int:
           f"pids_stable={row['fleet_pids_stable']}, "
           f"respawns={row['fleet_respawns']})")
 
+    print(f"== kill-one-worker heal round (scale={scale}, shards=2) ==")
+    heal = run_heal_round(scale, args.seed)
+    print(f"  warm round     : {heal['warm_round_ms']}ms")
+    print(f"  degraded reads : {heal['degraded_read_ms']}ms during outage "
+          f"(answered={heal['degraded_reads_answered']}, "
+          f"respawned={heal['degraded_reads_respawned']})")
+    print(f"  heal round     : {heal['heal_round_ms']}ms "
+          f"(respawns={heal['respawns']}, "
+          f"byte_identical={heal['byte_identical_after_heal']})")
+
     failures = []
     if not row["byte_identical"]:
         failures.append(f"{row['byte_mismatch_rounds']} rounds were not "
@@ -183,11 +293,27 @@ def main(argv=None) -> int:
     if not args.quick and row["speedup"] < args.min_speedup:
         failures.append(f"resident speedup {row['speedup']}x is below the "
                         f"{args.min_speedup}x threshold")
+    if not heal["worker_killed"]:
+        failures.append("fault injection did not kill the shard 0 worker")
+    if not heal["degraded_reads_answered"]:
+        failures.append("degraded reads during the outage did not answer "
+                        "with verdicts + missing_shards")
+    if heal["degraded_reads_blocked"]:
+        failures.append(f"degraded reads took {heal['degraded_read_ms']}ms "
+                        "— they blocked on the dead shard")
+    if heal["degraded_reads_respawned"]:
+        failures.append("degraded reads triggered a fleet respawn; reads "
+                        "must never heal")
+    if not heal["respawns"]:
+        failures.append("the retry round did not respawn the dead worker")
+    if not heal["byte_identical_after_heal"]:
+        failures.append("post-heal verdicts diverged from the serial twin")
 
     result = {
         "benchmark": "fleet",
         "quick": args.quick,
         "fleet_rounds": row,
+        "heal_round": heal,
         "failures": failures,
     }
     if args.json:

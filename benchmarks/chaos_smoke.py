@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Chaos smoke: one seeded fault schedule driven through the whole wire
+stack, asserting the resilience contract end to end.
+
+The schedule (a :class:`~repro.service.faults.FaultPlan`) is derived from
+``--seed`` and written to ``--json`` **before** the scenario runs, so a CI
+failure always leaves the exact schedule behind as an artifact — replaying
+it locally with the same seed reproduces the run bit for bit.
+
+Scenario (mirrors the resilience test suite, but over real HTTP):
+
+1. serve a 2-shard resident session and load the paper example graph,
+2. a *non-retrying* client applies a delta whose revalidation is killed
+   mid-round by the schedule → typed ``fleet-worker-died`` 503,
+3. ``/healthz`` reports ``degraded``; a normal read refuses with
+   ``stale-baseline``,
+4. degraded reads answer from the surviving shard + coordinator baseline
+   with ``missing_shards`` instead of blocking or 503ing,
+5. the same ``delta_id`` is retried through a *retrying* client: the
+   ledger resumes the round (no double apply), the fleet respawns the
+   dead worker, ``/healthz`` recovers,
+6. final verdicts must be byte-identical to a fault-free run of the same
+   deltas, and the generation must show every delta applied exactly once.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/chaos_smoke.py --seed 1337 \\
+        --json chaos-schedule.json
+
+Exit status: 0 when every assertion holds, 1 otherwise (failures are
+appended to the JSON artifact next to the schedule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.service import (
+    DeltaRequest,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ValidationRequest,
+    serve,
+)
+from repro.workloads import PAPER_EXAMPLE_TURTLE, person_schema
+
+MARY = "<http://example.org/mary>"
+JOHN = "<http://example.org/john>"
+MARY_FIX_ADD = ('<http://example.org/mary> '
+                '<http://xmlns.com/foaf/0.1/name> "Mary" .\n')
+MARY_FIX_REMOVE = ('<http://example.org/mary> <http://xmlns.com/foaf/0.1/age> '
+                   '"65"^^<http://www.w3.org/2001/XMLSchema#integer> .\n')
+JOHN_BREAK_ADD = ('<http://example.org/john> <http://xmlns.com/foaf/0.1/age> '
+                  '"9999"^^<http://www.w3.org/2001/XMLSchema#integer> .\n')
+NODES = (JOHN, MARY, "<http://example.org/bob>")
+
+
+def schedule_for(seed: int) -> FaultPlan:
+    """The smoke schedule: kill the shard 0 worker just before its second
+    revalidation — the one fault that opens every window the contract
+    covers (typed 503, stale baseline, degraded reads, ledger resume)."""
+    return FaultPlan(specs=(
+        FaultSpec(point="fleet.crash-before-revalidate", shard=0,
+                  hits=(1,)),), seed=seed)
+
+
+def verdict_blob(client: ServiceClient, graph_id: str) -> tuple:
+    return tuple(json.dumps(client.verdict(graph_id, node).to_json(),
+                            sort_keys=True) for node in NODES)
+
+
+def fault_free_blob() -> tuple:
+    """The same deltas through an unfaulted server: the convergence target."""
+    with serve(person_schema(), shards=2) as srv:
+        srv.start_background()
+        with ServiceClient(srv.host, srv.port) as client:
+            graph_id = client.load_graph(ValidationRequest(
+                data=PAPER_EXAMPLE_TURTLE))["graph_id"]
+            client.apply_delta(graph_id, DeltaRequest(
+                add=MARY_FIX_ADD, remove=MARY_FIX_REMOVE, delta_id="edit-0"))
+            response = client.apply_delta(graph_id, DeltaRequest(
+                add=JOHN_BREAK_ADD, delta_id="edit-1"))
+            return verdict_blob(client, graph_id), response.generation
+
+
+def run_scenario(seed: int, failures: list) -> dict:
+    def check(ok: bool, what: str) -> None:
+        if not ok:
+            failures.append(what)
+
+    expected_blob, expected_generation = fault_free_blob()
+    plan = schedule_for(seed)
+    observed: dict = {}
+    with serve(person_schema(), shards=2, fleet_response_timeout=10.0,
+               faults=FaultInjector(plan)) as srv:
+        srv.start_background()
+        bare = ServiceClient(srv.host, srv.port, retry=None)
+        graph_id = bare.load_graph(ValidationRequest(
+            data=PAPER_EXAMPLE_TURTLE))["graph_id"]
+        bare.apply_delta(graph_id, DeltaRequest(
+            add=MARY_FIX_ADD, remove=MARY_FIX_REMOVE, delta_id="edit-0"))
+
+        break_john = DeltaRequest(add=JOHN_BREAK_ADD, delta_id="edit-1")
+        try:
+            bare.apply_delta(graph_id, break_john)
+            check(False, "the scheduled crash never surfaced as a 503")
+        except ServiceError as error:
+            observed["outage_error"] = error.code
+            check(error.code == "fleet-worker-died" and
+                  error.http_status == 503,
+                  f"expected fleet-worker-died 503, got {error.code} "
+                  f"{error.http_status}")
+
+        health = bare.healthz()
+        observed["healthz_during_outage"] = health["status"]
+        check(health["status"] == "degraded",
+              f"healthz said {health['status']!r} during the outage")
+        try:
+            bare.verdict(graph_id, MARY)
+            check(False, "a normal read served a stale baseline")
+        except ServiceError as error:
+            check(error.code == "stale-baseline",
+                  f"normal read failed with {error.code}, "
+                  "not stale-baseline")
+
+        john = bare.verdict(graph_id, JOHN, allow_degraded=True)
+        mary = bare.verdict(graph_id, MARY, allow_degraded=True)
+        observed["degraded_reads"] = {
+            "john": john.to_json(), "mary": mary.to_json()}
+        check(john.degraded and john.missing_shards == (0,)
+              and not john.conforms,
+              "live-shard degraded read did not show the applied delta")
+        check(mary.degraded and mary.missing_shards == (0,) and mary.conforms,
+              "dead-shard degraded read did not fall back to the "
+              "coordinator baseline")
+
+        retrying = ServiceClient(srv.host, srv.port, retry=RetryPolicy(
+            base_delay=0.05, jitter=0.0, seed=seed))
+        retried = retrying.apply_delta(graph_id, break_john)
+        observed["retried_generation"] = retried.generation
+        check(retried.added == 1 and retried.generation == expected_generation,
+              "the retried delta did not converge to the fault-free "
+              "generation")
+        check(bare.healthz()["status"] == "ok",
+              "healthz did not recover after the heal")
+
+        blob = verdict_blob(retrying, graph_id)
+        check(blob == expected_blob,
+              "post-heal verdicts are not byte-identical to the "
+              "fault-free run")
+        stats = retrying.graph_stats(graph_id)
+        observed["replayed_deltas"] = stats.session["replayed_deltas"]
+        observed["respawns"] = stats.fleet["respawns"]
+        check(stats.session["replayed_deltas"] == 1,
+              "the ledger did not replay exactly one delta")
+        check(stats.session["delta_rounds"] == 2,
+              "a delta was double-applied")
+        check(stats.fleet["respawns"] >= 1,
+              "the fleet never respawned the killed worker")
+        bare.close()
+        retrying.close()
+    return observed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=1337)
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the schedule (immediately) and the "
+                             "outcome (on exit) to PATH")
+    args = parser.parse_args(argv)
+
+    plan = schedule_for(args.seed)
+    artifact = {"benchmark": "chaos_smoke", "seed": args.seed,
+                "schedule": plan.to_json(), "status": "running"}
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2)
+
+    print(f"== chaos smoke (seed={args.seed}) ==")
+    print(f"  schedule: {json.dumps(plan.to_json())}")
+    failures: list = []
+    try:
+        artifact["observed"] = run_scenario(args.seed, failures)
+    except Exception as error:  # noqa: BLE001 — the artifact must record it
+        failures.append(f"scenario crashed: {type(error).__name__}: {error}")
+
+    artifact["status"] = "failed" if failures else "ok"
+    artifact["failures"] = failures
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("  outage surfaced, degraded reads answered, retry converged "
+          "byte-identically")
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -143,7 +143,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve",
         help="long-lived validation service: warm schema, maintained "
-             "verdicts, JSON over HTTP")
+             "verdicts, JSON over HTTP",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="endpoints:\n"
+               "  POST   /graphs                full validation, returns the graph id\n"
+               "  POST   /graphs/{id}/delta     incremental delta round (idempotent\n"
+               "                                via the request's delta_id)\n"
+               "  GET    /graphs/{id}/verdicts  ?node=&shape=&reason=1&allow_degraded=1\n"
+               "  GET    /graphs/{id}/stats     per-graph ServiceStats\n"
+               "  GET    /stats                 every graph's ServiceStats\n"
+               "  GET    /healthz               lock-free liveness + fleet health\n"
+               "                                (status: ok | degraded)\n"
+               "  DELETE /graphs/{id}           drop the graph and close its session")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080,
                        help="TCP port (0 picks an ephemeral port and prints it)")
@@ -164,6 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fork a fresh worker pool per run instead of "
                             "keeping a resident shard fleet warm (escape "
                             "hatch; slower deltas)")
+    serve.add_argument("--fleet-response-timeout", type=float, default=120.0,
+                       metavar="SECONDS",
+                       help="how long the coordinator waits on a resident "
+                            "shard worker before declaring it dead "
+                            "(fleet-worker-died 503; the next write "
+                            "respawns it)")
     serve.add_argument("--cache-max-entries", type=int, default=None,
                        metavar="N",
                        help="bound each graph's derivative cache (LRU)")
@@ -395,14 +412,16 @@ def _command_serve(args: argparse.Namespace) -> int:
                    cache_max_entries=args.cache_max_entries,
                    connection_timeout=args.connection_timeout or None,
                    max_connections=args.max_connections or None,
-                   max_body_bytes=args.max_body_bytes or None)
+                   max_body_bytes=args.max_body_bytes or None,
+                   fleet_response_timeout=args.fleet_response_timeout)
     if args.data:
         graph = _load_graph(args.data, args.data_format, args.store)
         session = ValidationSession(
             graph, schema, jobs=args.jobs, shards=args.shards,
             resident=resident,
             precompile=not args.no_precompile,
-            cache_max_entries=args.cache_max_entries)
+            cache_max_entries=args.cache_max_entries,
+            fleet_response_timeout=args.fleet_response_timeout)
         report = session.validate()
         graph_id = server.service.register(session)
         print(f"serve: preloaded {args.data} as {graph_id} "

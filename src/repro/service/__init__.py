@@ -15,7 +15,8 @@ from .api import (
     ValidationRequest,
     VerdictResponse,
 )
-from .client import ServiceClient, VerdictCache
+from .client import RetryPolicy, ServiceClient, VerdictCache
+from .faults import FAULT_POINTS, FaultInjector, FaultPlan, FaultSpec
 from .fleet import ShardFleet
 from .server import ReproServer, ValidationService, serve
 from .session import ValidationSession
@@ -25,7 +26,12 @@ __all__ = [
     "API_VERSION",
     "DeltaRequest",
     "DeltaResponse",
+    "FAULT_POINTS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "ReproServer",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "ServiceStats",

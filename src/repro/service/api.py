@@ -61,9 +61,23 @@ class ServiceError(Exception):
     ``payload-too-large`` 413   request body exceeds the server's bound
     ``shutdown-timeout`` 500    the serve thread outlived its shutdown
                                 deadline; the listener socket was force-closed
+    ``generation-conflict`` 409 the delta's ``expected_generation`` does not
+                                match the graph (another writer got there
+                                first, or a retried delta fell out of the
+                                bounded ledger); re-read and re-derive the
+                                delta before retrying
+    ``session-closed``   409    the graph's session was closed/dropped while
+                                the request was in flight
+    ``fleet-closed``     409    spawn/respawn attempted on a shut-down fleet
     ``fleet-worker-died`` 503   a resident shard worker died or went
                                 unresponsive mid-request; it is respawned and
                                 warm-loaded on the next fleet operation
+    ``verdict-unavailable`` 503 a degraded read could not serve the pair from
+                                any live shard or the coordinator's stale
+                                baseline
+    ``connection-failed`` 503   client could not reach the server at all
+    ``retries-exhausted`` 503   client retry policy ran out of attempts or
+                                budget; the last underlying error is chained
     ``offline-cache-miss`` 503  offline client had no cached verdict
     ==================== ====== =============================================
     """
@@ -221,12 +235,23 @@ class DeltaRequest:
     runs.  ``allow_full_rebuild`` opts into the unbounded full re-run the
     service otherwise refuses with a ``journal-overflow``/``no-baseline``
     error when the change set is unknowable.
+
+    ``delta_id`` is an idempotency key: the session remembers applied ids
+    in a bounded ledger, and a retried delta with a seen id replays the
+    original :class:`DeltaResponse` instead of re-applying the triples —
+    this is what makes retrying a dropped response safe.
+    ``expected_generation``, when set, is an optimistic-concurrency guard:
+    the delta only applies if the graph is still at that generation
+    (``generation-conflict`` 409 otherwise).  The client stamps both
+    automatically.
     """
 
     add: str = ""
     remove: str = ""
     labels: Optional[Tuple[str, ...]] = None
     allow_full_rebuild: bool = False
+    delta_id: Optional[str] = None
+    expected_generation: Optional[int] = None
 
     def to_json(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
@@ -237,17 +262,28 @@ class DeltaRequest:
         }
         if self.labels is not None:
             payload["labels"] = list(self.labels)
+        if self.delta_id is not None:
+            payload["delta_id"] = self.delta_id
+        if self.expected_generation is not None:
+            payload["expected_generation"] = self.expected_generation
         return payload
 
     @classmethod
     def from_json(cls, payload: Union[str, Mapping[str, Any]]) -> "DeltaRequest":
         data = _load(payload)
         _check_version(data)
+        delta_id = data.get("delta_id")
+        if delta_id is not None and not isinstance(delta_id, str):
+            raise ServiceError("bad-request",
+                               "field 'delta_id' must be a string or null",
+                               400)
         return cls(add=_get(data, "add", str, ""),
                    remove=_get(data, "remove", str, ""),
                    labels=_opt_labels(data),
                    allow_full_rebuild=_get(data, "allow_full_rebuild",
-                                           bool, False))
+                                           bool, False),
+                   delta_id=delta_id,
+                   expected_generation=_opt_int(data, "expected_generation"))
 
 
 @dataclass(frozen=True)
@@ -263,6 +299,13 @@ class VerdictResponse:
     sharded schedulers (a documented caveat since the parallel scheduler
     landed), so the *default* response is byte-identical across modes and
     the explanatory text is opt-in (``?reason=1``).
+
+    ``degraded``/``missing_shards`` are set only on degraded reads
+    (``?allow_degraded=1`` during a shard outage): the verdict was served
+    from a live shard replica or the coordinator's stale baseline while the
+    dead shards heal, and ``missing_shards`` names the shard indices that
+    could not answer.  Both are omitted from JSON at their defaults, so a
+    healthy response stays byte-identical to pre-degraded builds.
     """
 
     node: str
@@ -270,6 +313,8 @@ class VerdictResponse:
     conforms: bool
     generation: int
     reason: Optional[str] = None
+    degraded: bool = False
+    missing_shards: Tuple[int, ...] = ()
 
     def to_json(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
@@ -281,6 +326,9 @@ class VerdictResponse:
         }
         if self.reason is not None:
             payload["reason"] = self.reason
+        if self.degraded:
+            payload["degraded"] = True
+            payload["missing_shards"] = list(self.missing_shards)
         return payload
 
     @classmethod
@@ -292,11 +340,20 @@ class VerdictResponse:
         if reason is not None and not isinstance(reason, str):
             raise ServiceError("bad-request",
                                "field 'reason' must be a string or null", 400)
+        missing = data.get("missing_shards", [])
+        if not isinstance(missing, (list, tuple)) \
+                or not all(isinstance(item, int) and not isinstance(item, bool)
+                           for item in missing):
+            raise ServiceError("bad-request",
+                               "field 'missing_shards' must be a list of "
+                               "integers", 400)
         return cls(node=_get(data, "node", str),
                    shape=_get(data, "shape", str),
                    conforms=_get(data, "conforms", bool),
                    generation=_get(data, "generation", int),
-                   reason=reason)
+                   reason=reason,
+                   degraded=_get(data, "degraded", bool, False),
+                   missing_shards=tuple(missing))
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,232 @@
+"""Deterministic fault injection for the validation service.
+
+Every failure mode the service's resilience machinery handles — worker
+crashes around a delta, dropped queue responses, stalled workers, reset
+connections, truncated or delayed HTTP responses, clients that die after
+sending — is reachable *on demand* through a named **injection point**.  A
+:class:`FaultPlan` is a small, picklable, JSON-serialisable schedule that
+says *which* points fire on *which* occurrence; a :class:`FaultInjector`
+evaluates the plan at runtime, counting consultations per point, so the
+same seed replays the same failure sequence every run.  Chaos tests
+(``tests/test_chaos.py``) draw seeds, generate plans with
+:meth:`FaultPlan.random`, and assert the service converges to verdicts
+byte-identical to a fault-free run; the CI ``chaos-smoke`` job replays one
+fixed seed on every push and uploads the schedule on failure.
+
+The injection-point catalogue (:data:`FAULT_POINTS`):
+
+==============================  ===============================================
+point                           effect at the site
+==============================  ===============================================
+``fleet.crash-before-apply``    shard worker ``os._exit``\\ s before applying a
+                                staged delta to its replica
+``fleet.crash-after-apply``     worker applies the delta, then dies before
+                                responding (the classic "did it commit?" case)
+``fleet.crash-before-revalidate``  worker dies before running its incremental
+                                round (no baseline has moved)
+``fleet.crash-after-revalidate``   worker advances its shard-local baseline,
+                                then dies before reporting (partial round)
+``fleet.drop-response``         worker computes a response but never enqueues
+                                it; the coordinator times out and marks the
+                                worker failed
+``fleet.stall``                 worker sleeps ``delay`` seconds before
+                                responding (a slow, not dead, shard)
+``server.connection-reset``     HTTP server closes the connection without
+                                sending any response (dropped response)
+``server.delay-response``       HTTP server sleeps ``delay`` seconds before
+                                writing the response
+``server.truncate-response``    HTTP server declares the full Content-Length
+                                but sends only half the body, then closes
+``client.send-then-die``        client drops its connection after the request
+                                was fully sent, before reading the response
+``client.timeout``              client raises a timeout after sending, as if
+                                the response never arrived
+==============================  ===============================================
+
+Worker processes rebuild their own injector from the shipped plan
+(counters are per process, so occurrence indices are deterministic per
+shard); the HTTP server and the client consult in-process injectors.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["FAULT_POINTS", "FaultSpec", "FaultPlan", "FaultInjector"]
+
+#: the full injection-point catalogue (see the module docstring table).
+FAULT_POINTS: Tuple[str, ...] = (
+    "fleet.crash-before-apply",
+    "fleet.crash-after-apply",
+    "fleet.crash-before-revalidate",
+    "fleet.crash-after-revalidate",
+    "fleet.drop-response",
+    "fleet.stall",
+    "server.connection-reset",
+    "server.delay-response",
+    "server.truncate-response",
+    "client.send-then-die",
+    "client.timeout",
+)
+
+#: points whose effect is a delay rather than a death; ``random`` plans give
+#: these a small non-zero ``delay``.
+_DELAY_POINTS = frozenset({"fleet.stall", "server.delay-response"})
+
+#: points evaluated inside shard worker processes; only these take a
+#: ``shard`` restriction.
+_FLEET_POINTS = tuple(point for point in FAULT_POINTS
+                      if point.startswith("fleet."))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: fire ``point`` on the listed occurrence indices.
+
+    ``hits`` are 0-based consultation counts *of that point* in the process
+    evaluating the plan (each worker, the server and the client count
+    independently).  ``shard`` restricts a fleet point to one worker;
+    ``None`` matches every shard.  ``delay`` parameterises the stall/delay
+    points (seconds).
+    """
+
+    point: str
+    hits: Tuple[int, ...] = (0,)
+    shard: Optional[int] = None
+    delay: float = 0.0
+
+    def __post_init__(self):
+        if self.point not in FAULT_POINTS:
+            raise ValueError(f"unknown fault point {self.point!r} "
+                             f"(catalogue: {', '.join(FAULT_POINTS)})")
+        object.__setattr__(self, "hits", tuple(sorted(set(self.hits))))
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"point": self.point,
+                                   "hits": list(self.hits)}
+        if self.shard is not None:
+            payload["shard"] = self.shard
+        if self.delay:
+            payload["delay"] = self.delay
+        return payload
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        return cls(point=data["point"],
+                   hits=tuple(data.get("hits", (0,))),
+                   shard=data.get("shard"),
+                   delay=data.get("delay", 0.0))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic fault schedule: a tuple of :class:`FaultSpec`.
+
+    Plans are frozen, picklable (they ship to shard workers at spawn) and
+    JSON round-trippable (the chaos CI job uploads the schedule that failed
+    so the exact run can be replayed locally with the same seed).
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "specs": [spec.to_json() for spec in self.specs]}
+        if self.seed is not None:
+            payload["seed"] = self.seed
+        return payload
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        return cls(specs=tuple(FaultSpec.from_json(item)
+                               for item in data.get("specs", ())),
+                   seed=data.get("seed"))
+
+    @classmethod
+    def random(cls, seed: int, *,
+               points: Sequence[str] = _FLEET_POINTS,
+               shards: int = 2,
+               slots: int = 3,
+               rate: float = 0.5,
+               max_hit: int = 2,
+               delay: float = 0.2) -> "FaultPlan":
+        """A seeded random schedule over ``points``.
+
+        Each of ``slots`` independent draws adds one fault with probability
+        ``rate``: a random point, a random target shard (fleet points
+        only), and a random occurrence index in ``[0, max_hit)``.  The same
+        seed always yields the same plan — chaos tests log only the seed.
+        """
+        rng = random.Random(seed)
+        specs: List[FaultSpec] = []
+        for _ in range(slots):
+            if rng.random() >= rate:
+                continue
+            point = points[rng.randrange(len(points))]
+            shard = (rng.randrange(shards)
+                     if point.startswith("fleet.") else None)
+            specs.append(FaultSpec(
+                point=point,
+                hits=(rng.randrange(max_hit),),
+                shard=shard,
+                delay=delay if point in _DELAY_POINTS else 0.0))
+        return cls(specs=tuple(specs), seed=seed)
+
+
+@dataclass
+class FaultInjector:
+    """Runtime evaluator of a :class:`FaultPlan` for one process/scope.
+
+    ``fire(point)`` increments the point's consultation counter and returns
+    the matching :class:`FaultSpec` when the plan schedules a fault at that
+    occurrence (else ``None``); the *site* implements the effect, so a
+    point with no injector (or no match) costs one dict lookup.  Fired
+    events are recorded in :attr:`fired` for assertions and artifacts.
+    Thread-safe: the HTTP server consults one injector from many handler
+    threads.
+    """
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    shard: Optional[int] = None
+
+    def __post_init__(self):
+        if self.plan is None:
+            self.plan = FaultPlan()
+        self._counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.fired: List[Dict[str, Any]] = []
+
+    def fire(self, point: str, shard: Optional[int] = None
+             ) -> Optional[FaultSpec]:
+        """Consult ``point``; return the scheduled spec if it fires now."""
+        scope_shard = self.shard if shard is None else shard
+        with self._lock:
+            occurrence = self._counts.get(point, 0)
+            self._counts[point] = occurrence + 1
+            for spec in self.plan.specs:
+                if spec.point != point:
+                    continue
+                if spec.shard is not None and scope_shard is not None \
+                        and spec.shard != scope_shard:
+                    continue
+                if occurrence in spec.hits:
+                    self.fired.append({"point": point,
+                                       "occurrence": occurrence,
+                                       "shard": scope_shard})
+                    return spec
+        return None
+
+    def counts(self) -> Dict[str, int]:
+        """Consultation counters per point (a copy)."""
+        with self._lock:
+            return dict(self._counts)

@@ -36,6 +36,7 @@ current graph.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue
 import sys
 import time
@@ -50,6 +51,7 @@ from ..shex.validator import (
     get_engine,
 )
 from .api import ServiceError
+from .faults import FaultInjector, FaultPlan
 
 __all__ = ["ShardFleet", "shard_of"]
 
@@ -170,6 +172,15 @@ class _ShardReplica:
             return list(table.values())
         return [table.get(tuple(pair)) for pair in pairs]
 
+    def baseline(self, pairs) -> Tuple[Optional[int], list]:
+        """Like :meth:`verdicts`, plus the shard-local baseline generation.
+
+        Degraded reads need both: a live shard's replica may be *ahead of or
+        behind* the coordinator's baseline after a partial round, and the
+        caller must report the generation each served verdict describes.
+        """
+        return self.validator._incremental_generation, self.verdicts(pairs)
+
     def stats(self) -> Dict[str, Any]:
         return {
             "shard": self.shard_index,
@@ -182,16 +193,49 @@ class _ShardReplica:
         }
 
 
+def _maybe_crash(injector: Optional[FaultInjector], point: str) -> None:
+    """Die like a real crash if ``point`` fires: no cleanup, no response.
+
+    ``os._exit`` (not ``sys.exit``) so no ``finally`` blocks, atexit hooks
+    or queue feeder threads get to flush — exactly what a SIGKILL'd or
+    OOM-killed worker looks like to the coordinator.
+    """
+    if injector is not None and injector.fire(point) is not None:
+        os._exit(1)
+
+
+def _respond(responses: multiprocessing.Queue,
+             injector: Optional[FaultInjector], message) -> None:
+    """Enqueue one response, subject to the stall/drop injection points."""
+    if injector is not None:
+        spec = injector.fire("fleet.stall")
+        if spec is not None and spec.delay > 0:
+            time.sleep(spec.delay)
+        if injector.fire("fleet.drop-response") is not None:
+            return
+    responses.put(message)
+
+
 def _fleet_worker_main(shard_index: int, shards: int,
                        requests: multiprocessing.Queue,
-                       responses: multiprocessing.Queue) -> None:
+                       responses: multiprocessing.Queue,
+                       fault_plan: Optional[FaultPlan] = None) -> None:
     """One resident worker: a command loop over the shard replica.
 
     Every response is tagged: ``("ok", payload)``, ``("fallback",
     (reason, message))`` for a declared incremental fallback, or
     ``("error", message)`` for anything else — the worker never dies on a
     request-level failure, only on queue breakage or ``shutdown``.
+
+    When a :class:`FaultPlan` was shipped at spawn, the worker rebuilds its
+    own :class:`FaultInjector` scoped to its shard index; the crash points
+    straddle the ``apply`` and ``revalidate`` commands and every response
+    passes the stall/drop points.  Occurrence counters are per process, so
+    a respawned worker starts counting from zero — deterministic given the
+    command sequence it sees.
     """
+    injector = (FaultInjector(fault_plan, shard=shard_index)
+                if fault_plan else None)
     replica: Optional[_ShardReplica] = None
     while True:
         try:
@@ -210,30 +254,45 @@ def _fleet_worker_main(shard_index: int, shards: int,
                     shard_index, shards, schema, engine_spec, compiled,
                     triples, max_recursion_depth, recursion_limit,
                     journal_max_entries)
-                responses.put(("ok", replica.run(labels)))
+                _respond(responses, injector, ("ok", replica.run(labels)))
             elif command == "stats":
-                responses.put(("ok", replica.stats() if replica is not None
-                               else {"shard": shard_index, "loaded": False}))
+                _respond(responses, injector,
+                         ("ok", replica.stats() if replica is not None
+                          else {"shard": shard_index, "loaded": False}))
             elif replica is None:
-                responses.put(("error",
-                               f"shard {shard_index} received {command!r} "
-                               "before 'load'"))
+                _respond(responses, injector,
+                         ("error",
+                          f"shard {shard_index} received {command!r} "
+                          "before 'load'"))
             elif command == "run":
-                responses.put(("ok", replica.run(payload)))
+                _respond(responses, injector, ("ok", replica.run(payload)))
             elif command == "apply":
-                responses.put(("ok", replica.apply(*payload)))
+                _maybe_crash(injector, "fleet.crash-before-apply")
+                generation = replica.apply(*payload)
+                _maybe_crash(injector, "fleet.crash-after-apply")
+                _respond(responses, injector, ("ok", generation))
             elif command == "check":
-                responses.put(("ok", replica.check(payload)))
+                _respond(responses, injector, ("ok", replica.check(payload)))
             elif command == "revalidate":
-                responses.put(("ok", replica.revalidate(payload)))
+                _maybe_crash(injector, "fleet.crash-before-revalidate")
+                outcome = replica.revalidate(payload)
+                _maybe_crash(injector, "fleet.crash-after-revalidate")
+                _respond(responses, injector, ("ok", outcome))
             elif command == "verdicts":
-                responses.put(("ok", replica.verdicts(payload)))
+                _respond(responses, injector,
+                         ("ok", replica.verdicts(payload)))
+            elif command == "baseline":
+                _respond(responses, injector,
+                         ("ok", replica.baseline(payload)))
             else:
-                responses.put(("error", f"unknown fleet command {command!r}"))
+                _respond(responses, injector,
+                         ("error", f"unknown fleet command {command!r}"))
         except IncrementalFallback as error:
-            responses.put(("fallback", (error.reason, str(error))))
+            _respond(responses, injector,
+                     ("fallback", (error.reason, str(error))))
         except Exception as error:  # noqa: BLE001 — report, don't die
-            responses.put(("error", f"{type(error).__name__}: {error}"))
+            _respond(responses, injector,
+                     ("error", f"{type(error).__name__}: {error}"))
 
 
 class _FleetWorker:
@@ -260,7 +319,8 @@ class ShardFleet:
     """
 
     def __init__(self, shards: int, *, response_timeout: float = 120.0,
-                 journal_limits: Optional[Sequence[Optional[int]]] = None):
+                 journal_limits: Optional[Sequence[Optional[int]]] = None,
+                 fault_plan: Optional[FaultPlan] = None):
         if shards < 2:
             raise ValueError("a shard fleet needs at least 2 shards")
         self.shards = shards
@@ -268,6 +328,9 @@ class ShardFleet:
         #: optional per-shard journal-bound overrides (test hook); ``None``
         #: entries fall back to the coordinator graph's bound.
         self.journal_limits = list(journal_limits) if journal_limits else None
+        #: deterministic fault schedule shipped to every worker at spawn;
+        #: each worker scopes its own injector to its shard index.
+        self.fault_plan = fault_plan if fault_plan else None
         self.workers: List[_FleetWorker] = []
         self.respawns = 0
         self._ctx = multiprocessing.get_context()
@@ -275,16 +338,25 @@ class ShardFleet:
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
+        self._check_open()
         if self.workers:
             return
         self.workers = [self._spawn(index) for index in range(self.shards)]
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError(
+                "fleet-closed",
+                "the shard fleet has been shut down; spawning workers on a "
+                "closed fleet is not allowed — create a new session instead",
+                409)
 
     def _spawn(self, index: int) -> _FleetWorker:
         requests = self._ctx.Queue()
         responses = self._ctx.Queue()
         process = self._ctx.Process(
             target=_fleet_worker_main,
-            args=(index, self.shards, requests, responses),
+            args=(index, self.shards, requests, responses, self.fault_plan),
             name=f"repro-shard-{index}",
             daemon=True,
         )
@@ -293,6 +365,7 @@ class ShardFleet:
 
     def respawn(self, worker: _FleetWorker) -> _FleetWorker:
         """Replace a dead worker with a fresh (unloaded) process."""
+        self._check_open()
         if worker.process is not None and worker.process.is_alive():
             worker.process.terminate()
         fresh = self._spawn(worker.index)
@@ -326,7 +399,8 @@ class ShardFleet:
                 process.join(timeout=1)
         self.workers = []
 
-    def __del__(self):  # pragma: no cover - GC safety net
+    def __del__(self):
+        # GC safety net: a leaked fleet must not strand daemon processes.
         try:
             self.shutdown(force=True)
         except Exception:

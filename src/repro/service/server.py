@@ -13,12 +13,18 @@ POST      ``/graphs``                     :class:`ValidationRequest` → graph i
 POST      ``/graphs/{id}/delta``          :class:`DeltaRequest` →
                                           :class:`DeltaResponse` (journal →
                                           closure → retract → re-run)
-GET       ``/graphs/{id}/verdicts``       ``?node=&shape=&reason=`` →
-                                          :class:`VerdictResponse`, served from
-                                          the maintained typing — never a fresh
-                                          run
+GET       ``/graphs/{id}/verdicts``       ``?node=&shape=&reason=&allow_degraded=``
+                                          → :class:`VerdictResponse`, served
+                                          from the maintained typing — never a
+                                          fresh run.  ``allow_degraded=1`` lets
+                                          a stale-baseline read fall back to
+                                          live shard replicas (response carries
+                                          ``degraded``/``missing_shards``)
 GET       ``/graphs/{id}/stats``          :class:`ServiceStats`
 GET       ``/stats``                      server-wide stats (per-graph blocks)
+GET       ``/healthz``                    liveness + per-graph fleet health;
+                                          always 200, never takes a session
+                                          lock (liveness ≠ readiness)
 ========  ==============================  =======================================
 
 Transport is a hardened ``http.server.ThreadingHTTPServer`` — one OS thread
@@ -53,6 +59,7 @@ import itertools
 import json
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
@@ -86,13 +93,19 @@ class ValidationService:
                  jobs: int = 1, shards: int = 0,
                  resident: bool = True,
                  precompile: bool = True,
-                 cache_max_entries: Optional[int] = None):
+                 cache_max_entries: Optional[int] = None,
+                 fleet_response_timeout: float = 120.0,
+                 fault_plan=None,
+                 delta_ledger_size: int = 256):
         self.schema = schema
         self.jobs = jobs
         self.shards = shards
         self.resident = resident
         self.precompile = precompile
         self.cache_max_entries = cache_max_entries
+        self.fleet_response_timeout = fleet_response_timeout
+        self.fault_plan = fault_plan
+        self.delta_ledger_size = delta_ledger_size
         self._sessions: Dict[str, ValidationSession] = {}
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
@@ -104,7 +117,10 @@ class ValidationService:
             default_jobs=self.jobs, default_shards=self.shards,
             default_resident=self.resident,
             precompile=self.precompile,
-            cache_max_entries=self.cache_max_entries)
+            cache_max_entries=self.cache_max_entries,
+            fleet_response_timeout=self.fleet_response_timeout,
+            fault_plan=self.fault_plan,
+            delta_ledger_size=self.delta_ledger_size)
         report = session.validate(labels=request.labels)
         with self._lock:
             graph_id = f"g{next(self._ids)}"
@@ -159,6 +175,28 @@ class ValidationService:
                        for graph_id, session in sorted(sessions.items())},
         }
 
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness + coarse per-graph fleet health.
+
+        Deliberately takes **no session lock** (the registry lock guards one
+        dict copy): a probe must answer even while a long delta holds every
+        session busy.  Always served as HTTP 200 — ``status`` says ``ok`` or
+        ``degraded`` (some fleet worker down); *liveness* is the fact the
+        response arrived at all, readiness is the caller's judgement.
+        """
+        with self._lock:
+            sessions = dict(self._sessions)
+        status = "ok"
+        graphs: Dict[str, Any] = {}
+        for graph_id, session in sorted(sessions.items()):
+            info = session.health()
+            fleet = info.get("fleet")
+            if fleet and fleet.get("workers_alive", 0) < fleet.get("shards", 0):
+                status = "degraded"
+            graphs[graph_id] = info
+        return {"version": API_VERSION, "status": status,
+                "graphs": graphs}
+
 
 def _make_handler(service: ValidationService):
     class _Handler(BaseHTTPRequestHandler):
@@ -177,13 +215,43 @@ def _make_handler(service: ValidationService):
         def log_message(self, format, *args):  # noqa: A002 - stdlib signature
             pass  # request logging stays out of stderr (tests, benchmarks)
 
+        def _drop_connection(self) -> None:
+            self.close_connection = True
+            try:
+                self.connection.close()
+            except OSError:
+                pass
+
         def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+            truncate = False
+            injector = getattr(self.server, "fault_injector", None)
+            if injector is not None:
+                if injector.fire("server.connection-reset") is not None:
+                    # hard-close before a single response byte: the client
+                    # sees a reset/EOF with the request's fate unknown.
+                    self._drop_connection()
+                    return
+                spec = injector.fire("server.delay-response")
+                if spec is not None and spec.delay > 0:
+                    time.sleep(spec.delay)
+                truncate = injector.fire("server.truncate-response") is not None
             body = json.dumps(payload).encode("utf-8")
             try:
                 self.send_response(status)
                 self.send_header("Content-Type", "application/json")
                 self.send_header("Content-Length", str(len(body)))
+                if status == 503:
+                    # overload/outage responses tell retrying clients when
+                    # to come back instead of letting them hammer the server
+                    self.send_header("Retry-After", "1")
                 self.end_headers()
+                if truncate:
+                    # declare the full length but deliver half: the client's
+                    # read fails mid-body, exercising its reconnect path.
+                    self.wfile.write(body[:len(body) // 2])
+                    self.wfile.flush()
+                    self._drop_connection()
+                    return
                 self.wfile.write(body)
             except (TimeoutError, OSError):
                 # the client is gone (or too slow to take the response);
@@ -267,6 +335,8 @@ def _make_handler(service: ValidationService):
             query = parse_qs(split.query)
             if method == "GET" and path == "/stats":
                 return 200, service.stats()
+            if method == "GET" and path == "/healthz":
+                return 200, service.healthz()
             if method == "POST" and path == "/graphs":
                 request = ValidationRequest.from_json(self._read_body())
                 return 201, service.create_graph(request)
@@ -288,8 +358,11 @@ def _make_handler(service: ValidationService):
                                        400)
                 shape = (query.get("shape") or [None])[0]
                 reason = (query.get("reason") or ["0"])[0]
+                degraded = (query.get("allow_degraded") or ["0"])[0]
                 verdict = session.verdict(
-                    node, shape, include_reason=reason in ("1", "true", "yes"))
+                    node, shape,
+                    include_reason=reason in ("1", "true", "yes"),
+                    allow_degraded=degraded in ("1", "true", "yes"))
                 return 200, verdict.to_json()
             if method == "GET" and tail == "stats":
                 return 200, session.stats().to_json()
@@ -327,9 +400,13 @@ class _HardenedHTTPServer(ThreadingHTTPServer):
     def __init__(self, server_address, handler_class, *,
                  connection_timeout: Optional[float] = None,
                  max_connections: Optional[int] = None,
-                 max_body_bytes: Optional[int] = DEFAULT_MAX_BODY_BYTES):
+                 max_body_bytes: Optional[int] = DEFAULT_MAX_BODY_BYTES,
+                 fault_injector=None):
         self.connection_timeout = connection_timeout
         self.max_body_bytes = max_body_bytes
+        #: shared across handler threads (the injector is thread-safe);
+        #: ``None`` keeps the fault hooks to one attribute lookup.
+        self.fault_injector = fault_injector
         self._connection_slots = (
             threading.BoundedSemaphore(max_connections)
             if max_connections else None)
@@ -365,14 +442,17 @@ class ReproServer:
                  connection_timeout: Optional[float] = 30.0,
                  max_connections: Optional[int] = 64,
                  max_body_bytes: Optional[int] = DEFAULT_MAX_BODY_BYTES,
-                 shutdown_timeout: float = 5.0):
+                 shutdown_timeout: float = 5.0,
+                 faults=None):
         self.service = service
         self.shutdown_timeout = shutdown_timeout
+        self.faults = faults
         self._httpd = _HardenedHTTPServer(
             (host, port), _make_handler(service),
             connection_timeout=connection_timeout,
             max_connections=max_connections,
-            max_body_bytes=max_body_bytes)
+            max_body_bytes=max_body_bytes,
+            fault_injector=faults)
         self._thread: Optional[threading.Thread] = None
         self._serving = threading.Event()
 
@@ -444,13 +524,24 @@ def serve(schema: Optional[Schema] = None, *, host: str = "127.0.0.1",
           connection_timeout: Optional[float] = 30.0,
           max_connections: Optional[int] = 64,
           max_body_bytes: Optional[int] = DEFAULT_MAX_BODY_BYTES,
-          shutdown_timeout: float = 5.0) -> ReproServer:
-    """Build a ready-to-start server (the CLI and tests both enter here)."""
-    service = ValidationService(schema, jobs=jobs, shards=shards,
-                                resident=resident, precompile=precompile,
-                                cache_max_entries=cache_max_entries)
+          shutdown_timeout: float = 5.0,
+          fleet_response_timeout: float = 120.0,
+          faults=None) -> ReproServer:
+    """Build a ready-to-start server (the CLI and tests both enter here).
+
+    ``faults`` is an optional :class:`~repro.service.faults.FaultInjector`:
+    its ``server.*`` points hook the HTTP response path in-process, and its
+    plan is shipped to every resident shard worker (the ``fleet.*`` points).
+    """
+    service = ValidationService(
+        schema, jobs=jobs, shards=shards,
+        resident=resident, precompile=precompile,
+        cache_max_entries=cache_max_entries,
+        fleet_response_timeout=fleet_response_timeout,
+        fault_plan=faults.plan if faults is not None else None)
     return ReproServer(service, host=host, port=port,
                        connection_timeout=connection_timeout,
                        max_connections=max_connections,
                        max_body_bytes=max_body_bytes,
-                       shutdown_timeout=shutdown_timeout)
+                       shutdown_timeout=shutdown_timeout,
+                       faults=faults)

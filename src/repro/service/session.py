@@ -26,7 +26,8 @@ Failures surface as :class:`ServiceError` with stable codes (see
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Optional, Sequence, Tuple, Union
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..rdf import ColumnarGraph, Graph, ParseError, TripleStore
 from ..rdf.errors import GraphError, StaleSnapshotError
@@ -119,7 +120,10 @@ class ValidationSession:
                  precompile: bool = True,
                  use_cache: bool = True,
                  cache_max_entries: Optional[int] = None,
-                 max_recursion_depth: int = 500):
+                 max_recursion_depth: int = 500,
+                 fleet_response_timeout: float = 120.0,
+                 fault_plan=None,
+                 delta_ledger_size: int = 256):
         engine_options = {}
         engine_name = engine if isinstance(engine, str) else None
         if use_cache and engine_name in (None, "derivatives"):
@@ -135,7 +139,9 @@ class ValidationSession:
             self.validator: Validator = ShardedValidator(
                 graph, schema, engine=engine, shards=self.shards,
                 resident=resident, precompile=precompile,
-                max_recursion_depth=max_recursion_depth, **engine_options)
+                max_recursion_depth=max_recursion_depth,
+                fleet_response_timeout=fleet_response_timeout,
+                fault_plan=fault_plan, **engine_options)
         else:
             self.validator = Validator(
                 graph, schema, engine=engine, jobs=self.jobs,
@@ -147,6 +153,16 @@ class ValidationSession:
         self._delta_rounds = 0
         self._verdict_queries = 0
         self._closed = False
+        #: bounded applied-delta ledger: delta_id → record.  A record exists
+        #: from the moment the delta's triples land in the graph, so a retry
+        #: after *any* later failure (dropped response, crashed shard) finds
+        #: it and never re-applies.  Eviction is FIFO — the ledger size is
+        #: the retry window, and a retry older than the window surfaces as
+        #: ``generation-conflict`` via ``expected_generation`` instead of
+        #: silently double-applying.
+        self._ledger: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._ledger_size = max(delta_ledger_size, 1)
+        self._replayed_deltas = 0
 
     # -- construction from the wire ------------------------------------------------
     @classmethod
@@ -157,6 +173,9 @@ class ValidationSession:
                      default_resident: bool = True,
                      precompile: bool = True,
                      cache_max_entries: Optional[int] = None,
+                     fleet_response_timeout: float = 120.0,
+                     fault_plan=None,
+                     delta_ledger_size: int = 256,
                      ) -> "ValidationSession":
         """Build a session from a :class:`ValidationRequest` payload.
 
@@ -190,7 +209,10 @@ class ValidationSession:
                                "jobs must be >= 1 and shards >= 0", 400)
         return cls(graph, schema, jobs=jobs, shards=shards,
                    resident=default_resident, precompile=precompile,
-                   cache_max_entries=cache_max_entries)
+                   cache_max_entries=cache_max_entries,
+                   fleet_response_timeout=fleet_response_timeout,
+                   fault_plan=fault_plan,
+                   delta_ledger_size=delta_ledger_size)
 
     # -- lifecycle -----------------------------------------------------------------
     def validate(self, labels: Optional[Sequence[LabelArg]] = None,
@@ -223,10 +245,28 @@ class ValidationSession:
         """
         with self._lock:
             self._check_open()
-            graph = self.graph
+            return self._apply_and_revalidate(
+                list(add), list(remove), labels, allow_full_rebuild)
+
+    def _apply_and_revalidate(self, add: List[Triple], remove: List[Triple],
+                              labels, allow_full_rebuild: bool,
+                              ledger_record: Optional[Dict[str, Any]] = None,
+                              skip_mutation: bool = False,
+                              ) -> Tuple[DeltaResponse, RevalidationResult]:
+        """The delta core (caller holds the lock): mutate, stage, revalidate.
+
+        With ``skip_mutation=True`` (a ledgered retry whose triples already
+        landed) the mutation and fleet staging are skipped and the recorded
+        added/removed counts are reused; only the revalidation re-runs —
+        the journal still holds the dirty records, so the round converges
+        to the same baseline the un-dropped original would have reached.
+        """
+        graph = self.graph
+        if skip_mutation:
+            added = ledger_record["added"]
+            removed = ledger_record["removed"]
+        else:
             added = removed = 0
-            add = list(add)
-            remove = list(remove)
             with graph.batch():
                 if add:
                     before = len(graph)
@@ -236,52 +276,121 @@ class ValidationSession:
                     before = len(graph)
                     graph.remove_all(remove)
                     removed = before - len(graph)
+            if ledger_record is not None:
+                # the point of no return: from here a retry must not
+                # re-apply, whatever happens to staging or revalidation.
+                ledger_record["applied"] = True
+                ledger_record["added"] = added
+                ledger_record["removed"] = removed
             # keep resident shard replicas mirroring the coordinator graph:
             # the same delta is broadcast to the fleet before revalidation so
             # each shard's local journal → closure → re-run round sees it.
             stage = getattr(self.validator, "stage_fleet_delta", None)
             if stage is not None:
                 stage(add, remove)
-            try:
-                result = self.validator.revalidate(
-                    labels=labels, allow_full_rebuild=allow_full_rebuild)
-            except IncrementalFallback as error:
-                raise ServiceError(error.reason,
-                                   f"delta applied (+{added}/-{removed}) but "
-                                   f"not revalidated: {error}", 409) from error
-            except StaleSnapshotError as error:
-                raise ServiceError("stale-snapshot", str(error), 409) from error
-            self._delta_rounds += 1
-            self._totals = self._totals.merge(result.delta.total_stats())
-            stats = result.stats()
-            response = DeltaResponse(
-                generation=self.validator.maintained_generation or 0,
-                added=added, removed=removed,
-                dirty_subjects=stats["dirty_subjects"],
-                affected_nodes=stats["affected_nodes"],
-                revalidated_pairs=stats["revalidated_pairs"],
-                reused_pairs=stats["reused_pairs"],
-                retracted_verdicts=stats["retracted_verdicts"],
-                full_rebuild=result.full_rebuild,
-                conforms=result.report.conforms,
-            )
-            return response, result
+        try:
+            result = self.validator.revalidate(
+                labels=labels, allow_full_rebuild=allow_full_rebuild)
+        except IncrementalFallback as error:
+            raise ServiceError(error.reason,
+                               f"delta applied (+{added}/-{removed}) but "
+                               f"not revalidated: {error}", 409) from error
+        except StaleSnapshotError as error:
+            raise ServiceError("stale-snapshot", str(error), 409) from error
+        self._delta_rounds += 1
+        self._totals = self._totals.merge(result.delta.total_stats())
+        stats = result.stats()
+        response = DeltaResponse(
+            generation=self.validator.maintained_generation or 0,
+            added=added, removed=removed,
+            dirty_subjects=stats["dirty_subjects"],
+            affected_nodes=stats["affected_nodes"],
+            revalidated_pairs=stats["revalidated_pairs"],
+            reused_pairs=stats["reused_pairs"],
+            retracted_verdicts=stats["retracted_verdicts"],
+            full_rebuild=result.full_rebuild,
+            conforms=result.report.conforms,
+        )
+        return response, result
 
     def apply_delta(self, request: DeltaRequest) -> DeltaResponse:
-        """The wire-level delta entry point: N-Triples text in, counters out."""
+        """The wire-level delta entry point: N-Triples text in, counters out.
+
+        This is where the exactly-once contract lives.  A request carrying a
+        ``delta_id`` is recorded in the bounded per-session ledger *before*
+        anything can fail after the mutation; a retry with the same id
+
+        * replays the original :class:`DeltaResponse` verbatim when the
+          first attempt completed (the response was dropped on the wire),
+        * skips the mutation and re-runs only the revalidation when the
+          first attempt applied the triples but died before producing a
+          response (a crashed shard mid-round),
+        * re-applies from scratch only when the first attempt never reached
+          the graph at all.
+
+        ``expected_generation`` (when set) is checked before any new apply:
+        a mismatch is a typed ``generation-conflict`` 409 — the guard that
+        catches retries old enough to have fallen out of the ledger.
+        """
         try:
             add = list(iter_ntriples(request.add)) if request.add else []
             remove = list(iter_ntriples(request.remove)) if request.remove else []
         except ParseError as error:
             raise ServiceError("parse-error", str(error), 400) from error
-        response, _ = self.apply_changes(
-            add=add, remove=remove, labels=request.labels,
-            allow_full_rebuild=request.allow_full_rebuild)
-        return response
+        fingerprint = (request.add, request.remove, request.labels,
+                       request.allow_full_rebuild)
+        with self._lock:
+            self._check_open()
+            delta_id = request.delta_id
+            record = self._ledger.get(delta_id) if delta_id else None
+            if record is not None:
+                if record["fingerprint"] != fingerprint:
+                    raise ServiceError(
+                        "bad-request",
+                        f"delta_id {delta_id!r} was already used for a "
+                        "different delta; idempotency keys must be unique "
+                        "per edit", 400)
+                self._ledger.move_to_end(delta_id)
+                if record["response"] is not None:
+                    self._replayed_deltas += 1
+                    return record["response"]
+                if record["applied"]:
+                    # triples landed but the original round never produced a
+                    # response: finish the revalidation without re-applying.
+                    self._replayed_deltas += 1
+                    response, _ = self._apply_and_revalidate(
+                        add, remove, request.labels,
+                        request.allow_full_rebuild,
+                        ledger_record=record, skip_mutation=True)
+                    record["response"] = response
+                    return response
+                # the first attempt never mutated the graph — fall through
+                # to a fresh apply under the same ledger record.
+            if request.expected_generation is not None \
+                    and request.expected_generation != self.generation:
+                raise ServiceError(
+                    "generation-conflict",
+                    f"delta expected generation "
+                    f"{request.expected_generation} but the graph is at "
+                    f"{self.generation}; re-read and re-derive the delta "
+                    "before retrying", 409)
+            if record is None and delta_id:
+                record = {"fingerprint": fingerprint, "applied": False,
+                          "added": 0, "removed": 0, "response": None}
+                self._ledger[delta_id] = record
+                while len(self._ledger) > self._ledger_size:
+                    self._ledger.popitem(last=False)
+            response, _ = self._apply_and_revalidate(
+                add, remove, request.labels, request.allow_full_rebuild,
+                ledger_record=record)
+            if record is not None:
+                record["response"] = response
+            return response
 
     def verdict(self, node: Union[ObjectTerm, str],
                 shape: LabelArg = None,
-                include_reason: bool = False) -> VerdictResponse:
+                include_reason: bool = False,
+                allow_degraded: bool = False) -> VerdictResponse:
         """Serve one verdict from the maintained typing — never a fresh run.
 
         ``node`` may be a term or its N-Triples rendering; ``shape`` a label
@@ -289,6 +398,16 @@ class ValidationSession:
         ``generation`` is the baseline generation, which this method
         guarantees equals the graph's current generation — otherwise it
         raises ``stale-baseline`` instead of serving outdated state.
+
+        ``allow_degraded=True`` relaxes exactly that guarantee, explicitly:
+        while the baseline is stale (a delta's revalidation died mid-round
+        and the fleet has not healed yet), the verdict is served from the
+        pair's owning *live* shard replica when possible (whose shard-local
+        baseline may already include the delta), else from the
+        coordinator's last complete baseline.  Degraded responses carry
+        ``degraded=True`` and the ``missing_shards`` that could not answer;
+        a fresh baseline makes ``allow_degraded`` a no-op, so healthy reads
+        stay byte-identical.
         """
         with self._lock:
             self._check_open()
@@ -298,7 +417,8 @@ class ValidationSession:
                 raise ServiceError(
                     "no-baseline",
                     "no maintained baseline; run a full validation first", 409)
-            if generation != getattr(self.graph, "generation", generation):
+            stale = generation != getattr(self.graph, "generation", generation)
+            if stale and not allow_degraded:
                 raise ServiceError(
                     "stale-baseline",
                     "the graph mutated outside the session; re-run "
@@ -315,6 +435,9 @@ class ValidationSession:
                 label = self.validator._resolve_label(shape)
             except SchemaError as error:
                 raise ServiceError("bad-request", str(error), 400) from error
+            if stale:
+                return self._degraded_verdict(term, label, generation,
+                                              include_reason)
             entry = self.validator.maintained_entry(term, label)
             if entry is None:
                 raise ServiceError(
@@ -328,6 +451,48 @@ class ValidationSession:
                                    conforms=entry.conforms,
                                    generation=generation, reason=reason)
 
+    def _degraded_verdict(self, term: ObjectTerm, label: ShapeLabel,
+                          baseline_generation: int,
+                          include_reason: bool) -> VerdictResponse:
+        """Best-effort verdict while the coordinator baseline is stale.
+
+        Preference order: the owning live shard's replica baseline (may be
+        fresher than the coordinator after a partial round), then the
+        coordinator's last complete baseline.  Never heals the fleet —
+        degraded reads must stay cheap while the dead shard waits for the
+        next write to respawn it.
+        """
+        missing: Tuple[int, ...] = ()
+        degraded_entry = getattr(self.validator, "degraded_entry", None)
+        if degraded_entry is not None:
+            entry, shard_generation, owner_missing = degraded_entry(term,
+                                                                    label)
+            dead = getattr(self.validator, "dead_shards", lambda: ())()
+            missing = tuple(sorted(set(owner_missing) | set(dead)))
+            if entry is not None:
+                reason = entry.reason if include_reason and entry.reason \
+                    else None
+                return VerdictResponse(
+                    node=term.n3(), shape=label.name,
+                    conforms=entry.conforms,
+                    generation=(shard_generation
+                                if shard_generation is not None
+                                else baseline_generation),
+                    reason=reason, degraded=True, missing_shards=missing)
+        entry = self.validator.maintained_entry(term, label)
+        if entry is None:
+            raise ServiceError(
+                "verdict-unavailable",
+                f"({term.n3()}, {label.name}) cannot be served degraded: "
+                "not in any live shard's baseline nor the coordinator's "
+                "last complete baseline", 503)
+        reason = entry.reason if include_reason and entry.reason else None
+        return VerdictResponse(node=term.n3(), shape=label.name,
+                               conforms=entry.conforms,
+                               generation=baseline_generation,
+                               reason=reason, degraded=True,
+                               missing_shards=missing)
+
     # -- observability -------------------------------------------------------------
     def stats(self) -> ServiceStats:
         """Snapshot every subsystem counter into one :class:`ServiceStats`."""
@@ -337,9 +502,34 @@ class ValidationSession:
                 "full_runs": self._full_runs,
                 "delta_rounds": self._delta_rounds,
                 "verdict_queries": self._verdict_queries,
+                "replayed_deltas": self._replayed_deltas,
+                "ledger_entries": len(self._ledger),
                 "jobs": self.jobs,
                 "shards": self.shards,
             })
+
+    def health(self) -> Dict[str, Any]:
+        """Cheap liveness info — deliberately **lock-free**.
+
+        ``/healthz`` must answer while a long delta holds the session lock,
+        so this reads plain attributes only (python attribute reads are
+        atomic enough for a health probe; a torn counter is acceptable, a
+        blocked probe is not).  No worker round-trips either: fleet health
+        comes from the coordinator-side bookkeeping.
+        """
+        info: Dict[str, Any] = {
+            "closed": self._closed,
+            "generation": getattr(self.graph, "generation", 0),
+            "maintained_generation":
+                getattr(self.validator, "maintained_generation", None),
+            "full_runs": self._full_runs,
+            "delta_rounds": self._delta_rounds,
+            "replayed_deltas": self._replayed_deltas,
+        }
+        fleet = getattr(self.validator, "_fleet", None)
+        if fleet is not None and fleet.workers:
+            info["fleet"] = fleet.health()
+        return info
 
     @property
     def generation(self) -> int:

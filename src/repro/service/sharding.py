@@ -46,6 +46,7 @@ from ..shex.validator import (
     _parallel_worker_init,
     _parallel_worker_run,
 )
+from .api import ServiceError
 from .fleet import ShardFleet, shard_of
 
 __all__ = ["ShardedValidator", "shard_of"]
@@ -66,6 +67,7 @@ class ShardedValidator(Validator):
     def __init__(self, *args, shards: int = 2, resident: bool = True,
                  fleet_response_timeout: float = 120.0,
                  fleet_journal_limits: Optional[Sequence[Optional[int]]] = None,
+                 fault_plan=None,
                  **kwargs):
         if shards < 1:
             raise ValueError("shards must be at least 1")
@@ -76,6 +78,8 @@ class ShardedValidator(Validator):
         self.resident = resident
         self._fleet: Optional[ShardFleet] = None
         self._fleet_response_timeout = fleet_response_timeout
+        #: deterministic fault schedule forwarded to the fleet (chaos tests).
+        self._fault_plan = fault_plan
         #: per-shard journal-bound overrides (test hook); ``None`` entries
         #: inherit the coordinator graph's journal bound.
         self._fleet_journal_limits = fleet_journal_limits
@@ -111,7 +115,8 @@ class ShardedValidator(Validator):
             self._fleet = ShardFleet(
                 self.shards,
                 response_timeout=self._fleet_response_timeout,
-                journal_limits=self._fleet_journal_limits)
+                journal_limits=self._fleet_journal_limits,
+                fault_plan=self._fault_plan)
         self._fleet.start()
         return self._fleet
 
@@ -315,6 +320,46 @@ class ShardedValidator(Validator):
         if add or remove:
             fleet.broadcast("apply", (add, remove), tolerate_death=True)
         self._fleet_generation = self.graph.generation
+
+    def dead_shards(self) -> Tuple[int, ...]:
+        """Shard indices whose resident worker is currently down (no heal)."""
+        fleet = self._fleet
+        if not self.resident or self.shards <= 1 or fleet is None \
+                or not fleet.workers:
+            return ()
+        return tuple(worker.index for worker in fleet.workers
+                     if worker.failed or not worker.loaded
+                     or worker.process is None
+                     or not worker.process.is_alive())
+
+    def degraded_entry(self, node, label):
+        """Serve one pair from its owning live shard, without healing.
+
+        Returns ``(entry, shard_generation, missing_shards)``.  ``entry`` is
+        the owning replica's baseline entry (``None`` when that shard is
+        dead, unloaded, or has never derived the pair);
+        ``shard_generation`` is the replica's maintained generation (its
+        baseline may be fresher than the coordinator's after a partial
+        round).  This path must never respawn or warm-load — degraded reads
+        are the *cheap* escape hatch while the next write heals the fleet —
+        so a dead owner simply lands in ``missing_shards``.
+        """
+        fleet = self._fleet
+        if not self.resident or self.shards <= 1 or fleet is None \
+                or not fleet.workers:
+            return None, None, ()
+        shard_index = shard_of(node, self.shards)
+        worker = fleet.workers[shard_index]
+        if worker.failed or not worker.loaded or worker.process is None \
+                or not worker.process.is_alive():
+            return None, None, (shard_index,)
+        try:
+            generation, entries = fleet.request(worker, "baseline",
+                                                [(node, label)])
+        except (ServiceError, RuntimeError, IncrementalFallback):
+            # the owner died under us (or errored): report, don't heal.
+            return None, None, (shard_index,)
+        return entries[0], generation, ()
 
     def fleet_stats(self, include_workers: bool = True) -> Dict[str, object]:
         """Fleet health for :class:`~repro.service.api.ServiceStats`."""

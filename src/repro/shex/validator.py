@@ -816,6 +816,19 @@ class Validator:
                 # restricted run unanswerable; honour the caller's rebuild
                 # policy exactly like a coordinator-detected fallback.
                 return full_rebuild(error.reason, str(error))
+            except Exception:
+                # the scheduler died mid-round (a fleet worker crash, say):
+                # no baseline state has moved yet, but the context key was
+                # already advanced to the mutated generation.  Restore it to
+                # the baseline generation so the retained baseline stays
+                # usable and a retried round can still answer incrementally
+                # (the retraction above is idempotent — the retry recomputes
+                # the same affected set and retracts the same nodes).
+                self._context_key = (self.graph, self.schema, self.engine,
+                                     self.compiled,
+                                     self.max_recursion_depth,
+                                     self._incremental_generation)
+                raise
         else:
             parallel_entries = None
         if parallel_entries is not None:

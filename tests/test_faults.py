@@ -1,0 +1,142 @@
+"""Unit tests for the deterministic fault-injection machinery
+(:mod:`repro.service.faults`): plan determinism and JSON round-trips,
+occurrence-counter matching, shard scoping, and thread safety of the
+injector — the properties every chaos test builds on."""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.service.faults import (
+    FAULT_POINTS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_point_is_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(point="fleet.crash-into-the-sun")
+
+    def test_hits_are_sorted_and_deduped(self):
+        spec = FaultSpec(point="fleet.stall", hits=(3, 1, 3, 0))
+        assert spec.hits == (0, 1, 3)
+
+    def test_json_round_trip(self):
+        spec = FaultSpec(point="fleet.crash-after-apply", hits=(1, 2),
+                         shard=1, delay=0.25)
+        assert FaultSpec.from_json(spec.to_json()) == spec
+        # through an actual wire encoding (the CI artifact path)
+        assert FaultSpec.from_json(json.loads(json.dumps(spec.to_json()))) \
+            == spec
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(point="server.connection-reset"),
+            FaultSpec(point="fleet.crash-before-apply", shard=0, hits=(2,)),
+        ), seed=1337)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert FaultPlan.from_json(json.loads(json.dumps(plan.to_json()))) \
+            == plan
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan(specs=(FaultSpec(point="fleet.stall"),))
+
+    def test_plans_are_picklable(self):
+        # plans ship to shard workers through multiprocessing spawn args
+        plan = FaultPlan.random(5, shards=3)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_is_deterministic_per_seed(self, seed):
+        first = FaultPlan.random(seed, shards=2)
+        second = FaultPlan.random(seed, shards=2)
+        assert first == second
+        assert first.seed == seed
+        for spec in first.specs:
+            assert spec.point in FAULT_POINTS
+            if spec.point.startswith("fleet."):
+                assert spec.shard in (0, 1)
+            else:
+                assert spec.shard is None
+
+    def test_different_seeds_eventually_differ(self):
+        plans = {FaultPlan.random(seed, rate=1.0).specs
+                 for seed in range(20)}
+        assert len(plans) > 1
+
+
+class TestFaultInjector:
+    def test_fires_only_on_matching_occurrence(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(point="fleet.stall", hits=(1,), delay=0.5),))
+        injector = FaultInjector(plan)
+        assert injector.fire("fleet.stall") is None           # occurrence 0
+        spec = injector.fire("fleet.stall")                   # occurrence 1
+        assert spec is not None and spec.delay == 0.5
+        assert injector.fire("fleet.stall") is None           # occurrence 2
+        assert injector.counts() == {"fleet.stall": 3}
+        assert injector.fired == [
+            {"point": "fleet.stall", "occurrence": 1, "shard": None}]
+
+    def test_points_count_independently(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(point="client.timeout", hits=(0,)),))
+        injector = FaultInjector(plan)
+        assert injector.fire("client.send-then-die") is None
+        assert injector.fire("client.timeout") is not None
+
+    def test_shard_scoping(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(point="fleet.crash-after-apply", shard=1),))
+        shard0 = FaultInjector(plan, shard=0)
+        shard1 = FaultInjector(plan, shard=1)
+        assert shard0.fire("fleet.crash-after-apply") is None
+        assert shard1.fire("fleet.crash-after-apply") is not None
+
+    def test_shardless_spec_matches_every_shard(self):
+        plan = FaultPlan(specs=(FaultSpec(point="fleet.drop-response"),))
+        for shard in (0, 1, 2):
+            assert FaultInjector(plan, shard=shard) \
+                .fire("fleet.drop-response") is not None
+
+    def test_empty_injector_never_fires(self):
+        injector = FaultInjector()
+        for point in FAULT_POINTS:
+            assert injector.fire(point) is None
+        assert injector.fired == []
+
+    def test_thread_safety_of_occurrence_counters(self):
+        # the HTTP server consults one injector from many handler threads;
+        # N concurrent consultations must count exactly N occurrences and
+        # fire exactly the scheduled hits, whatever the interleaving.
+        plan = FaultPlan(specs=(
+            FaultSpec(point="server.delay-response", hits=(5, 25, 45)),))
+        injector = FaultInjector(plan)
+        fired = []
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(25):
+                if injector.fire("server.delay-response") is not None:
+                    fired.append(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert injector.counts() == {"server.delay-response": 200}
+        assert len(fired) == 3

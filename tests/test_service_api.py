@@ -52,6 +52,8 @@ delta_requests = st.builds(
     remove=text,
     labels=labels,
     allow_full_rebuild=st.booleans(),
+    delta_id=st.one_of(st.none(), st.text(min_size=1, max_size=16)),
+    expected_generation=opt_int,
 )
 
 verdict_responses = st.builds(
@@ -61,6 +63,19 @@ verdict_responses = st.builds(
     conforms=st.booleans(),
     generation=counter,
     reason=st.one_of(st.none(), text),
+)
+
+# degraded verdicts carry missing_shards only when the flag is set (the
+# codec omits both fields at their defaults, so they round-trip as a pair)
+degraded_verdict_responses = st.builds(
+    VerdictResponse,
+    node=text,
+    shape=text,
+    conforms=st.booleans(),
+    generation=counter,
+    degraded=st.just(True),
+    missing_shards=st.lists(st.integers(min_value=0, max_value=15),
+                            unique=True, max_size=4).map(tuple),
 )
 
 delta_responses = st.builds(
@@ -121,6 +136,18 @@ class TestRoundTrips:
         assert VerdictResponse.from_json(response.to_json()) == response
         assert VerdictResponse.from_json(
             json.dumps(response.to_json())) == response
+
+    @given(degraded_verdict_responses)
+    def test_degraded_verdict_response(self, response):
+        assert VerdictResponse.from_json(response.to_json()) == response
+        assert VerdictResponse.from_json(
+            json.dumps(response.to_json())) == response
+
+    @given(verdict_responses)
+    def test_healthy_verdict_omits_degraded_fields(self, response):
+        payload = response.to_json()
+        assert "degraded" not in payload
+        assert "missing_shards" not in payload
 
     @given(delta_responses)
     def test_delta_response(self, response):

@@ -1,0 +1,596 @@
+"""Resilience tests for the validation service: the exactly-once delta
+ledger, deterministic fault injection across fleet / server / client, the
+retrying :class:`ServiceClient`, degraded reads during a shard outage,
+``/healthz``, and the fleet shutdown lifecycle."""
+
+from __future__ import annotations
+
+import gc
+import json
+import random
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.service import (
+    DeltaRequest,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ShardFleet,
+    ValidationRequest,
+    ValidationSession,
+    serve,
+    shard_of,
+)
+from repro.shex.validator import IncrementalFallback
+from repro.workloads import (
+    PAPER_EXAMPLE_TURTLE,
+    generate_community_workload,
+    paper_example_graph,
+    person_schema,
+)
+
+MARY = "<http://example.org/mary>"
+JOHN = "<http://example.org/john>"
+# fixes mary: drop the second age, give her a name
+MARY_FIX_ADD = ('<http://example.org/mary> '
+                '<http://xmlns.com/foaf/0.1/name> "Mary" .\n')
+MARY_FIX_REMOVE = ('<http://example.org/mary> <http://xmlns.com/foaf/0.1/age> '
+                   '"65"^^<http://www.w3.org/2001/XMLSchema#integer> .\n')
+# breaks john: a second foaf:age violates the exactly-one cardinality
+JOHN_BREAK_ADD = ('<http://example.org/john> <http://xmlns.com/foaf/0.1/age> '
+                  '"9999"^^<http://www.w3.org/2001/XMLSchema#integer> .\n')
+
+
+def paper_session(**kwargs):
+    session = ValidationSession(paper_example_graph(), person_schema(),
+                                **kwargs)
+    session.validate()
+    return session
+
+
+def community():
+    return generate_community_workload(
+        num_communities=4, people_per_community=6,
+        invalid_fraction=0.25, seed=11)
+
+
+def round_delta(workload, round_index):
+    nodes = sorted(workload.all_nodes, key=lambda t: t.value)
+    victim = nodes[round_index % len(nodes)]
+    extra = nodes[(round_index + 7) % len(nodes)]
+    bad_age = (f'{victim.n3()} <http://xmlns.com/foaf/0.1/age> '
+               '"9999"^^<http://www.w3.org/2001/XMLSchema#integer> .\n')
+    alias = (f'{extra.n3()} <http://xmlns.com/foaf/0.1/name> '
+             f'"Alias {round_index}" .\n')
+    if round_index % 2 == 0:
+        return DeltaRequest(add=bad_age + alias)
+    return DeltaRequest(remove=bad_age, add=alias)
+
+
+def verdict_blob(session, workload):
+    return tuple(
+        json.dumps(session.verdict(node.n3()).to_json(), sort_keys=True)
+        for node in sorted(workload.all_nodes, key=lambda t: t.value))
+
+
+class TestExactlyOnceLedger:
+    def test_replayed_delta_id_returns_the_original_response(self):
+        session = paper_session()
+        try:
+            request = DeltaRequest(add=MARY_FIX_ADD, remove=MARY_FIX_REMOVE,
+                                   delta_id="edit-1")
+            first = session.apply_delta(request)
+            generation = session.generation
+            triples = len(session.graph)
+
+            replayed = session.apply_delta(request)  # duplicate on the wire
+            assert replayed == first
+            assert session.generation == generation  # no second apply
+            assert len(session.graph) == triples
+            stats = session.stats().to_json()["session"]
+            assert stats["delta_rounds"] == 1
+            assert stats["replayed_deltas"] == 1
+            assert stats["ledger_entries"] == 1
+        finally:
+            session.close()
+
+    def test_reused_delta_id_with_different_payload_is_400(self):
+        session = paper_session()
+        try:
+            session.apply_delta(DeltaRequest(add=MARY_FIX_ADD,
+                                             delta_id="edit-1"))
+            with pytest.raises(ServiceError) as excinfo:
+                session.apply_delta(DeltaRequest(add=JOHN_BREAK_ADD,
+                                                 delta_id="edit-1"))
+            assert excinfo.value.code == "bad-request"
+            assert excinfo.value.http_status == 400
+        finally:
+            session.close()
+
+    def test_generation_conflict_is_typed_409(self):
+        session = paper_session()
+        try:
+            current = session.generation
+            with pytest.raises(ServiceError) as excinfo:
+                session.apply_delta(DeltaRequest(
+                    add=MARY_FIX_ADD, delta_id="edit-1",
+                    expected_generation=current + 5))
+            assert excinfo.value.code == "generation-conflict"
+            assert excinfo.value.http_status == 409
+            assert session.generation == current  # nothing applied
+
+            response = session.apply_delta(DeltaRequest(
+                add=MARY_FIX_ADD, remove=MARY_FIX_REMOVE, delta_id="edit-2",
+                expected_generation=current))
+            assert response.generation > current
+        finally:
+            session.close()
+
+    def test_ledger_eviction_is_fifo_and_the_guard_catches_old_retries(self):
+        session = paper_session(delta_ledger_size=2)
+        try:
+            generation_before = session.generation
+            old = DeltaRequest(add=MARY_FIX_ADD, remove=MARY_FIX_REMOVE,
+                               delta_id="edit-1",
+                               expected_generation=generation_before)
+            session.apply_delta(old)
+            session.apply_delta(DeltaRequest(add=JOHN_BREAK_ADD,
+                                             delta_id="edit-2"))
+            session.apply_delta(DeltaRequest(remove=JOHN_BREAK_ADD,
+                                             delta_id="edit-3"))
+            stats = session.stats().to_json()["session"]
+            assert stats["ledger_entries"] == 2  # edit-1 evicted (FIFO)
+
+            # a retry of the evicted delta cannot replay; the optimistic
+            # generation guard turns it into a typed conflict instead of a
+            # silent double-apply.
+            with pytest.raises(ServiceError) as excinfo:
+                session.apply_delta(old)
+            assert excinfo.value.code == "generation-conflict"
+        finally:
+            session.close()
+
+    def test_retry_after_revalidation_failure_resumes_without_reapplying(self):
+        """The delta landed but revalidation died: the ledger records the
+        apply, and the retry re-runs *only* the revalidation."""
+        session = paper_session()
+        try:
+            request = DeltaRequest(add=MARY_FIX_ADD, remove=MARY_FIX_REMOVE,
+                                   delta_id="edit-1")
+            original = session.validator.revalidate
+
+            def dying(*args, **kwargs):
+                raise IncrementalFallback("journal-overflow",
+                                          "injected mid-round failure")
+
+            session.validator.revalidate = dying
+            with pytest.raises(ServiceError) as excinfo:
+                session.apply_delta(request)
+            assert excinfo.value.code == "journal-overflow"
+            assert "delta applied" in excinfo.value.message
+            triples = len(session.graph)
+            generation = session.generation
+
+            session.validator.revalidate = original
+            response = session.apply_delta(request)
+            assert len(session.graph) == triples  # not applied twice
+            assert session.generation == generation
+            assert response.added == 1 and response.removed == 1
+            assert session.verdict(MARY).conforms
+            stats = session.stats().to_json()["session"]
+            assert stats["replayed_deltas"] == 1
+        finally:
+            session.close()
+
+
+class TestFleetFaultInjection:
+    def test_crash_after_apply_heals_within_the_round(self):
+        """A worker dying right after applying a staged delta is tolerated,
+        respawned and warm-loaded mid-round: the delta still succeeds with
+        responses and verdicts byte-identical to the serial session."""
+        plan = FaultPlan(specs=(
+            FaultSpec(point="fleet.crash-after-apply", shard=0, hits=(0,)),
+            FaultSpec(point="fleet.stall", shard=1, hits=(0,), delay=0.2),
+        ), seed=1)
+        w_serial = community()
+        w_fleet = community()
+        serial = ValidationSession(w_serial.graph, person_schema())
+        fleet = ValidationSession(w_fleet.graph, person_schema(), shards=2,
+                                  fault_plan=plan)
+        try:
+            serial.validate()
+            fleet.validate()
+            delta = round_delta(w_serial, 0)
+            resp_serial = serial.apply_delta(delta)
+            resp_fleet = fleet.apply_delta(delta)
+            assert (json.dumps(resp_serial.to_json(), sort_keys=True)
+                    == json.dumps(resp_fleet.to_json(), sort_keys=True))
+            assert verdict_blob(serial, w_serial) \
+                == verdict_blob(fleet, w_fleet)
+            assert fleet.stats().to_json()["fleet"]["respawns"] >= 1
+        finally:
+            serial.close()
+            fleet.close()
+
+    def test_crash_mid_revalidate_opens_a_degraded_window_then_converges(self):
+        """A worker crashing *during* revalidation fails the round (503) and
+        leaves the coordinator baseline stale.  Inside that window: normal
+        reads are a typed 409, degraded reads answer from live shards with
+        ``missing_shards`` populated, and a retry of the same ``delta_id``
+        heals the fleet and converges to the serial session's verdicts
+        without re-applying the delta."""
+        plan = FaultPlan(specs=(
+            FaultSpec(point="fleet.crash-before-revalidate", shard=0,
+                      hits=(1,)),
+        ), seed=2)
+        w_serial = community()
+        w_fleet = community()
+        serial = ValidationSession(w_serial.graph, person_schema())
+        fleet = ValidationSession(w_fleet.graph, person_schema(), shards=2,
+                                  fault_plan=plan)
+        try:
+            serial.validate()
+            fleet.validate()
+            delta0 = round_delta(w_serial, 0)
+            serial.apply_delta(delta0)
+            fleet.apply_delta(delta0)
+
+            delta1 = replace(round_delta(w_serial, 1), delta_id="edit-1")
+            resp_serial = serial.apply_delta(delta1)
+            with pytest.raises(ServiceError) as excinfo:
+                fleet.apply_delta(delta1)
+            assert excinfo.value.code == "fleet-worker-died"
+            assert excinfo.value.http_status == 503
+
+            nodes = sorted(w_fleet.all_nodes, key=lambda t: t.value)
+            node_live = next(n for n in nodes if shard_of(n, 2) == 1)
+            node_dead = next(n for n in nodes if shard_of(n, 2) == 0)
+
+            # the window: normal reads refuse to serve the stale baseline...
+            with pytest.raises(ServiceError) as excinfo:
+                fleet.verdict(node_live.n3())
+            assert excinfo.value.code == "stale-baseline"
+
+            # ...degraded reads answer from the owning live shard (already
+            # revalidated, so it agrees with the serial post-delta state)...
+            live = fleet.verdict(node_live.n3(), allow_degraded=True)
+            assert live.degraded and live.missing_shards == (0,)
+            assert live.conforms == serial.verdict(node_live.n3()).conforms
+
+            # ...and a dead-shard pair falls back to the coordinator's last
+            # complete baseline instead of a 503.
+            dead = fleet.verdict(node_dead.n3(), allow_degraded=True)
+            assert dead.degraded and dead.missing_shards == (0,)
+
+            health = fleet.health()
+            assert health["fleet"]["workers_alive"] == 1
+
+            # retry the same delta_id: the ledger skips the mutation, the
+            # fleet heals, and the sessions converge byte-for-byte.
+            resp_retry = fleet.apply_delta(delta1)
+            assert resp_retry.generation == resp_serial.generation
+            assert resp_retry.added == resp_serial.added
+            assert resp_retry.removed == resp_serial.removed
+            assert resp_retry.conforms == resp_serial.conforms
+            assert verdict_blob(serial, w_serial) \
+                == verdict_blob(fleet, w_fleet)
+            stats = fleet.stats().to_json()
+            assert stats["fleet"]["respawns"] >= 1
+            assert stats["session"]["replayed_deltas"] == 1
+        finally:
+            serial.close()
+            fleet.close()
+
+    def test_dropped_response_times_out_and_the_retry_converges(self):
+        """A worker computing a round but never answering looks like a hang:
+        the bounded response timeout turns it into a typed 503, and the
+        ledgered retry respawns the worker and converges.
+
+        Occurrence counters restart when a worker respawns, so a drop
+        scheduled inside the heal replay window (load=0, check=1,
+        revalidate=2, verdicts=3) would fire again on every fresh process —
+        a poison pill, not a transient fault.  Hit 5 (the second delta's
+        ``check`` response) fires once on the original process only."""
+        plan = FaultPlan(specs=(
+            FaultSpec(point="fleet.drop-response", shard=0, hits=(5,)),
+        ), seed=3)
+        w_serial = community()
+        w_fleet = community()
+        serial = ValidationSession(w_serial.graph, person_schema())
+        fleet = ValidationSession(w_fleet.graph, person_schema(), shards=2,
+                                  fault_plan=plan,
+                                  fleet_response_timeout=2.0)
+        try:
+            serial.validate()
+            fleet.validate()
+            delta0 = round_delta(w_serial, 0)
+            serial.apply_delta(delta0)
+            fleet.apply_delta(delta0)
+
+            delta1 = replace(round_delta(w_serial, 1), delta_id="edit-1")
+            serial.apply_delta(delta1)
+            with pytest.raises(ServiceError) as excinfo:
+                fleet.apply_delta(delta1)
+            assert excinfo.value.code == "fleet-worker-died"
+            assert "unresponsive" in excinfo.value.message
+
+            fleet.apply_delta(delta1)  # ledgered retry: heal + revalidate
+            assert verdict_blob(serial, w_serial) \
+                == verdict_blob(fleet, w_fleet)
+        finally:
+            serial.close()
+            fleet.close()
+
+
+@pytest.fixture
+def plain_server():
+    with serve(person_schema()) as srv:
+        srv.start_background()
+        yield srv
+
+
+class TestServerFaultHooks:
+    def _server(self, plan):
+        return serve(person_schema(), faults=FaultInjector(plan))
+
+    def test_connection_reset_is_retried_transparently(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(point="server.connection-reset", hits=(1,)),), seed=4)
+        with self._server(plan) as srv:
+            srv.start_background()
+            client = ServiceClient(srv.host, srv.port, retry=RetryPolicy(
+                base_delay=0.01, jitter=0.0, seed=5))
+            graph_id = client.load_graph(ValidationRequest(
+                data=PAPER_EXAMPLE_TURTLE))["graph_id"]
+            # response #1 is reset before a single byte; the client sees a
+            # dead reused connection, reconnects and retries the GET.
+            assert client.verdict(graph_id, JOHN).conforms
+
+    def test_truncated_response_is_retried_transparently(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(point="server.truncate-response", hits=(1,)),), seed=4)
+        with self._server(plan) as srv:
+            srv.start_background()
+            injector = srv._httpd.fault_injector
+            client = ServiceClient(srv.host, srv.port, retry=RetryPolicy(
+                base_delay=0.01, jitter=0.0, seed=5))
+            graph_id = client.load_graph(ValidationRequest(
+                data=PAPER_EXAMPLE_TURTLE))["graph_id"]
+            assert not client.verdict(graph_id, MARY).conforms
+            assert injector.fired  # the truncation really happened
+
+    def test_delayed_response_stalls_but_succeeds(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(point="server.delay-response", hits=(0,), delay=0.4),),
+            seed=4)
+        with self._server(plan) as srv:
+            srv.start_background()
+            client = ServiceClient(srv.host, srv.port)
+            started = time.monotonic()
+            loaded = client.load_graph(ValidationRequest(
+                data=PAPER_EXAMPLE_TURTLE))
+            assert time.monotonic() - started >= 0.35
+            assert loaded["triples"] == 8
+
+
+class TestClientFaultHooks:
+    def test_lost_response_on_idempotent_get_is_retried(self, plain_server):
+        plan = FaultPlan(specs=(
+            FaultSpec(point="client.timeout", hits=(1,)),), seed=6)
+        injector = FaultInjector(plan)
+        client = ServiceClient(plain_server.host, plain_server.port,
+                               retry=RetryPolicy(base_delay=0.01, jitter=0.0,
+                                                 seed=6),
+                               faults=injector)
+        graph_id = client.load_graph(ValidationRequest(
+            data=PAPER_EXAMPLE_TURTLE))["graph_id"]
+        assert client.verdict(graph_id, JOHN).conforms  # fired on request #1
+        assert injector.fired == [
+            {"point": "client.timeout", "occurrence": 1, "shard": None}]
+
+    def test_send_then_die_on_non_idempotent_post_is_not_retried(
+            self, plain_server):
+        """The request was fully sent, so the server may have processed it:
+        retrying a non-idempotent POST would risk a double create, so the
+        failure surfaces typed instead."""
+        plan = FaultPlan(specs=(
+            FaultSpec(point="client.send-then-die", hits=(0,)),), seed=6)
+        client = ServiceClient(plain_server.host, plain_server.port,
+                               faults=FaultInjector(plan))
+        with pytest.raises(ServiceError) as excinfo:
+            client.load_graph(ValidationRequest(data=PAPER_EXAMPLE_TURTLE))
+        assert excinfo.value.code == "connection-failed"
+        assert excinfo.value.http_status == 503
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5,
+                             jitter=0.0)
+        delays = [policy.delay(attempt, None) for attempt in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stream_is_seed_deterministic(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=10.0, jitter=0.5)
+        first = [policy.delay(i, random.Random(42)) for i in range(4)]
+        second = [policy.delay(i, random.Random(42)) for i in range(4)]
+        assert first == second
+        for attempt, value in enumerate(first):
+            base = 0.1 * (2.0 ** attempt)
+            assert base <= value <= base * 1.5
+
+
+class TestConnectionReuse:
+    def test_one_connection_serves_many_requests(self, plain_server):
+        client = ServiceClient(plain_server.host, plain_server.port)
+        graph_id = client.load_graph(ValidationRequest(
+            data=PAPER_EXAMPLE_TURTLE))["graph_id"]
+        conn = client._conn
+        assert conn is not None
+        client.verdict(graph_id, JOHN)
+        client.server_stats()
+        assert client._conn is conn  # same socket, not one per request
+
+    def test_close_releases_and_the_client_stays_usable(self, plain_server):
+        with ServiceClient(plain_server.host, plain_server.port) as client:
+            client.server_stats()
+            client.close()
+            assert client._conn is None
+            client.server_stats()  # transparently reconnects
+            assert client._conn is not None
+        assert client._conn is None  # context exit closed it again
+
+
+class TestHealthz:
+    def test_healthz_reports_graphs_without_taking_session_locks(
+            self, plain_server):
+        client = ServiceClient(plain_server.host, plain_server.port)
+        empty = client.healthz()
+        assert empty["status"] == "ok" and empty["graphs"] == {}
+
+        graph_id = client.load_graph(ValidationRequest(
+            data=PAPER_EXAMPLE_TURTLE))["graph_id"]
+        health = client.healthz()
+        assert health["status"] == "ok"
+        info = health["graphs"][graph_id]
+        assert info["closed"] is False
+        assert info["maintained_generation"] == info["generation"]
+        assert "fleet" not in info  # serial session, no fleet to report
+
+    def test_healthz_answers_while_the_session_lock_is_held(self,
+                                                            plain_server):
+        client = ServiceClient(plain_server.host, plain_server.port)
+        graph_id = client.load_graph(ValidationRequest(
+            data=PAPER_EXAMPLE_TURTLE))["graph_id"]
+        session = plain_server.service.session(graph_id)
+        with session._lock:  # a long delta would hold exactly this lock
+            health = ServiceClient(plain_server.host,
+                                   plain_server.port).healthz()
+        assert health["graphs"][graph_id]["closed"] is False
+
+
+class TestDegradedReadsOverHTTP:
+    def test_shard_outage_degraded_read_retry_heal(self):
+        """The full ISSUE scenario over the wire: crash mid-revalidate →
+        503 on the delta and ``degraded`` healthz → degraded reads with
+        ``missing_shards`` instead of a 503 → retried ``delta_id`` heals
+        and converges."""
+        plan = FaultPlan(specs=(
+            FaultSpec(point="fleet.crash-before-revalidate", shard=0,
+                      hits=(1,)),
+        ), seed=7)
+        with serve(person_schema(), shards=2, fleet_response_timeout=5.0,
+                   faults=FaultInjector(plan)) as srv:
+            srv.start_background()
+            client = ServiceClient(srv.host, srv.port, retry=None)
+            graph_id = client.load_graph(ValidationRequest(
+                data=PAPER_EXAMPLE_TURTLE))["graph_id"]
+            client.apply_delta(graph_id, DeltaRequest(
+                add=MARY_FIX_ADD, remove=MARY_FIX_REMOVE, delta_id="edit-0"))
+
+            break_john = DeltaRequest(add=JOHN_BREAK_ADD, delta_id="edit-1")
+            with pytest.raises(ServiceError) as excinfo:
+                client.apply_delta(graph_id, break_john)
+            assert excinfo.value.code == "fleet-worker-died"
+            assert excinfo.value.http_status == 503
+
+            with pytest.raises(ServiceError) as excinfo:
+                client.verdict(graph_id, MARY)
+            assert excinfo.value.code == "stale-baseline"
+            assert client.healthz()["status"] == "degraded"
+
+            # john lives on the surviving shard 1, whose replica already
+            # revalidated the delta: the degraded read sees him broken.
+            john = client.verdict(graph_id, JOHN, allow_degraded=True)
+            assert john.degraded and john.missing_shards == (0,)
+            assert not john.conforms
+            # mary's owner (shard 0) is down: her verdict comes from the
+            # coordinator's last complete baseline — post-fix, conforming.
+            mary = client.verdict(graph_id, MARY, allow_degraded=True)
+            assert mary.degraded and mary.missing_shards == (0,)
+            assert mary.conforms
+
+            retried = client.apply_delta(graph_id, break_john)
+            assert retried.added == 1
+            assert client.healthz()["status"] == "ok"
+            healed = client.verdict(graph_id, JOHN)
+            assert not healed.conforms and not healed.degraded
+            assert healed.generation == retried.generation
+            assert client.graph_stats(graph_id).session[
+                "replayed_deltas"] == 1
+
+    def test_retrying_client_rides_out_the_crash_invisibly(self):
+        """With a retrying client the same crash is invisible: apply_delta
+        auto-stamps a delta_id, the 503 is retried, the ledger resumes the
+        round, and the caller just sees success."""
+        plan = FaultPlan(specs=(
+            FaultSpec(point="fleet.crash-before-revalidate", shard=0,
+                      hits=(1,)),
+        ), seed=8)
+        with serve(person_schema(), shards=2, fleet_response_timeout=5.0,
+                   faults=FaultInjector(plan)) as srv:
+            srv.start_background()
+            client = ServiceClient(srv.host, srv.port, retry=RetryPolicy(
+                base_delay=0.05, jitter=0.0, seed=9))
+            graph_id = client.load_graph(ValidationRequest(
+                data=PAPER_EXAMPLE_TURTLE))["graph_id"]
+            client.apply_delta(graph_id, DeltaRequest(
+                add=MARY_FIX_ADD, remove=MARY_FIX_REMOVE))
+            delta = client.apply_delta(graph_id, DeltaRequest(
+                add=JOHN_BREAK_ADD))  # crashes server-side, retried, resumed
+            assert delta.added == 1
+            assert not client.verdict(graph_id, JOHN).conforms
+            stats = client.graph_stats(graph_id)
+            assert stats.session["replayed_deltas"] == 1
+            assert stats.fleet["respawns"] >= 1
+
+
+class TestFleetShutdownLifecycle:
+    def test_force_shutdown_terminates_workers_and_is_idempotent(self):
+        fleet = ShardFleet(2)
+        fleet.start()
+        processes = [worker.process for worker in fleet.workers]
+        assert all(process.is_alive() for process in processes)
+        fleet.shutdown(force=True)
+        assert fleet.workers == []
+        assert all(not process.is_alive() for process in processes)
+        fleet.shutdown(force=True)  # second call is a no-op
+
+    def test_graceful_shutdown_drains_workers(self):
+        fleet = ShardFleet(2)
+        fleet.start()
+        processes = [worker.process for worker in fleet.workers]
+        fleet.shutdown()
+        assert all(not process.is_alive() for process in processes)
+
+    def test_spawning_on_a_closed_fleet_is_typed_409(self):
+        fleet = ShardFleet(2)
+        fleet.start()
+        handle = fleet.workers[0]
+        fleet.shutdown(force=True)
+        with pytest.raises(ServiceError) as excinfo:
+            fleet.start()
+        assert excinfo.value.code == "fleet-closed"
+        assert excinfo.value.http_status == 409
+        with pytest.raises(ServiceError) as excinfo:
+            fleet.respawn(handle)
+        assert excinfo.value.code == "fleet-closed"
+
+    def test_gc_safety_net_reaps_leaked_workers(self):
+        fleet = ShardFleet(2)
+        fleet.start()
+        processes = [worker.process for worker in fleet.workers]
+        del fleet  # leaked without shutdown: __del__ must reap the fleet
+        gc.collect()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if all(not process.is_alive() for process in processes):
+                break
+            time.sleep(0.05)
+        assert all(not process.is_alive() for process in processes)

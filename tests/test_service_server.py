@@ -151,10 +151,21 @@ class TestWireErrors:
         assert exc.value.code == "verdict-not-found"
 
     def test_connection_refused_is_typed(self):
-        dead = ServiceClient("127.0.0.1", 9)  # discard port: nothing listens
+        # retry=None: surface the raw transport error on first strike
+        dead = ServiceClient("127.0.0.1", 9, retry=None)
         with pytest.raises(ServiceError) as exc:
             dead.server_stats()
         assert exc.value.code == "connection-failed"
+        assert exc.value.http_status == 503
+
+    def test_connection_refused_exhausts_retries(self):
+        from repro.service import RetryPolicy
+
+        dead = ServiceClient("127.0.0.1", 9, retry=RetryPolicy(
+            max_attempts=2, base_delay=0.01, jitter=0.0, seed=7))
+        with pytest.raises(ServiceError) as exc:
+            dead.server_stats()
+        assert exc.value.code == "retries-exhausted"
         assert exc.value.http_status == 503
 
 

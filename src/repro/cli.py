@@ -95,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--cache-max-entries", type=int, default=None, metavar="N",
                           help="bound the global derivative cache to N entries "
                                "with LRU eviction (default: unbounded)")
+    validate.add_argument("--no-signature-cache", action="store_true",
+                          help="disable the neighbourhood-signature verdict "
+                               "dedupe (on by default in the whole-graph bulk "
+                               "modes); verdicts are identical, this is the "
+                               "measurement baseline for the hot-path "
+                               "benchmark")
     validate.add_argument("--store", choices=["dict", "columnar"], default="dict",
                           help="graph storage backend: 'dict' (hash-indexed, "
                                "default) or 'columnar' (dictionary-encoded "
@@ -125,6 +131,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="worker processes for both passes (default 1)")
     revalidate.add_argument("--no-precompile", action="store_true",
                             help="disable the compiled-schema fast paths")
+    revalidate.add_argument("--no-signature-cache", action="store_true",
+                            help="disable the neighbourhood-signature verdict "
+                                 "dedupe for both passes")
     revalidate.add_argument("--delta-only", action="store_true",
                             help="print only the recomputed (delta) entries "
                                  "instead of the full updated report")
@@ -309,12 +318,14 @@ def _command_validate(args: argparse.Namespace) -> int:
         validator = Validator(graph, schema, engine=_build_engine(args.engine),
                               shared_context=False, jobs=args.jobs,
                               precompile=not args.no_precompile,
+                              signature_cache=False,
                               **engine_options)
     else:
         session = ValidationSession(
             graph, schema, engine=_build_engine(args.engine), jobs=args.jobs,
             precompile=not args.no_precompile, use_cache=wants_cache,
-            cache_max_entries=args.cache_max_entries)
+            cache_max_entries=args.cache_max_entries,
+            use_signature_cache=not args.no_signature_cache)
         validator = session.validator
 
     if args.shape_map or args.shape_map_file:
@@ -361,7 +372,8 @@ def _command_revalidate(args: argparse.Namespace) -> int:
     labels = [args.shape] if args.shape else None
     session = ValidationSession(graph, schema, jobs=args.jobs,
                                 precompile=not args.no_precompile,
-                                use_cache=False)
+                                use_cache=False,
+                                use_signature_cache=not args.no_signature_cache)
     session.validate(labels=labels)
 
     additions = _load_graph(args.add, args.data_format) if args.add else ()

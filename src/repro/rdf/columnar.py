@@ -322,6 +322,27 @@ class ColumnarGraph(TripleStore):
             pairs.extend(tail_pairs)
         return pairs
 
+    def signature_pairs(self, node: SubjectTerm
+                        ) -> Optional[Tuple[int, Tuple[Tuple[int, int], ...]]]:
+        """Id-native raw material for a neighbourhood signature.
+
+        Returns ``(subject_id, sorted (predicate_id, object_id) pairs)`` for
+        ``node``, or ``None`` when the node is unknown to the dictionary
+        (its neighbourhood is empty and the caller should fall back to the
+        term path).  The pairs are sorted by integer id — a canonical order
+        that costs an int sort instead of term comparisons — and the ids let
+        :meth:`ValidationContext.node_signature` key its object-class memo
+        by ``(pid, oid)`` ints instead of term objects.
+        """
+        sid = self._dict.lookup(node)
+        if sid is None:
+            return None
+        return sid, tuple(sorted(self._subject_pairs(sid)))
+
+    def decode_id(self, tid: int):
+        """Materialise the term for ``tid`` (dictionary passthrough)."""
+        return self._dict.decode(tid)
+
     def triples(
         self,
         subject: Optional[SubjectTerm] = None,

@@ -32,7 +32,15 @@ __all__ = [
     "IRI_BASE",
     "BNODE_BASE",
     "LITERAL_BASE",
+    "DEFAULT_DECODE_MEMO_BOUND",
 ]
+
+#: default cap on the lazy id → term decode memo.  Streaming ingest of large
+#: graphs used to grow the memo without limit (every report, journal export
+#: or neighbourhood scan pins its decoded terms forever); the cap turns it
+#: into an LRU working set, mirroring the PR 4 intern-table bounds.  Eviction
+#: only ever costs a re-decode, never correctness — terms compare by value.
+DEFAULT_DECODE_MEMO_BOUND = 1 << 20
 
 #: per-kind id ranges: 2**40 ids per kind keeps every id far inside the
 #: signed-64-bit columns of the columnar store while making the kind of any
@@ -60,9 +68,13 @@ class TermDictionary:
         "_bnode_ids", "_bnode_values",
         "_literal_ids", "_literal_values",
         "_terms", "_sort_keys",
+        "max_decoded_terms", "_decoded_total", "_decode_evictions",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, max_decoded_terms: Optional[int] = DEFAULT_DECODE_MEMO_BOUND) -> None:
+        if max_decoded_terms is not None and max_decoded_terms < 1:
+            raise GraphError(
+                "max_decoded_terms must be at least 1 (or None for unbounded)")
         self._iri_ids: Dict[str, int] = {}
         self._iri_values: List[str] = []
         self._bnode_ids: Dict[str, int] = {}
@@ -71,16 +83,27 @@ class TermDictionary:
         self._literal_values: List[_LiteralKey] = []
         #: flat id → term memo — one dict for all three kinds, so the hot
         #: decode path (and the scan loops that inline ``_terms.get``) is a
-        #: single hash probe with no range dispatch.
+        #: single hash probe with no range dispatch.  Bounded: dict order is
+        #: the LRU order (:meth:`decode` refreshes recency on hit; the scan
+        #: loops that inline ``_terms.get`` skip the refresh, making the
+        #: policy approximate but the hot probe branch-free).
         self._terms: Dict[int, Union[IRI, BNode, Literal]] = {}
         #: id → term sort key, memoised (scan ordering sorts id pairs by
         #: these instead of building term sort keys per scan).
         self._sort_keys: Dict[int, tuple] = {}
+        self.max_decoded_terms = max_decoded_terms
+        self._decoded_total = 0
+        self._decode_evictions = 0
 
     @property
     def decoded_terms(self) -> int:
-        """Number of term objects materialised from ids so far."""
+        """Number of term objects currently memoised (the decode working set)."""
         return len(self._terms)
+
+    @property
+    def decode_evictions(self) -> int:
+        """Number of memoised terms evicted by the ``max_decoded_terms`` cap."""
+        return self._decode_evictions
 
     # ------------------------------------------------------------------ encode
     def encode_iri(self, value: str) -> int:
@@ -147,9 +170,14 @@ class TermDictionary:
 
     # ------------------------------------------------------------------ decode
     def decode(self, tid: int) -> Union[IRI, BNode, Literal]:
-        """Materialise the term for ``tid`` (memoised, one object per id)."""
-        term = self._terms.get(tid)
+        """Materialise the term for ``tid`` (memoised, evicted past the cap)."""
+        terms = self._terms
+        term = terms.get(tid)
         if term is not None:
+            if self.max_decoded_terms is not None:
+                # refresh recency: dict order is the LRU order when bounded.
+                del terms[tid]
+                terms[tid] = term
             return term
         if tid >= LITERAL_BASE:
             lexical, datatype, lang = self._literal_values[tid - LITERAL_BASE]
@@ -161,7 +189,11 @@ class TermDictionary:
             term = BNode(self._bnode_values[tid - BNODE_BASE])
         else:
             term = IRI(self._iri_values[tid])
-        self._terms[tid] = term
+        terms[tid] = term
+        self._decoded_total += 1
+        if self.max_decoded_terms is not None and len(terms) > self.max_decoded_terms:
+            del terms[next(iter(terms))]
+            self._decode_evictions += 1
         return term
 
     # ------------------------------------------------------------- id algebra
@@ -217,6 +249,10 @@ class TermDictionary:
             "bnodes": len(self._bnode_values),
             "literals": len(self._literal_values),
             "decoded_terms": self.decoded_terms,
+            "decoded_total": self._decoded_total,
+            "decode_evictions": self._decode_evictions,
+            "max_decoded_terms": (self.max_decoded_terms
+                                  if self.max_decoded_terms is not None else 0),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -19,7 +19,8 @@ from __future__ import annotations
 from array import array
 from collections import defaultdict
 from contextlib import contextmanager
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (AbstractSet, Dict, FrozenSet, Iterable, Iterator, List,
+                    Mapping, Optional, Set, Tuple)
 
 from .errors import GraphError, StaleSnapshotError
 from .namespaces import NamespaceManager
@@ -389,6 +390,17 @@ class TripleStore:
         """
         return self.neighbourhood(node)
 
+    def signature_pairs(self, node: SubjectTerm) -> Optional[tuple]:
+        """Id-native raw material for a neighbourhood signature, or ``None``.
+
+        The columnar store overrides this with ``(subject_id, sorted
+        (predicate_id, object_id) pairs)`` straight from its int indexes;
+        term-object stores answer ``None`` and signature construction falls
+        back to :meth:`neighbourhood_any` term pairs.  Either path yields the
+        same canonical signature *classes* — only the memo keys differ.
+        """
+        return None
+
     def neighbourhood_view(self, node: SubjectTerm) -> "NeighbourhoodView":
         """Return a :class:`NeighbourhoodView` over ``Σgₙ``."""
         return NeighbourhoodView(node, self.neighbourhood(node))
@@ -648,6 +660,19 @@ class Graph(TripleStore):
         if not by_pred:
             return {}
         return {p: len(objects) for p, objects in by_pred.items()}
+
+    def predicate_objects(self, node: SubjectTerm) -> Mapping[IRI, AbstractSet[ObjectTerm]]:
+        """Out-edge objects of ``node``, grouped by predicate, zero-copy.
+
+        Returns the store's live SPO bucket — callers MUST treat it as
+        read-only and must not hold it across mutations.  Neighbourhood
+        signatures are built from this view: grouping by predicate lets the
+        builder resolve each predicate's candidate atoms once and skip
+        :class:`Triple` construction entirely, which matters when thousands
+        of subjects are probed and most never reach the engine.
+        """
+        by_pred = self._spo.get(node)
+        return by_pred if by_pred is not None else {}
 
     # ------------------------------------------------------ paper-level algebra
     def neighbourhood(self, node: SubjectTerm) -> FrozenSet[Triple]:

@@ -413,11 +413,14 @@ class ServiceStats:
     subsystems: ``store`` (storage backend, with a nested ``dictionary``
     group for columnar stores), ``journal`` (change journal), ``prefilter``
     (compiled-schema counters, empty when precompilation is off), ``cache``
-    (derivative cache, empty when no global cache is active), ``verdicts``
-    (settled/provisional context counts + maintained baseline size),
-    ``session`` (request counters of the owning session) and ``fleet``
-    (resident shard fleet health: worker liveness, respawns, per-shard
-    replica counters — empty for unsharded sessions).
+    (derivative cache, empty when no global cache is active), ``signature``
+    (neighbourhood-signature verdict cache, empty when dedupe is off),
+    ``profile`` (per-phase hot-path wall-clock counters from
+    :class:`~repro.shex.results.MatchStats`, empty until a run recorded
+    any), ``verdicts`` (settled/provisional context counts + maintained
+    baseline size), ``session`` (request counters of the owning session)
+    and ``fleet`` (resident shard fleet health: worker liveness, respawns,
+    per-shard replica counters — empty for unsharded sessions).
     """
 
     generation: int = 0
@@ -425,6 +428,8 @@ class ServiceStats:
     journal: Dict[str, Any] = field(default_factory=dict)
     prefilter: Dict[str, Any] = field(default_factory=dict)
     cache: Dict[str, Any] = field(default_factory=dict)
+    signature: Dict[str, Any] = field(default_factory=dict)
+    profile: Dict[str, Any] = field(default_factory=dict)
     verdicts: Dict[str, Any] = field(default_factory=dict)
     session: Dict[str, Any] = field(default_factory=dict)
     fleet: Dict[str, Any] = field(default_factory=dict)
@@ -437,6 +442,8 @@ class ServiceStats:
             "journal": dict(self.journal),
             "prefilter": dict(self.prefilter),
             "cache": dict(self.cache),
+            "signature": dict(self.signature),
+            "profile": dict(self.profile),
             "verdicts": dict(self.verdicts),
             "session": dict(self.session),
             "fleet": dict(self.fleet),
@@ -451,6 +458,8 @@ class ServiceStats:
                    journal=_counter_dict(data, "journal"),
                    prefilter=_counter_dict(data, "prefilter"),
                    cache=_counter_dict(data, "cache"),
+                   signature=_counter_dict(data, "signature"),
+                   profile=_counter_dict(data, "profile"),
                    verdicts=_counter_dict(data, "verdicts"),
                    session=_counter_dict(data, "session"),
                    fleet=_counter_dict(data, "fleet"))
@@ -503,6 +512,27 @@ class ServiceStats:
                          f"hit_rate={hit_rate:.1%}")
         else:
             lines.append("cache-stats: no derivative cache active")
+        if self.signature:
+            signature = self.signature
+            bound = signature.get("max_entries") or "unbounded"
+            hit_rate = signature.get("hit_rate", 0.0)
+            lines.append("signature-stats: "
+                         f"hits={signature.get('hits', 0)} "
+                         f"misses={signature.get('misses', 0)} "
+                         f"dedupes={signature.get('dedupes', 0)} "
+                         f"evictions={signature.get('evictions', 0)} "
+                         f"signatures={signature.get('signatures', 0)} "
+                         f"max_entries={bound} "
+                         f"hit_rate={hit_rate:.1%}")
+        else:
+            lines.append("signature-stats: no signature cache active")
+        if self.profile:
+            profile = self.profile
+            rendered = " ".join(
+                f"{key}={value:.4f}" if isinstance(value, float)
+                else f"{key}={value}"
+                for key, value in profile.items())
+            lines.append(f"profile-stats: {rendered}")
         if self.fleet.get("started"):
             fleet = self.fleet
             lines.append("fleet-stats: "

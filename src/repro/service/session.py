@@ -87,7 +87,29 @@ def collect_stats(validator: Validator, totals: MatchStats,
     else:
         cache = dict(cache_obj.stats())
         cache["hit_rate"] = round(cache_obj.hit_rate, 4)
+    signature_obj = getattr(validator, "signature_cache", None)
+    if signature_obj is None:
+        signature = {}
+    else:
+        signature = dict(signature_obj.stats())
+        signature["hit_rate"] = round(signature_obj.hit_rate, 4)
     context = getattr(validator, "_context", None)
+    # the shared context's cumulative stats include the probe/store work that
+    # happens *between* per-entry snapshot windows (signature misses, build
+    # time); the per-entry totals are the fallback for fresh-context modes.
+    profiled = context.stats if context is not None else totals
+    profile = {
+        "signature_hits": profiled.signature_hits,
+        "signature_misses": profiled.signature_misses,
+        "signature_dedupes": profiled.signature_dedupes,
+        "signature_time": round(profiled.signature_time, 6),
+        "prefilter_time": round(profiled.prefilter_time, 6),
+        "dispatch_time": round(profiled.dispatch_time, 6),
+        "backtrack_time": round(profiled.backtrack_time, 6),
+        "cache_time": round(profiled.cache_time, 6),
+    }
+    if not any(profile.values()):
+        profile = {}
     verdicts = dict(context.settled_counts()) if context is not None else {}
     entries = getattr(validator, "_incremental_entries", None)
     verdicts["maintained_pairs"] = len(entries) if entries else 0
@@ -96,7 +118,8 @@ def collect_stats(validator: Validator, totals: MatchStats,
     return ServiceStats(
         generation=getattr(graph, "generation", 0),
         store=store, journal=journal, prefilter=prefilter,
-        cache=cache, verdicts=verdicts,
+        cache=cache, signature=signature, profile=profile,
+        verdicts=verdicts,
         session=dict(session_info or {}),
         fleet=fleet)
 
@@ -108,7 +131,9 @@ class ValidationSession:
     ``jobs`` picks the SCC-parallel scheduler, ``shards`` the hash-sharded
     one (``shards > 1`` wins; both ``1`` means serial), ``precompile`` the
     compiled-schema fast paths, ``use_cache``/``cache_max_entries`` the
-    global derivative cache.  The session takes ownership of ``graph``:
+    global derivative cache, ``use_signature_cache`` the
+    neighbourhood-signature verdict dedupe (on by default; CLI
+    ``--no-signature-cache``).  The session takes ownership of ``graph``:
     mutate it only through :meth:`apply_changes`, or the maintained baseline
     goes stale and verdict queries start failing with ``stale-baseline``.
     """
@@ -120,6 +145,7 @@ class ValidationSession:
                  precompile: bool = True,
                  use_cache: bool = True,
                  cache_max_entries: Optional[int] = None,
+                 use_signature_cache: bool = True,
                  max_recursion_depth: int = 500,
                  fleet_response_timeout: float = 120.0,
                  fault_plan=None,
@@ -146,6 +172,7 @@ class ValidationSession:
             self.validator = Validator(
                 graph, schema, engine=engine, jobs=self.jobs,
                 precompile=precompile,
+                signature_cache=None if use_signature_cache else False,
                 max_recursion_depth=max_recursion_depth, **engine_options)
         self._lock = threading.RLock()
         self._totals = MatchStats()
@@ -173,6 +200,7 @@ class ValidationSession:
                      default_resident: bool = True,
                      precompile: bool = True,
                      cache_max_entries: Optional[int] = None,
+                     use_signature_cache: bool = True,
                      fleet_response_timeout: float = 120.0,
                      fault_plan=None,
                      delta_ledger_size: int = 256,
@@ -210,6 +238,7 @@ class ValidationSession:
         return cls(graph, schema, jobs=jobs, shards=shards,
                    resident=default_resident, precompile=precompile,
                    cache_max_entries=cache_max_entries,
+                   use_signature_cache=use_signature_cache,
                    fleet_response_timeout=fleet_response_timeout,
                    fault_plan=fault_plan,
                    delta_ledger_size=delta_ledger_size)

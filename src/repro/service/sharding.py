@@ -443,7 +443,10 @@ class ShardedValidator(Validator):
                 futures.append(pool.submit(
                     _parallel_worker_run, pairs, seed_confirmed, seed_failed))
             for future in futures:
-                worker_entries, confirmed, failed = future.result()
+                worker_entries, confirmed, failed, worker_stats = future.result()
+                # per-phase profile counters accrued inside the shard worker
+                # survive into the coordinator's context, as on --jobs runs
+                context.stats = context.stats.merge(worker_stats)
                 for entry in worker_entries:
                     entries[(entry.node, entry.label)] = entry
                 # two shards can settle the same cross-shard target; the

@@ -26,6 +26,8 @@ derivative engine, so recursion behaves identically in both engines.
 
 from __future__ import annotations
 
+import threading
+from time import perf_counter
 from typing import FrozenSet, Iterable, Iterator, Optional, Tuple
 
 from ..rdf.graph import decompositions
@@ -74,8 +76,13 @@ class BacktrackingEngine:
 
     name = "backtracking"
 
+    #: below this neighbourhood size the search runs on the caller's stack;
+    #: the decomposition space is too small for stack placement to matter.
+    _SEARCH_THREAD_MIN_TRIPLES = 6
+
     def __init__(self, budget: Optional[int] = None):
         self.budget = budget
+        self._search_thread: Optional[threading.Thread] = None
 
     # -- public API -------------------------------------------------------------
     def match_neighbourhood(self, expr: ShapeExpr, triples: FrozenSet[Triple],
@@ -83,10 +90,15 @@ class BacktrackingEngine:
         """Match a node neighbourhood against ``expr`` by backtracking search."""
         stats = MatchStats()
         triples = frozenset(triples)
+        # per-phase profile: backtracking search time, accumulated into the
+        # context's stats when one is present (mirroring dispatch_time in the
+        # derivative engine), else into the local record.
+        target = context.stats if context is not None else stats
+        start = perf_counter()
         try:
-            matched = self._match(expr, triples, context, stats)
-        except BacktrackingBudgetExceeded:
-            raise
+            matched = self._search(expr, triples, context, stats)
+        finally:
+            target.backtrack_time += perf_counter() - start
         typing = typing_of(context)
         if matched:
             return MatchResult(True, typing, stats)
@@ -98,6 +110,45 @@ class BacktrackingEngine:
     __call__ = match_neighbourhood
 
     # -- rule interpreter ---------------------------------------------------------
+    def _search(self, expr: ShapeExpr, triples: FrozenSet[Triple],
+                context: Optional[ValidationContext], stats: MatchStats) -> bool:
+        """Run the exponential search from a deterministic stack depth.
+
+        CPython 3.11 allocates the interpreter frame stack in fixed-size
+        chunks; a recursion that oscillates across a chunk edge pays a page
+        allocation and release per crossing, so the wall time of a deep
+        backtracking search can swing an order of magnitude with the
+        *caller's* stack depth.  Running the top-level search on a fresh
+        thread pins the starting depth to a small constant, making the cost
+        reproducible no matter how deeply the harness buried the call.
+        Re-entries through ``check_reference`` already execute on the search
+        thread and stay inline, as do small neighbourhoods where the search
+        cannot go deep enough to care.
+        """
+        if (len(triples) < self._SEARCH_THREAD_MIN_TRIPLES
+                or self._search_thread is threading.current_thread()):
+            return self._match(expr, triples, context, stats)
+        outcome = []
+
+        def run() -> None:
+            try:
+                outcome.append((True, self._match(expr, triples, context, stats)))
+            except BaseException as error:  # re-raised on the calling thread
+                outcome.append((False, error))
+
+        worker = threading.Thread(target=run, name="backtracking-search",
+                                  daemon=True)
+        self._search_thread = worker
+        try:
+            worker.start()
+            worker.join()
+        finally:
+            self._search_thread = None
+        ok, payload = outcome[0]
+        if ok:
+            return payload
+        raise payload
+
     def _tick(self, stats: MatchStats) -> None:
         stats.rule_applications += 1
         if self.budget is not None and stats.rule_applications > self.budget:

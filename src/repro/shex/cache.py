@@ -35,7 +35,7 @@ from ..rdf.terms import ObjectTerm
 from .expressions import Arc, ShapeExpr, iter_subexpressions
 from .node_constraints import NodeConstraint, PredicateSet, ShapeRef
 
-__all__ = ["DerivativeCache"]
+__all__ = ["DerivativeCache", "SignatureCache"]
 
 #: one ``(predicate-set, object-constraint)`` atom of an expression.
 ArcAtom = Tuple[PredicateSet, NodeConstraint]
@@ -180,4 +180,101 @@ class DerivativeCache:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"DerivativeCache({len(self._derivatives)} derivatives, "
+                f"{self.hits} hits / {self.misses} misses)")
+
+
+class SignatureCache:
+    """Bounded ``(neighbourhood signature, shape label) → verdict`` memo.
+
+    The dominant redundancy of hub-heavy KB graphs lives one level *above*
+    the derivative cache: whole subjects share byte-identical neighbourhood
+    structure, so even a perfectly cached derivative chain is replayed once
+    per node.  This cache short-circuits the entire engine run for a subject
+    whose canonical *neighbourhood signature* — a sorted multiset of
+    ``(predicate, object-class)`` pairs, see
+    :meth:`ValidationContext.node_signature` — was already validated against
+    the same shape label.
+
+    Soundness rests on two gates enforced by the caller, never by the cache:
+
+    * only *settled* verdicts are stored (no hypothesis-bound provisional
+      outcomes, no budget-poisoned results), and
+    * only signature-*closed* subjects participate — subjects whose verdict
+      is a pure function of the one-hop signature because every shape
+      reference any candidate atom could apply to one of their objects is
+      statically decided by the compiled prefilter (and no object is the
+      subject itself).  Ineligible subjects get no signature at all
+      (:meth:`ValidationContext.node_signature` returns ``None``).
+
+    Entries are keyed by signature structure only, so one instance may serve
+    any number of nodes and validation runs over the same (graph generation,
+    schema) pair; callers drop it wholesale when the graph mutates.  When
+    ``max_entries`` is set the table evicts least-recently-used entries,
+    mirroring :class:`DerivativeCache`.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1 (or None for unbounded)")
+        self.max_entries = max_entries
+        #: (signature, label) → (conforms, failure reason)
+        self._verdicts: Dict[Tuple[object, object], Tuple[bool, str]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.dedupes = 0
+        self.evictions = 0
+
+    def clear(self) -> None:
+        """Drop every cached verdict (counters included)."""
+        self._verdicts.clear()
+        self.hits = 0
+        self.misses = 0
+        self.dedupes = 0
+        self.evictions = 0
+
+    def lookup(self, signature: object, label: object) -> Optional[Tuple[bool, str]]:
+        """Return the cached ``(conforms, reason)`` verdict, if any."""
+        key = (signature, label)
+        cached = self._verdicts.get(key)
+        if cached is not None:
+            self.hits += 1
+            if self.max_entries is not None:
+                # refresh recency: dict order is the LRU order when bounded.
+                del self._verdicts[key]
+                self._verdicts[key] = cached
+        else:
+            self.misses += 1
+        return cached
+
+    def store(self, signature: object, label: object,
+              conforms: bool, reason: str = "") -> None:
+        """Record a settled verdict for every node sharing this signature."""
+        self._verdicts[(signature, label)] = (conforms, reason)
+        self.dedupes += 1
+        if self.max_entries is not None and len(self._verdicts) > self.max_entries:
+            self._verdicts.pop(next(iter(self._verdicts)))
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of signature lookups answered from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, int]:
+        """Return table size and hit/miss/dedupe/eviction counters."""
+        return {
+            "signatures": len(self._verdicts),
+            "hits": self.hits,
+            "misses": self.misses,
+            "dedupes": self.dedupes,
+            "evictions": self.evictions,
+            "max_entries": self.max_entries if self.max_entries is not None else 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._verdicts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SignatureCache({len(self._verdicts)} signatures, "
                 f"{self.hits} hits / {self.misses} misses)")

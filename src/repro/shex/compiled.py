@@ -356,6 +356,8 @@ class CompiledSchema:
         self.known_atoms: FrozenSet[ArcAtom] = frozenset(known)
         #: memoised candidate sets per concrete predicate seen in the data.
         self._candidates: Dict[IRI, FrozenSet[ArcAtom]] = {}
+        #: memoised *ordered* candidate tuples per predicate (signature path).
+        self._signature_atoms: Dict[IRI, Tuple] = {}
 
     # -- accessors -------------------------------------------------------------
     def shape(self, label: ShapeLabel | str) -> CompiledShape:
@@ -397,6 +399,36 @@ class CompiledSchema:
                 atoms.add(atom)
         result = frozenset(atoms)
         _memo_insert(self._candidates, predicate, result)
+        return result
+
+    def signature_atoms(self, predicate: IRI
+                        ) -> Tuple[Tuple[ArcAtom, object], ...]:
+        """:meth:`candidate_atoms` in a *deterministic* order, with ref labels.
+
+        Neighbourhood signatures record one verdict bit per candidate atom, so
+        the bit order must be identical every time a signature is built — a
+        ``frozenset`` iterates in hash-table order, which can differ between
+        processes and even between rebuilds after memo eviction.  This
+        accessor sorts the atoms by their (stable) textual form once per
+        predicate and pairs each with the referenced shape label (``None``
+        for plain constraints), pre-answering the ``isinstance(constraint,
+        ShapeRef)`` test the signature loop would otherwise repeat per triple.
+        """
+        cached = self._signature_atoms.get(predicate)
+        if cached is not None:
+            return cached
+        ordered = sorted(
+            self.candidate_atoms(predicate),
+            key=lambda atom: (atom[0].describe(), atom[1].describe(), repr(atom)),
+        )
+        def _ref_label(constraint) -> Optional[ShapeLabel]:
+            if not isinstance(constraint, ShapeRef):
+                return None
+            label = constraint.label
+            return label if isinstance(label, ShapeLabel) else ShapeLabel(str(label))
+
+        result = tuple((atom, _ref_label(atom[1])) for atom in ordered)
+        _memo_insert(self._signature_atoms, predicate, result)
         return result
 
     # -- the prefilter ---------------------------------------------------------

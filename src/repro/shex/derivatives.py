@@ -26,6 +26,7 @@ The :class:`DerivativeEngine` adds the engineering the paper alludes to:
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..rdf.graph import OrderedTriples
@@ -279,16 +280,15 @@ class DerivativeEngine:
         stats.observe_expression_size(expression_size(expr))
         ordered = self.order_triples(triples)
         global_cache = self.cache
+        if global_cache is not None:
+            return self._match_flattened(expr, ordered, context,
+                                         global_cache, stats)
         cache: Optional[Dict[Tuple[ShapeExpr, Triple], ShapeExpr]] = (
-            {} if global_cache is None and self.memoize and not _has_references(expr)
-            else None
+            {} if self.memoize and not _has_references(expr) else None
         )
         current = expr
         for triple in ordered:
-            if global_cache is not None:
-                current = self._cached_derivative(current, triple, context,
-                                                  global_cache, stats)
-            elif cache is not None:
+            if cache is not None:
                 key = (current, triple)
                 cached = cache.get(key)
                 if cached is None:
@@ -317,16 +317,25 @@ class DerivativeEngine:
     # engines are also used directly as NeighbourhoodMatcher callables
     __call__ = match_neighbourhood
 
-    def _cached_derivative(self, expr: ShapeExpr, triple: Triple,
-                           context: Optional[ValidationContext],
-                           cache: DerivativeCache,
-                           stats: MatchStats) -> ShapeExpr:
-        """One derivative step through the global cross-node cache.
+    def _match_flattened(self, expr: ShapeExpr, ordered: List[Triple],
+                         context: Optional[ValidationContext],
+                         cache: DerivativeCache,
+                         stats: MatchStats) -> MatchResult:
+        """The global-cache matching loop, flattened for the hot path.
 
-        The triple is first abstracted into its verdict vector over the
+        Each triple is abstracted into its verdict vector over the current
         expression's arc atoms (resolving shape references through the
         context, with the usual side effects); the structural derivative for
-        that vector is then looked up or computed once.
+        that vector is then looked up or computed once per distinct vector.
+        Compared to the naive per-triple step, everything loop-invariant is
+        hoisted out (bound methods, the compiled tables, the candidate-atom
+        set per *run* of equal predicates — the neighbourhood is
+        predicate-sorted) and the verdict bits go into a scratch buffer
+        reused across triples; the per-atom verdict *dict* is only
+        materialised on a cache miss, so the steady-state hit path allocates
+        nothing but the lookup key.  The scratch buffer is local to this
+        call: a reference check can re-enter the engine, and a shared
+        per-engine buffer would be clobbered by the nested activation.
 
         When the context carries a :class:`~repro.shex.compiled.CompiledSchema`
         the predicate test per atom is answered from its predicate-indexed
@@ -334,43 +343,86 @@ class DerivativeEngine:
         triple's predicate) instead of re-running ``PredicateSet.matches``
         for every atom at every step.  Atoms outside the compiled tables
         (bare expressions not part of the schema) keep the direct test.
+
+        The loop also feeds the per-phase profile: wall time spent here goes
+        to ``dispatch_time``, the slice spent in global-cache lookups and
+        stores to ``cache_time`` — accumulated into the context's stats when
+        one is present (per-entry deltas are carved out of those by the bulk
+        path), else into the local record.
         """
-        atoms = cache.atoms_for(expr)
+        simplify = self.simplify
+        atoms_for = cache.atoms_for
+        lookup = cache.lookup
+        store = cache.store
+        constraint_verdict = cache.constraint_verdict
+        check_reference = context.check_reference if context is not None else None
         compiled = getattr(context, "compiled", None)
-        if compiled is not None:
-            known_atoms = compiled.known_atoms
-            candidates = compiled.candidate_atoms(triple.predicate)
-        else:
-            known_atoms = candidates = None
-        verdicts: Dict[ArcAtom, bool] = {}
-        signature: List[bool] = []
-        for atom in atoms:
-            predicate_set, constraint = atom
-            stats.arc_checks += 1
-            if known_atoms is not None and atom in known_atoms:
-                admits = atom in candidates
-            else:
-                admits = predicate_set.matches(triple.predicate)
-            if not admits:
-                verdict = False
-            elif isinstance(constraint, ShapeRef):
-                if context is None:
-                    raise TypeError(
-                        "derivative of a shape-reference arc requires a ValidationContext"
-                    )
-                verdict = context.check_reference(triple.object, constraint.label).matched
-            else:
-                verdict = cache.constraint_verdict(constraint, triple.object)
-            verdicts[atom] = verdict
-            signature.append(verdict)
-        # the simplify flag changes the structural result, so it is part of
-        # the key: one cache can safely serve differently-configured engines
-        key_signature = (self.simplify, *signature)
-        cached = cache.lookup(expr, key_signature)
-        if cached is None:
-            cached = _derivative_by_verdicts(expr, verdicts, self.simplify, stats)
-            cache.store(expr, key_signature, cached)
-        return cached
+        known_atoms = compiled.known_atoms if compiled is not None else None
+        candidate_atoms = compiled.candidate_atoms if compiled is not None else None
+        target = context.stats if context is not None else stats
+        scratch: List[bool] = []
+        last_predicate = None
+        candidates: Optional[FrozenSet[ArcAtom]] = None
+        current = expr
+        cache_clock = 0.0
+        start = perf_counter()
+        for triple in ordered:
+            predicate = triple.predicate
+            obj = triple.object
+            if predicate is not last_predicate and predicate != last_predicate:
+                last_predicate = predicate
+                if candidate_atoms is not None:
+                    candidates = candidate_atoms(predicate)
+            atoms = atoms_for(current)
+            stats.arc_checks += len(atoms)
+            del scratch[:]
+            for atom in atoms:
+                if known_atoms is not None and atom in known_atoms:
+                    admits = atom in candidates
+                else:
+                    admits = atom[0].matches(predicate)
+                if not admits:
+                    scratch.append(False)
+                elif isinstance(atom[1], ShapeRef):
+                    if check_reference is None:
+                        raise TypeError(
+                            "derivative of a shape-reference arc requires a "
+                            "ValidationContext"
+                        )
+                    scratch.append(check_reference(obj, atom[1].label).matched)
+                else:
+                    scratch.append(constraint_verdict(atom[1], obj))
+            # the simplify flag changes the structural result, so it is part
+            # of the key: one cache safely serves differently-configured
+            # engines.
+            key_signature = (simplify, *scratch)
+            step = perf_counter()
+            current_next = lookup(current, key_signature)
+            if current_next is None:
+                verdicts: Dict[ArcAtom, bool] = dict(zip(atoms, scratch))
+                current_next = _derivative_by_verdicts(current, verdicts,
+                                                       simplify, stats)
+                store(current, key_signature, current_next)
+            cache_clock += perf_counter() - step
+            current = current_next
+            stats.observe_expression_size(expression_size(current))
+            if isinstance(current, Empty):
+                target.dispatch_time += perf_counter() - start - cache_clock
+                target.cache_time += cache_clock
+                return MatchResult(
+                    False, typing_of(context), stats,
+                    reason=f"no continuation after consuming {triple.n3()}",
+                )
+        target.dispatch_time += perf_counter() - start - cache_clock
+        target.cache_time += cache_clock
+        typing = typing_of(context)
+        if nullable(current):
+            return MatchResult(True, typing, stats)
+        return MatchResult(
+            False, typing, stats,
+            reason="remaining expression is not nullable "
+                   f"(missing required arcs): {current.to_str()}",
+        )
 
 
 def _derivative_by_verdicts(expr: ShapeExpr, verdicts: Mapping[ArcAtom, bool],

@@ -123,6 +123,21 @@ class ReferenceIndex:
         self._memo[predicate] = result
         return result
 
+    def demands(self, predicate: IRI) -> bool:
+        """True when a triple with this predicate can trigger any reference.
+
+        Cheap pre-screen for the signature hot path: reference-free
+        predicates (the vast majority in hub-heavy KB data) skip the
+        per-atom reference bookkeeping entirely.  Exact entries answer in
+        one dict probe; stems/wildcards fall back to the memoised
+        :meth:`labels_for`.
+        """
+        if predicate in self._exact:
+            return True
+        if not self._general:
+            return False
+        return bool(self.labels_for(predicate))
+
     def referrer_labels_for(self, predicate: IRI) -> FrozenSet[ShapeLabel]:
         """Labels of shapes that can *follow* a triple with this predicate.
 

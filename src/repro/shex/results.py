@@ -37,6 +37,18 @@ class MatchStats:
     prefilter_accepts / prefilter_rejects:
         ``(node, label)`` pairs decided statically by the compiled-schema
         prefilter (:mod:`repro.shex.compiled`), without running an engine.
+    signature_hits / signature_misses / signature_dedupes:
+        neighbourhood-signature cache traffic: lookups answered from the
+        :class:`~repro.shex.cache.SignatureCache`, lookups that missed, and
+        verdicts *stored* for structurally identical nodes to reuse later.
+        A hit means the engine never ran for that ``(node, label)`` pair.
+    signature_time / prefilter_time / dispatch_time / backtrack_time /
+    cache_time:
+        per-phase wall-clock accumulators (seconds) for the profile-guided
+        hot path: signature construction + cache probes, static prefilter
+        passes, the flattened derivative dispatch loop, backtracking-engine
+        search, and global derivative-cache bookkeeping.  They subtract like
+        ordinary counters in :meth:`delta_since`.
     max_expression_size:
         largest expression (AST node count) materialised during matching;
         tracks the derivative growth discussed in Example 10.
@@ -49,6 +61,14 @@ class MatchStats:
     reference_checks: int = 0
     prefilter_accepts: int = 0
     prefilter_rejects: int = 0
+    signature_hits: int = 0
+    signature_misses: int = 0
+    signature_dedupes: int = 0
+    signature_time: float = 0.0
+    prefilter_time: float = 0.0
+    dispatch_time: float = 0.0
+    backtrack_time: float = 0.0
+    cache_time: float = 0.0
     max_expression_size: int = 0
 
     def observe_expression_size(self, size: int) -> None:
@@ -69,6 +89,14 @@ class MatchStats:
         self.reference_checks += other.reference_checks
         self.prefilter_accepts += other.prefilter_accepts
         self.prefilter_rejects += other.prefilter_rejects
+        self.signature_hits += other.signature_hits
+        self.signature_misses += other.signature_misses
+        self.signature_dedupes += other.signature_dedupes
+        self.signature_time += other.signature_time
+        self.prefilter_time += other.prefilter_time
+        self.dispatch_time += other.dispatch_time
+        self.backtrack_time += other.backtrack_time
+        self.cache_time += other.cache_time
         self.max_expression_size = max(self.max_expression_size, other.max_expression_size)
         return self
 
@@ -82,6 +110,14 @@ class MatchStats:
             reference_checks=self.reference_checks,
             prefilter_accepts=self.prefilter_accepts,
             prefilter_rejects=self.prefilter_rejects,
+            signature_hits=self.signature_hits,
+            signature_misses=self.signature_misses,
+            signature_dedupes=self.signature_dedupes,
+            signature_time=self.signature_time,
+            prefilter_time=self.prefilter_time,
+            dispatch_time=self.dispatch_time,
+            backtrack_time=self.backtrack_time,
+            cache_time=self.cache_time,
             max_expression_size=self.max_expression_size,
         )
 
@@ -105,6 +141,14 @@ class MatchStats:
             reference_checks=self.reference_checks - before.reference_checks,
             prefilter_accepts=self.prefilter_accepts - before.prefilter_accepts,
             prefilter_rejects=self.prefilter_rejects - before.prefilter_rejects,
+            signature_hits=self.signature_hits - before.signature_hits,
+            signature_misses=self.signature_misses - before.signature_misses,
+            signature_dedupes=self.signature_dedupes - before.signature_dedupes,
+            signature_time=self.signature_time - before.signature_time,
+            prefilter_time=self.prefilter_time - before.prefilter_time,
+            dispatch_time=self.dispatch_time - before.dispatch_time,
+            backtrack_time=self.backtrack_time - before.backtrack_time,
+            cache_time=self.cache_time - before.cache_time,
             max_expression_size=self.max_expression_size,
         )
 
@@ -118,6 +162,14 @@ class MatchStats:
             "reference_checks": self.reference_checks,
             "prefilter_accepts": self.prefilter_accepts,
             "prefilter_rejects": self.prefilter_rejects,
+            "signature_hits": self.signature_hits,
+            "signature_misses": self.signature_misses,
+            "signature_dedupes": self.signature_dedupes,
+            "signature_time": self.signature_time,
+            "prefilter_time": self.prefilter_time,
+            "dispatch_time": self.dispatch_time,
+            "backtrack_time": self.backtrack_time,
+            "cache_time": self.cache_time,
             "max_expression_size": self.max_expression_size,
         }
 

@@ -19,6 +19,7 @@ This module provides:
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import (
     Callable,
     Dict,
@@ -183,6 +184,16 @@ class _LazyNeighbourhood:
     def __iter__(self):
         return iter(self._fetch(self._node))
 
+def _signature_sort_key(item: tuple) -> tuple:
+    """Canonical order for term-keyed signature items: (predicate, bits)."""
+    return (item[0].sort_key(), item[1])
+
+
+#: sentinel for object-class memo misses — ``None`` is a valid memoised class
+#: (signature-open object), so ``dict.get`` needs a distinct default.
+_NO_CLASS = object()
+
+
 #: sentinel dependency depth marking an outcome forced by the recursion-depth
 #: budget; it never resolves (no frame ever settles at this depth), so the
 #: poison propagates to every enclosing frame and nothing gets cached.
@@ -234,7 +245,8 @@ class ValidationContext:
     def __init__(self, graph: Graph, schema: Optional[Schema],
                  matcher: NeighbourhoodMatcher,
                  max_recursion_depth: int = 500,
-                 compiled: Optional[object] = None):
+                 compiled: Optional[object] = None,
+                 reference_index: Optional[object] = None):
         self.graph = graph
         self.schema = schema
         #: optional :class:`~repro.shex.compiled.CompiledSchema` enabling the
@@ -286,6 +298,29 @@ class ValidationContext:
         # neighbourhood triples (both triple stores can; snapshots cannot)
         # let the prefilter decide count-only shapes with no triples at all.
         self._graph_predicate_counts = getattr(graph, "predicate_counts", None)
+        #: schema-level reference index (duck-typed
+        #: :class:`~repro.shex.partition.ReferenceIndex`); signature
+        #: construction uses it to skip the self-reference eligibility tests
+        #: outright for reference-free schemas.  Optional — without it the
+        #: per-atom reference labels from ``signature_atoms`` decide alone.
+        self.reference_index = reference_index
+        #: neighbourhood-signature verdict cache attached by the bulk
+        #: validator (:class:`~repro.shex.cache.SignatureCache`); ``None``
+        #: disables the signature fast path.
+        self.signature_cache = None
+        #: node → canonical signature memo.  Presence-keyed, because ``None``
+        #: (signature-open, engine must run) is a valid memoised answer.
+        self._signatures: Dict[ObjectTerm, Optional[tuple]] = {}
+        #: object-class memo: ``(pid, oid)`` int pairs (columnar) or
+        #: ``(predicate, object)`` term pairs → ``(has_refs, verdict bits)``,
+        #: or ``None`` when a reference bit is not statically decidable.
+        self._object_classes: Dict[object, Optional[Tuple[bool, tuple]]] = {}
+        self._graph_signature_pairs = getattr(graph, "signature_pairs", None)
+        self._graph_decode_id = getattr(graph, "decode_id", None)
+        # zero-copy predicate-grouped out-edges (dict store): the signature
+        # builder resolves candidate atoms once per predicate group and never
+        # materialises neighbourhood triples for probe-only subjects.
+        self._graph_predicate_objects = getattr(graph, "predicate_objects", None)
 
     # -- typing bookkeeping -----------------------------------------------------
     @property
@@ -383,6 +418,12 @@ class ValidationContext:
         # so a retraction after an aborted run cannot resurrect stale entries.
         self._provisional.clear()
         self._provisional_by_depth.clear()
+        # signatures embed prefilter bits about *object* neighbourhoods, so a
+        # node-keyed invalidation would under-report; drop them wholesale.
+        # (The SignatureCache itself survives: its entries are keyed by the
+        # signature structure, which mutated nodes no longer produce.)
+        self._signatures.clear()
+        self._object_classes.clear()
         return dropped
 
     def settled_counts(self) -> Dict[str, int]:
@@ -521,12 +562,14 @@ class ValidationContext:
         shape = compiled.shape_or_none(label)
         if shape is None:
             return None
+        start = perf_counter()
         neighbourhood, counts = self._prefilter_inputs(node)
         decision = shape.prefilter(neighbourhood, counts)
         if decision is None:
             self._prefilter_unknown.setdefault(node, set()).add(label)
         else:
             self._record_decision(node, label, decision)
+        self.stats.prefilter_time += perf_counter() - start
         return decision
 
     def prefilter_node(self, node: ObjectTerm,
@@ -542,6 +585,7 @@ class ValidationContext:
         compiled = self.compiled
         if compiled is None:
             return {}
+        start = perf_counter()
         neighbourhood, counts = self._prefilter_inputs(node)
         decisions: Dict[ShapeLabel, object] = {}
         unknown = self._prefilter_unknown.get(node)
@@ -566,7 +610,141 @@ class ValidationContext:
                 continue
             self._record_decision(node, label, decision)
             decisions[label] = decision
+        self.stats.prefilter_time += perf_counter() - start
         return decisions
+
+    # -- neighbourhood signatures --------------------------------------------------
+    def _object_class(self, obj: ObjectTerm,
+                      atoms) -> Optional[Tuple[bool, tuple]]:
+        """Fold ``obj`` into its verdict-equivalence class under a predicate.
+
+        ``atoms`` is the predicate's deterministic
+        :meth:`~repro.shex.compiled.CompiledSchema.signature_atoms` tuple.
+        Returns ``(has_reference_atoms, verdict bits)`` — one bit per
+        candidate atom, in atom order — or ``None`` when some reference bit
+        is not statically decided by the prefilter (the triple is then
+        signature-open).  Every bit is a pure function of graph + schema:
+        constraint verdicts are context-free by definition, and reference
+        bits are prefilter decisions, which are definitive and agree with
+        the engine's ``check_reference`` on settled pairs.  Two triples with
+        equal bits therefore drive the derivative engine identically.
+        """
+        has_refs = False
+        bits = []
+        for atom, ref_label in atoms:
+            if ref_label is None:
+                bits.append(atom[1].matches(obj))
+            else:
+                has_refs = True
+                decision = self.prefilter_check(obj, ref_label)
+                if decision is None:
+                    return None
+                bits.append(decision.matched)
+        return has_refs, tuple(bits)
+
+    def node_signature(self, node: ObjectTerm) -> Optional[tuple]:
+        """The canonical neighbourhood signature of ``node``, or ``None``.
+
+        The signature is the sorted multiset of ``(predicate, object-class)``
+        pairs over ``Σgₙ`` — id-native ``(pid, bits)`` int pairs when the
+        store exposes :meth:`signature_pairs` (columnar), term-keyed pairs
+        otherwise.  Because the object class fixes the verdict bit of every
+        candidate atom a triple can touch, the engine's verdict for ``(node,
+        label)`` is a pure function of the signature, for **any** label:
+        equal signatures replay identical derivative chains, and the final
+        nullability test is triple-order-independent.
+
+        ``None`` marks a signature-*open* node — some object's reference bit
+        is not statically decided, or a reference-demanding predicate loops
+        back to the node itself (where the coinductive hypothesis could
+        diverge from the prefilter bit).  Open nodes always go through the
+        engine, which preserves the PR 1 recursion semantics untouched.
+        Memoised per node; dropped wholesale on retraction.
+        """
+        compiled = self.compiled
+        if compiled is None:
+            return None
+        memo = self._signatures
+        if node in memo:
+            return memo[node]
+        signature = self._build_signature(node, compiled)
+        memo[node] = signature
+        return signature
+
+    def _build_signature(self, node: ObjectTerm,
+                         compiled) -> Optional[tuple]:
+        signature_atoms = compiled.signature_atoms
+        classes = self._object_classes
+        index = self.reference_index
+        # reference-free schemas cannot have self-reference loops, so the
+        # per-triple eligibility tests vanish outright.
+        check_refs = index is None or index.has_references
+        items: List[tuple] = []
+        raw = None
+        if self._graph_signature_pairs is not None \
+                and not isinstance(node, Literal):
+            raw = self._graph_signature_pairs(node)
+        if raw is not None:
+            sid, id_pairs = raw
+            decode = self._graph_decode_id
+            atom_memo: Dict[int, tuple] = {}
+            for pid, oid in id_pairs:
+                key = (pid, oid)
+                if key in classes:
+                    cls = classes[key]
+                else:
+                    atoms = atom_memo.get(pid)
+                    if atoms is None:
+                        atoms = atom_memo[pid] = signature_atoms(decode(pid))
+                    cls = self._object_class(decode(oid), atoms)
+                    classes[key] = cls
+                if cls is None:
+                    return None
+                if check_refs and cls[0] and oid == sid:
+                    return None
+                items.append((pid, cls[1]))
+            items.sort()
+            return tuple(items)
+        grouped = self._graph_predicate_objects
+        if grouped is not None:
+            # dict-store fast path: one atom-table fetch per predicate group,
+            # per-object class memo, no Triple materialisation, and items
+            # keyed by the predicate's IRI string so the final sort and the
+            # cache-key hash run on C-speed values.
+            for predicate, objects in grouped(node).items():
+                sub = classes.get(predicate)
+                if sub is None:
+                    sub = classes[predicate] = {}
+                atoms = None
+                pkey = predicate.value
+                for obj in objects:
+                    cls = sub.get(obj, _NO_CLASS)
+                    if cls is _NO_CLASS:
+                        if atoms is None:
+                            atoms = signature_atoms(predicate)
+                        cls = sub[obj] = self._object_class(obj, atoms)
+                    if cls is None:
+                        return None
+                    if check_refs and cls[0] and obj == node:
+                        return None
+                    items.append((pkey, cls[1]))
+            items.sort()
+            return tuple(items)
+        for triple in self._neighbourhood_any(node):
+            predicate, obj = triple.predicate, triple.object
+            key = (predicate, obj)
+            if key in classes:
+                cls = classes[key]
+            else:
+                cls = self._object_class(obj, signature_atoms(predicate))
+                classes[key] = cls
+            if cls is None:
+                return None
+            if check_refs and cls[0] and obj == node:
+                return None
+            items.append((predicate, cls[1]))
+        items.sort(key=_signature_sort_key)
+        return tuple(items)
 
     # -- the MatchShape rule -----------------------------------------------------
     def check_reference(self, node: ObjectTerm, label: ShapeLabel | str) -> MatchResult:

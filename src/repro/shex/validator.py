@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import (
     Callable,
     Dict,
@@ -36,7 +37,7 @@ from ..rdf.errors import StaleSnapshotError
 from ..rdf.graph import Graph, NeighbourhoodSnapshot
 from ..rdf.terms import Literal, ObjectTerm, SubjectTerm
 from .backtracking import BacktrackingEngine
-from .cache import DerivativeCache
+from .cache import DerivativeCache, SignatureCache
 from .compiled import CompiledSchema
 from .derivatives import DerivativeEngine
 from .expressions import ShapeExpr
@@ -217,6 +218,21 @@ class Validator:
     compiled:
         a ready :class:`~repro.shex.compiled.CompiledSchema` to adopt instead
         of compiling one (must belong to ``schema``); implies ``precompile``.
+    signature_cache:
+        the neighbourhood-signature verdict memo
+        (:class:`~repro.shex.cache.SignatureCache`) consulted by the bulk
+        paths before any engine runs: a subject whose canonical one-hop
+        signature was already settled against a label is answered without
+        constructing a matching frame.  ``None`` (default) enables a
+        validator-owned cache automatically whenever both ``shared_context``
+        and ``precompile`` are on (signatures need the compiled atom tables);
+        ``True`` forces one (still requires ``precompile``); ``False``
+        disables signature dedupe (CLI ``--no-signature-cache``); a ready
+        :class:`SignatureCache` instance is adopted as-is — the caller then
+        owns its lifecycle and must clear it on schema change.  The
+        validator-owned cache is dropped when ``schema`` is reassigned;
+        graph mutations need no invalidation because signatures embed the
+        neighbourhood structure they describe.
     engine_options:
         keyword options forwarded to the engine factory (e.g.
         ``simplify=False``, ``budget=10_000`` or ``cache=True`` to give the
@@ -240,6 +256,7 @@ class Validator:
                  precompile: bool = True,
                  compiled: Optional[CompiledSchema] = None,
                  subject_filter: Optional[Callable[[SubjectTerm], bool]] = None,
+                 signature_cache: Union[None, bool, SignatureCache] = None,
                  **engine_options):
         self.graph = graph
         self.schema = schema
@@ -256,6 +273,13 @@ class Validator:
         self.precompile = precompile or compiled is not None
         self._compiled = compiled
         self._atoms_adopted = False
+        #: neighbourhood-signature verdict dedupe: the caller's option plus
+        #: the resolved validator-owned cache (invalidated on schema change).
+        self._signature_cache_opt = signature_cache
+        self._signature_cache: Optional[SignatureCache] = (
+            signature_cache if isinstance(signature_cache, SignatureCache)
+            else None)
+        self._signature_cache_schema: Optional[Schema] = schema
         self._worker_engine_spec = _make_engine_spec(engine, engine_options)
         self._context: Optional[ValidationContext] = None
         self._context_key: Optional[tuple] = None
@@ -297,6 +321,29 @@ class Validator:
             self._atoms_adopted = True
         return self._compiled
 
+    @property
+    def signature_cache(self) -> Optional[SignatureCache]:
+        """The resolved signature cache (None when dedupe is disabled).
+
+        Resolution follows the constructor's ``signature_cache`` option: an
+        adopted instance is returned as-is; ``True`` and the auto default
+        build one validator-owned cache per schema object, so reassigning
+        ``schema`` starts from an empty table (signatures are keyed by the
+        compiled schema's atom order and must not cross schemas).
+        """
+        opt = self._signature_cache_opt
+        if opt is False or self.schema is None or not self.precompile:
+            return None
+        if isinstance(opt, SignatureCache):
+            return opt
+        if opt is None and not self.shared_context:
+            return None
+        if self._signature_cache is None \
+                or self._signature_cache_schema is not self.schema:
+            self._signature_cache = SignatureCache()
+            self._signature_cache_schema = self.schema
+        return self._signature_cache
+
     def store_stats(self) -> Dict[str, object]:
         """Storage-layer counters of the validated graph.
 
@@ -309,10 +356,14 @@ class Validator:
 
     # -- contexts ---------------------------------------------------------------
     def _new_context(self) -> ValidationContext:
-        return ValidationContext(self.graph, self.schema,
-                                 self.engine.match_neighbourhood,
-                                 max_recursion_depth=self.max_recursion_depth,
-                                 compiled=self.compiled)
+        index = self._schema_reference_index() if self.schema is not None else None
+        context = ValidationContext(self.graph, self.schema,
+                                    self.engine.match_neighbourhood,
+                                    max_recursion_depth=self.max_recursion_depth,
+                                    compiled=self.compiled,
+                                    reference_index=index)
+        context.signature_cache = self.signature_cache
+        return context
 
     def _bulk_context(self) -> Optional[ValidationContext]:
         """The persistent shared context (None when ``shared_context`` is off).
@@ -472,24 +523,45 @@ class Validator:
                                label_list: Sequence[ShapeLabel],
                                subjects: Sequence[SubjectTerm],
                                ) -> List[ValidationReportEntry]:
-        """Validate ``subjects × label_list`` in order, prefilter first.
+        """Validate ``subjects × label_list`` in order, signature first.
 
-        Each ``(node, label)`` pair is offered to the compiled-schema
-        prefilter *before* any matching frame (or per-entry statistics
-        bookkeeping) is constructed; only statically undecidable pairs go
-        through :meth:`validate_node` and the engine.
+        Each ``(node, label)`` pair is probed against the signature cache
+        first — the cached verdict is a pure function of the canonical
+        neighbourhood signature for *any* label, so a repeated structure is
+        answered in one dictionary hit before any prefilter scan or matching
+        frame is constructed.  The labels the cache cannot answer go to the
+        compiled-schema prefilter, whose decisions are themselves recorded
+        under the signature (they are signature-pure too); only the
+        remainder goes through :meth:`validate_node` and the engine — whose
+        settled verdict is stored back for every later lookalike subject.
         """
         use_prefilter = context is not None and context.compiled is not None
+        cache = context.signature_cache if context is not None else None
         entries: List[ValidationReportEntry] = []
         for node in subjects:
-            decisions = (context.prefilter_node(node, label_list)
-                         if use_prefilter else None)
+            answered: Dict[ShapeLabel, ValidationReportEntry] = {}
+            if cache is not None:
+                for label in label_list:
+                    hit = _signature_probe(context, cache, node, label)
+                    if hit is not None:
+                        answered[label] = hit
+            pending = [label for label in label_list
+                       if label not in answered] if answered else label_list
+            decisions = (context.prefilter_node(node, pending)
+                         if pending and use_prefilter else None)
             for label in label_list:
-                decision = decisions.get(label) if decisions else None
-                if decision is not None:
-                    entry = _decided_entry(node, label, decision)
-                else:
-                    entry = self.validate_node(node, label, context=context)
+                entry = answered.get(label)
+                if entry is None:
+                    decision = decisions.get(label) if decisions else None
+                    if decision is not None:
+                        entry = _decided_entry(node, label, decision)
+                        if cache is not None:
+                            _prefilter_signature_store(context, cache, node,
+                                                       label, decision)
+                    else:
+                        entry = self.validate_node(node, label, context=context)
+                        if cache is not None:
+                            _signature_store(context, cache, node, label, entry)
                 entries.append(entry)
         return entries
 
@@ -645,8 +717,14 @@ class Validator:
                 f"graph mutated during parallel scheduling (generation "
                 f"{generation} -> {snapshot.generation}); re-run validation"
             )
+        # the signature cache itself stays parent-local (verdict tables must
+        # not cross process boundaries); workers rebuild a private one from
+        # this recipe, exactly like the derivative cache.
+        signature_cache = self.signature_cache
+        signature_spec = ((True, signature_cache.max_entries)
+                          if signature_cache is not None else None)
         init_args = (self.schema, spec, snapshot, self.max_recursion_depth,
-                     sys.getrecursionlimit(), compiled)
+                     sys.getrecursionlimit(), compiled, signature_spec)
         entries: Dict[Tuple[ObjectTerm, ShapeLabel], ValidationReportEntry] = {}
         new_confirmed: List[Tuple[ObjectTerm, ShapeLabel]] = []
         new_failed: List[Tuple[ObjectTerm, ShapeLabel]] = []
@@ -682,7 +760,9 @@ class Validator:
                     futures.append(pool.submit(
                         _parallel_worker_run, pairs, batch_confirmed, batch_failed))
                 for future in futures:
-                    worker_entries, confirmed, failed = future.result()
+                    (worker_entries, confirmed, failed,
+                     worker_stats) = future.result()
+                    context.stats = context.stats.merge(worker_stats)
                     for entry in worker_entries:
                         entries[(entry.node, entry.label)] = entry
                     for pair in confirmed:
@@ -987,6 +1067,95 @@ def _decided_entry(node: ObjectTerm, label: ShapeLabel,
     )
 
 
+# -- the signature dedupe lane ------------------------------------------------------
+def _signature_probe(context: ValidationContext, cache: SignatureCache,
+                     node: ObjectTerm, label: ShapeLabel
+                     ) -> Optional[ValidationReportEntry]:
+    """Answer ``(node, label)`` from the signature cache, if possible.
+
+    Returns ``None`` when the pair is already settled in the context (the
+    settled lane of ``check_reference`` is cheaper and keeps its own reason
+    strings), the subject is signature-open (``node_signature`` returned
+    ``None``), or the signature has no cached verdict yet.  On a hit the
+    verdict is recorded in the context — exactly what a full engine run
+    would have settled — so later references to ``node`` reuse it.
+    """
+    if context.is_confirmed(node, label) or context.is_failed(node, label):
+        return None
+    stats = context.stats
+    start = perf_counter()
+    signature = context.node_signature(node)
+    cached = cache.lookup(signature, label) if signature is not None else None
+    stats.signature_time += perf_counter() - start
+    if signature is None:
+        return None
+    if cached is None:
+        stats.signature_misses += 1
+        return None
+    conforms, reason = cached
+    stats.signature_hits += 1
+    if conforms:
+        context.confirm(node, label)
+    else:
+        context.record_failure(node, label)
+    return ValidationReportEntry(node=node, label=label, conforms=conforms,
+                                 reason=reason,
+                                 stats=MatchStats(signature_hits=1))
+
+
+def _signature_store(context: ValidationContext, cache: SignatureCache,
+                     node: ObjectTerm, label: ShapeLabel,
+                     entry: ValidationReportEntry) -> None:
+    """Record an engine-settled verdict under the subject's signature.
+
+    Only *settled* outcomes are stored: budget-limited entries and verdicts
+    the context did not settle (still provisional behind a hypothesis) never
+    enter the cache — the two soundness gates of :class:`SignatureCache`.
+    """
+    if entry.limit_exceeded:
+        return
+    if entry.conforms:
+        if not context.is_confirmed(node, label):
+            return
+    elif not context.is_failed(node, label):
+        return
+    stats = context.stats
+    start = perf_counter()
+    signature = context.node_signature(node)
+    stats.signature_time += perf_counter() - start
+    if signature is None:
+        return
+    reason = "" if entry.conforms else (
+        "neighbourhood signature matches a structure that does not "
+        f"satisfy {label}")
+    cache.store(signature, label, entry.conforms, reason)
+    stats.signature_dedupes += 1
+
+
+def _prefilter_signature_store(context: ValidationContext, cache: SignatureCache,
+                               node: ObjectTerm, label: ShapeLabel,
+                               decision) -> None:
+    """Record a prefilter-decided verdict under the subject's signature.
+
+    Sound for the same reason the engine-path store is: everything the
+    prefilter consults — the predicate multiset and the screenable
+    constraint verdicts of each object — is a pure function of the
+    canonical neighbourhood signature, so equal signatures always replay
+    the same decision.  Storing it lets later lookalike subjects skip the
+    prefilter scan too, not just the engine run.  The prefilter's reason
+    strings name predicates, never the node, so serving them verbatim to a
+    lookalike stays accurate.
+    """
+    stats = context.stats
+    start = perf_counter()
+    signature = context.node_signature(node)
+    stats.signature_time += perf_counter() - start
+    if signature is None:
+        return
+    cache.store(signature, label, decision.matched, decision.reason)
+    stats.signature_dedupes += 1
+
+
 # -- parallel scheduling helpers ---------------------------------------------------
 def _make_engine_spec(engine: Union[str, object, None],
                       engine_options: Mapping[str, object]) -> Optional[tuple]:
@@ -1034,8 +1203,8 @@ def _balance_batches(level: Sequence[int],
     return [bucket for bucket in buckets if bucket]
 
 
-#: per-process worker state:
-#: ``(schema, engine, snapshot, max_recursion_depth, compiled)``.
+#: per-process worker state: ``(schema, engine, snapshot,
+#: max_recursion_depth, compiled, signature_cache, reference_index)``.
 _WORKER_STATE: Optional[tuple] = None
 
 
@@ -1043,7 +1212,8 @@ def _parallel_worker_init(schema: Schema, engine_spec: tuple,
                           snapshot: NeighbourhoodSnapshot,
                           max_recursion_depth: int,
                           recursion_limit: int,
-                          compiled: Optional[CompiledSchema] = None) -> None:
+                          compiled: Optional[CompiledSchema] = None,
+                          signature_spec: Optional[tuple] = None) -> None:
     """Initialise one worker process for parallel bulk validation.
 
     Runs once per worker: rebuilds the engine from its spec (so derivative
@@ -1052,6 +1222,10 @@ def _parallel_worker_init(schema: Schema, engine_spec: tuple,
     frame per hop), keeps the neighbourhood snapshot for every task, and
     receives the parent's **compiled schema** — unpickled once, never
     recompiled — so worker-side prefilter decisions match the scheduler's.
+    With ``signature_spec`` the worker also keeps a private
+    :class:`SignatureCache` across its tasks: signatures are pure functions
+    of the (snapshot, compiled schema) pair, so cross-task reuse inside one
+    worker is sound even though each task builds a fresh context.
     """
     global _WORKER_STATE
     if recursion_limit > sys.getrecursionlimit():
@@ -1065,7 +1239,14 @@ def _parallel_worker_init(schema: Schema, engine_spec: tuple,
         cache = getattr(engine, "cache", None)
         if cache is not None:
             cache.adopt_atoms(compiled.atom_tables())
-    _WORKER_STATE = (schema, engine, snapshot, max_recursion_depth, compiled)
+    signature_cache = None
+    if signature_spec is not None:
+        signature_cache = SignatureCache(max_entries=signature_spec[1])
+    from .partition import ReferenceIndex
+
+    reference_index = ReferenceIndex(schema) if schema is not None else None
+    _WORKER_STATE = (schema, engine, snapshot, max_recursion_depth, compiled,
+                     signature_cache, reference_index)
 
 
 def _parallel_worker_run(
@@ -1082,29 +1263,45 @@ def _parallel_worker_run(
     hypothesis — and budget-poisoned outcomes never leave the worker, which
     is what keeps the merge sound under recursion.
     """
-    schema, engine, snapshot, max_recursion_depth, compiled = _WORKER_STATE
+    (schema, engine, snapshot, max_recursion_depth, compiled,
+     signature_cache, reference_index) = _WORKER_STATE
     context = ValidationContext(snapshot, schema, engine.match_neighbourhood,
                                 max_recursion_depth=max_recursion_depth,
-                                compiled=compiled)
+                                compiled=compiled,
+                                reference_index=reference_index)
+    context.signature_cache = signature_cache
     context.seed_settled(seed_confirmed, seed_failed)
     entries: List[ValidationReportEntry] = []
     for node, label in pairs:
-        decision = context.prefilter_check(node, label)
-        if decision is not None:
-            entry = _decided_entry(node, label, decision)
-        else:
-            before = context.stats.copy()
-            result = context.check_reference(node, label)
-            entry_stats = context.stats.delta_since(before).merge(result.stats)
-            entry = ValidationReportEntry(
-                node=node, label=label, conforms=result.matched,
-                reason=result.reason, stats=entry_stats,
-                limit_exceeded=result.limit_exceeded,
-            )
+        # signature first, prefilter second — the same lane order as the
+        # serial bulk path, so reasons and per-entry stats line up across
+        # ``--jobs`` settings
+        entry = (_signature_probe(context, signature_cache, node, label)
+                 if signature_cache is not None else None)
+        if entry is None:
+            decision = context.prefilter_check(node, label)
+            if decision is not None:
+                entry = _decided_entry(node, label, decision)
+                if signature_cache is not None:
+                    _prefilter_signature_store(context, signature_cache, node,
+                                               label, decision)
+            else:
+                before = context.stats.copy()
+                result = context.check_reference(node, label)
+                entry_stats = context.stats.delta_since(before).merge(result.stats)
+                entry = ValidationReportEntry(
+                    node=node, label=label, conforms=result.matched,
+                    reason=result.reason, stats=entry_stats,
+                    limit_exceeded=result.limit_exceeded,
+                )
+                if signature_cache is not None:
+                    _signature_store(context, signature_cache, node, label, entry)
         entries.append(entry)
     confirmed, failed = context.settled_verdicts()
     seeded = set(seed_confirmed)
     seeded.update(seed_failed)
     new_confirmed = [pair for pair in confirmed if pair not in seeded]
     new_failed = [pair for pair in failed if pair not in seeded]
-    return entries, new_confirmed, new_failed
+    # the task context is fresh, so its stats are this task's profile delta;
+    # the coordinator merges them so per-phase counters survive --jobs runs.
+    return entries, new_confirmed, new_failed, context.stats

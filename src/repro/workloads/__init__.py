@@ -10,7 +10,10 @@ synthetic equivalents used by the examples, tests and benchmarks:
   pairs (star, interleave width, balanced alternation, cardinality ranges)
   with known verdicts, driving the engine-comparison benchmarks,
 * :mod:`repro.workloads.portal` — a DCAT-like linked-data portal with three
-  mutually referencing shapes and controlled violations.
+  mutually referencing shapes and controlled violations,
+* :mod:`repro.workloads.kb` — a hub-heavy YAGO-style knowledge base whose
+  entities are structural clones, driving the signature-dedupe hot-path
+  benchmark.
 """
 
 from .people import (
@@ -24,6 +27,12 @@ from .people import (
     knows_tree_graph,
     paper_example_graph,
     person_schema,
+)
+from .kb import (
+    KB_SCHEMA_SHEXC,
+    KBWorkload,
+    generate_kb_workload,
+    kb_schema,
 )
 from .portal import (
     DCAT,
@@ -48,6 +57,7 @@ __all__ = [
     "paper_example_graph", "person_schema",
     "PersonWorkload", "generate_person_workload", "generate_community_workload",
     "knows_chain_graph", "knows_cycle_graph", "knows_tree_graph",
+    "KB_SCHEMA_SHEXC", "KBWorkload", "kb_schema", "generate_kb_workload",
     "DCAT", "PORTAL_SCHEMA_SHEXC", "portal_schema",
     "PortalWorkload", "generate_portal_workload",
     "NeighbourhoodCase", "star_case", "paper_interleave_case",

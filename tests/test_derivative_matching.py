@@ -91,6 +91,9 @@ class TestStatistics:
             "derivative_steps", "decompositions", "rule_applications",
             "arc_checks", "reference_checks", "max_expression_size",
             "prefilter_accepts", "prefilter_rejects",
+            "signature_hits", "signature_misses", "signature_dedupes",
+            "signature_time", "prefilter_time", "dispatch_time",
+            "backtrack_time", "cache_time",
         }
 
 

@@ -1,0 +1,201 @@
+"""Property-based tests: signature-deduped verdicts equal non-deduped ones.
+
+The neighbourhood-signature cache may only serve a verdict for a subject
+whose signature is *closed* — a pure function of graph and schema — so for
+any random (schema, graph) pair, bulk validation with the cache on must
+produce exactly the verdicts of a run with the cache off.  The schemas
+drawn here include shape references (self- and mutually-recursive), the
+graphs include self-loops and cross-references, and the property is checked
+on the serial path, the ``--jobs 2`` SCC-parallel path and incremental
+revalidation after a random mutation.
+
+A regression test rides along for the PR 1 stats contract: report entries
+carry independent stats snapshots even when the signature cache serves the
+verdict.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import EX, XSD, Literal, Triple
+from repro.rdf.columnar import ColumnarGraph
+from repro.rdf.graph import Graph
+from repro.shex import Validator, arc, datatype, shape_ref, value_set
+from repro.shex.expressions import ShapeExpr, And, Or, Star
+from repro.shex.node_constraints import PredicateSet
+from repro.shex.schema import Schema
+from repro.shex.typing import ShapeLabel
+
+PREDICATES = [EX.p, EX.q, EX.r]
+NODES = [EX[f"n{i}"] for i in range(5)]
+OBJECTS = NODES + [Literal(1), Literal(2), Literal("x")]
+LABELS = [ShapeLabel("S0"), ShapeLabel("S1")]
+
+
+def constraints() -> st.SearchStrategy:
+    return st.one_of(
+        st.just(datatype(XSD.integer)),
+        st.just(datatype(XSD.string)),
+        st.builds(lambda values: value_set(*values),
+                  st.lists(st.sampled_from([1, 2, "x"]), min_size=1,
+                           max_size=2, unique=True)),
+        # references make schemas recursive: S0 may point at itself or S1
+        st.sampled_from([shape_ref(label) for label in LABELS]),
+    )
+
+
+def arcs() -> st.SearchStrategy[ShapeExpr]:
+    return st.builds(lambda p, c: arc(PredicateSet.single(p), c),
+                     st.sampled_from(PREDICATES), constraints())
+
+
+def expressions() -> st.SearchStrategy[ShapeExpr]:
+    return st.recursive(
+        arcs(),
+        lambda children: st.one_of(
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+            st.builds(Star, children),
+        ),
+        max_leaves=5,
+    )
+
+
+def schemas() -> st.SearchStrategy[Schema]:
+    return st.builds(
+        lambda e0, e1: Schema({LABELS[0]: e0, LABELS[1]: e1}),
+        expressions(), expressions())
+
+
+def triples() -> st.SearchStrategy[Triple]:
+    return st.builds(Triple, st.sampled_from(NODES),
+                     st.sampled_from(PREDICATES), st.sampled_from(OBJECTS))
+
+
+def graphs(store=Graph) -> st.SearchStrategy:
+    def build(drawn):
+        graph = store()
+        graph.add_all(drawn)
+        return graph
+    return st.sets(triples(), min_size=1, max_size=12).map(build)
+
+
+def _verdicts(report):
+    return {(entry.node, entry.label): entry.conforms for entry in report}
+
+
+def _run(graph, schema, *, cached: bool, jobs: int = 1):
+    validator = Validator(graph, schema, jobs=jobs,
+                          signature_cache=None if cached else False)
+    return validator, validator.validate_graph()
+
+
+class TestSignatureDedupeIdentity:
+    @settings(max_examples=120, deadline=None)
+    @given(schema=schemas(), graph=graphs())
+    def test_serial_verdicts_identical(self, schema, graph):
+        _, cached = _run(graph, schema, cached=True)
+        _, uncached = _run(graph, schema, cached=False)
+        assert _verdicts(cached) == _verdicts(uncached)
+
+    @settings(max_examples=60, deadline=None)
+    @given(schema=schemas(), graph=graphs(store=ColumnarGraph))
+    def test_columnar_id_native_verdicts_identical(self, schema, graph):
+        _, cached = _run(graph, schema, cached=True)
+        _, uncached = _run(graph, schema, cached=False)
+        assert _verdicts(cached) == _verdicts(uncached)
+
+    @settings(max_examples=8, deadline=None)
+    @given(schema=schemas(), graph=graphs())
+    def test_jobs2_verdicts_identical(self, schema, graph):
+        _, cached = _run(graph, schema, cached=True, jobs=2)
+        _, uncached = _run(graph, schema, cached=False)
+        assert _verdicts(cached) == _verdicts(uncached)
+
+    @settings(max_examples=40, deadline=None)
+    @given(schema=schemas(), graph=graphs(),
+           additions=st.sets(triples(), max_size=4),
+           removal_picks=st.lists(st.integers(min_value=0), max_size=3))
+    def test_revalidate_after_mutation_identical(self, schema, graph,
+                                                 additions, removal_picks):
+        validator, _ = _run(graph, schema, cached=True)
+        existing = sorted(graph, key=lambda triple: triple.sort_key())
+        removals = {existing[pick % len(existing)] for pick in removal_picks}
+        added = {triple for triple in additions if triple not in set(existing)}
+        if not added and not removals:
+            return
+        for triple in removals:
+            graph.remove(triple)
+        graph.add_all(added)
+        result = validator.revalidate()
+        fresh = Graph()
+        fresh.add_all(graph)
+        _, uncached = _run(fresh, schema, cached=False)
+        assert _verdicts(result.report) == _verdicts(uncached)
+
+
+class TestStatsSnapshotIndependence:
+    """PR 1 contract: entry stats stay independent snapshots under dedupe."""
+
+    def _twin_graph(self):
+        # two structurally identical subjects: the second is a cache hit
+        graph = Graph()
+        for node in (EX.a, EX.b):
+            graph.add(Triple(node, EX.p, Literal(1)))
+            graph.add(Triple(node, EX.q, Literal("x")))
+        return graph
+
+    def _twin_schema(self):
+        return Schema({"S": And(arc(PredicateSet.single(EX.p), datatype(XSD.integer)),
+                                arc(PredicateSet.single(EX.q), datatype(XSD.string)))})
+
+    def test_hit_entry_has_its_own_snapshot(self):
+        validator = Validator(self._twin_graph(), self._twin_schema())
+        report = validator.validate_graph()
+        entries = {entry.node: entry for entry in report}
+        first, second = entries[EX.a], entries[EX.b]
+        assert validator.signature_cache is not None
+        assert second.stats.signature_hits == 1
+        assert second.stats.derivative_steps == 0
+        assert first.stats.signature_hits == 0
+        assert first.stats.derivative_steps > 0
+        assert first.stats is not second.stats
+
+    def test_snapshots_survive_later_runs(self):
+        validator = Validator(self._twin_graph(), self._twin_schema())
+        report = validator.validate_graph()
+        entries = {entry.node: entry for entry in report}
+        frozen = {node: entry.stats.as_dict()
+                  for node, entry in entries.items()}
+        validator.validate_graph()
+        validator.validate_node(EX.a, "S")
+        for node, entry in entries.items():
+            assert entry.stats.as_dict() == frozen[node], node
+
+    def test_verdicts_and_hit_counters_with_conforming_and_failing_twins(self):
+        graph = self._twin_graph()
+        # break both twins identically on a *faceted* constraint: the value
+        # screen refuses facets, so the failure is decided by the engine and
+        # the failing verdict is deduped too (a prefilter rejection would
+        # short-circuit before the signature probe).
+        schema = Schema({"S": And(
+            arc(PredicateSet.single(EX.p), datatype(XSD.integer)),
+            arc(PredicateSet.single(EX.q), datatype(XSD.string, min_length=1)))})
+        graph.add(Triple(EX.c, EX.p, Literal(1)))
+        graph.add(Triple(EX.c, EX.q, Literal("")))
+        graph.add(Triple(EX.d, EX.p, Literal(1)))
+        graph.add(Triple(EX.d, EX.q, Literal("")))
+        validator = Validator(graph, schema)
+        report = validator.validate_graph()
+        verdicts = _verdicts(report)
+        label = ShapeLabel("S")
+        assert verdicts[(EX.a, label)] and verdicts[(EX.b, label)]
+        assert not verdicts[(EX.c, label)] and not verdicts[(EX.d, label)]
+        stats = validator.signature_cache.stats()
+        assert stats["hits"] >= 2 and stats["dedupes"] >= 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
